@@ -1,0 +1,462 @@
+// Benchmarks regenerating every table and figure of "Spineless Data
+// Centers" at laptop scale, plus ablations of the design choices called out
+// in DESIGN.md. Run with:
+//
+//	go test -bench=. -benchmem
+//
+// BenchmarkFig4_* covers the seven Figure 4 workloads (median + p99 FCT
+// across the five fabric × routing combos); BenchmarkFig5_* the four C-S
+// heatmap panels; BenchmarkFig6 the scale sweep; BenchmarkUDF the §3.1
+// analysis; BenchmarkTheorem1 the §4 verification. Each iteration runs the
+// full (scaled-down) experiment; per-op time is the cost of regenerating
+// that artifact. cmd/fig4, cmd/fig5 and cmd/fig6 run the same code at
+// larger scale with reporting.
+package spineless_test
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"spineless"
+)
+
+func benchFabrics(b *testing.B, seed int64) *spineless.FabricSet {
+	b.Helper()
+	fs, err := spineless.ScaledFabrics(8, rand.New(rand.NewSource(seed)))
+	if err != nil {
+		b.Fatal(err)
+	}
+	return fs
+}
+
+func benchFCTConfig() spineless.FCTConfig {
+	cfg := spineless.DefaultFCTConfig()
+	cfg.WindowSec = 0.004
+	cfg.MaxFlows = 400
+	cfg.Sizes = spineless.ParetoSizes(40e3, 1.05, 400e3)
+	return cfg
+}
+
+// benchFig4 runs one Figure 4 workload across all five combos.
+func benchFig4(b *testing.B, kind spineless.TMKind) {
+	fs := benchFabrics(b, 1)
+	combos, err := spineless.PaperCombos(fs)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := benchFCTConfig()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, c := range combos {
+			res, err := spineless.RunFCT(fs, c, kind, cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if res.Stats.Count == 0 {
+				b.Fatal("no flows measured")
+			}
+		}
+	}
+}
+
+func BenchmarkFig4_A2A(b *testing.B)         { benchFig4(b, spineless.TMA2A) }
+func BenchmarkFig4_R2R(b *testing.B)         { benchFig4(b, spineless.TMR2R) }
+func BenchmarkFig4_CSSkewed(b *testing.B)    { benchFig4(b, spineless.TMCSSkewed) }
+func BenchmarkFig4_FBSkewed(b *testing.B)    { benchFig4(b, spineless.TMFBSkewed) }
+func BenchmarkFig4_FBUniform(b *testing.B)   { benchFig4(b, spineless.TMFBUniform) }
+func BenchmarkFig4_FBSkewedRP(b *testing.B)  { benchFig4(b, spineless.TMFBSkewedRP) }
+func BenchmarkFig4_FBUniformRP(b *testing.B) { benchFig4(b, spineless.TMFBUniformRP) }
+
+// benchFig5 fills one heatmap panel.
+func benchFig5(b *testing.B, scheme string, large bool) {
+	fs := benchFabrics(b, 1)
+	dr, err := spineless.NewCombo("DRing", fs.DRing, scheme)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ls, err := spineless.NewCombo("leaf-spine", fs.LeafSpine, "ecmp")
+	if err != nil {
+		b.Fatal(err)
+	}
+	hosts := fs.DRing.Servers()
+	ticks := []int{1, 2, hosts / 8, hosts / 5}
+	if large {
+		ticks = []int{hosts / 8, hosts / 4, hosts / 3, hosts / 2}
+	}
+	cfg := spineless.DefaultThroughputConfig()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h, err := spineless.CSRatioHeatmap(dr, ls, ticks, ticks, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		_ = h
+	}
+}
+
+func BenchmarkFig5_SmallECMP(b *testing.B) { benchFig5(b, "ecmp", false) }
+func BenchmarkFig5_SmallSU2(b *testing.B)  { benchFig5(b, "su2", false) }
+func BenchmarkFig5_LargeECMP(b *testing.B) { benchFig5(b, "ecmp", true) }
+func BenchmarkFig5_LargeSU2(b *testing.B)  { benchFig5(b, "su2", true) }
+
+// BenchmarkFig6 runs a two-point scale sweep (DRing vs matched RRG).
+func BenchmarkFig6(b *testing.B) {
+	cfg := spineless.DefaultScaleConfig()
+	cfg.TorsPerSupernode = 3
+	cfg.Ports = 20
+	cfg.FCT = benchFCTConfig()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pts, err := spineless.ScaleSweep([]int{5, 8}, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(pts) != 2 {
+			b.Fatal("missing points")
+		}
+	}
+}
+
+// BenchmarkUDF regenerates the §3.1 analysis (Table E4 in DESIGN.md).
+func BenchmarkUDF(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		base, err := spineless.LeafSpine(spineless.LeafSpineSpec{X: 12, Y: 4})
+		if err != nil {
+			b.Fatal(err)
+		}
+		flat, err := spineless.Flatten(base, rand.New(rand.NewSource(int64(i))))
+		if err != nil {
+			b.Fatal(err)
+		}
+		udf, err := spineless.UDF(base, flat)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if udf < 1.8 || udf > 2.2 {
+			b.Fatalf("UDF = %v", udf)
+		}
+	}
+}
+
+// BenchmarkTheorem1 converges the §4 BGP/VRF protocol and verifies both the
+// theorem and the FIB equivalence (experiment E5).
+func BenchmarkTheorem1(b *testing.B) {
+	g, err := spineless.DRing(spineless.UniformDRing(6, 2, 24))
+	if err != nil {
+		b.Fatal(err)
+	}
+	fib, err := spineless.NewShortestUnion(g, 2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		net, err := spineless.BuildBGP(g, 2)
+		if err != nil {
+			b.Fatal(err)
+		}
+		rib, _, err := net.Converge()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := spineless.VerifyTheorem1(net, rib); err != nil {
+			b.Fatal(err)
+		}
+		if err := spineless.CrossCheckBGPFib(net, rib, fib, true); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Ablations (DESIGN.md §3) ---
+
+// BenchmarkAblation_ShortestUnionK sweeps K: more VRF layers admit longer
+// paths (more diversity, longer detours). Reported per-op time includes FIB
+// construction and the FCT run on the rack-to-rack workload where K matters
+// most.
+func benchAblationK(b *testing.B, scheme string) {
+	fs := benchFabrics(b, 1)
+	cfg := benchFCTConfig()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		combo, err := spineless.NewCombo(scheme, fs.DRing, scheme)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := spineless.RunFCT(fs, combo, spineless.TMR2R, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblation_K_ECMP(b *testing.B) { benchAblationK(b, "ecmp") }
+func BenchmarkAblation_K_SU2(b *testing.B)  { benchAblationK(b, "su2") }
+func BenchmarkAblation_K_SU3(b *testing.B)  { benchAblationK(b, "su3") }
+func BenchmarkAblation_K_SU4(b *testing.B)  { benchAblationK(b, "su4") }
+
+// BenchmarkAblation_PathPinning compares per-hop hashing (SU2) against
+// per-flow pinning over k shortest paths (the Jellyfish baseline).
+func BenchmarkAblation_PathPinning_KSP4(b *testing.B) { benchAblationK(b, "ksp4") }
+func BenchmarkAblation_PathPinning_VLB(b *testing.B)  { benchAblationK(b, "vlb") }
+
+// BenchmarkAblation_WeightedHashing: uniform vs path-count-weighted (WCMP)
+// per-hop selection on the uneven DRing.
+func BenchmarkAblation_Weighted_SU2(b *testing.B)  { benchAblationK(b, "wsu2") }
+func BenchmarkAblation_Weighted_ECMP(b *testing.B) { benchAblationK(b, "wcmp") }
+
+// BenchmarkAblation_Flowlets: flowlet switching [25] gives plain ECMP
+// dynamic path diversity (the Kassing et al. mechanism §2 says is not
+// commonly available) — compare against static per-flow hashing on the
+// rack-to-rack workload.
+func benchFlowlets(b *testing.B, flowlets bool) {
+	fs := benchFabrics(b, 1)
+	combo, err := spineless.NewCombo("dr", fs.DRing, "ecmp")
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := benchFCTConfig()
+	if flowlets {
+		cfg.Net = cfg.Net.WithFlowlets(0)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := spineless.RunFCT(fs, combo, spineless.TMR2R, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblation_Flowlets_Off(b *testing.B) { benchFlowlets(b, false) }
+func BenchmarkAblation_Flowlets_On(b *testing.B)  { benchFlowlets(b, true) }
+
+// BenchmarkAblation_QueueDepth measures tail sensitivity to drop-tail
+// queue capacity.
+func benchQueue(b *testing.B, pkts int) {
+	fs := benchFabrics(b, 1)
+	combo, err := spineless.NewCombo("dr", fs.DRing, "su2")
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := benchFCTConfig()
+	cfg.Net.QueueBytes = int64(pkts) * 1500
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := spineless.RunFCT(fs, combo, spineless.TMA2A, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblation_Queue25pkts(b *testing.B)  { benchQueue(b, 25) }
+func BenchmarkAblation_Queue100pkts(b *testing.B) { benchQueue(b, 100) }
+func BenchmarkAblation_Queue400pkts(b *testing.B) { benchQueue(b, 400) }
+
+// BenchmarkAblation_SupernodeWidth varies n (ToRs per supernode) at fixed
+// total ToR count: wider supernodes mean more disjoint paths (§4 promises
+// n+1) but fewer server ports.
+func benchWidth(b *testing.B, m, n int) {
+	g, err := spineless.DRing(spineless.UniformDRing(m, n, 40))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		fib, err := spineless.NewShortestUnion(g, 2)
+		if err != nil {
+			b.Fatal(err)
+		}
+		_ = fib.PathSet(0, n, 0)
+	}
+}
+
+func BenchmarkAblation_Width_m12n2(b *testing.B) { benchWidth(b, 12, 2) }
+func BenchmarkAblation_Width_m8n3(b *testing.B)  { benchWidth(b, 8, 3) }
+func BenchmarkAblation_Width_m6n4(b *testing.B)  { benchWidth(b, 6, 4) }
+
+// BenchmarkAblation_Transport compares plain TCP against DCTCP-style ECN on
+// the skewed workload — a transport the paper's §2 classifies as
+// non-standard for these DCs, included to quantify what deployability costs.
+func benchTransport(b *testing.B, dctcp bool) {
+	fs := benchFabrics(b, 1)
+	combo, err := spineless.NewCombo("dr", fs.DRing, "su2")
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := benchFCTConfig()
+	if dctcp {
+		cfg.Net = cfg.Net.WithDCTCP()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := spineless.RunFCT(fs, combo, spineless.TMFBSkewed, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblation_Transport_TCP(b *testing.B)   { benchTransport(b, false) }
+func BenchmarkAblation_Transport_DCTCP(b *testing.B) { benchTransport(b, true) }
+
+// --- Substrate microbenchmarks ---
+
+// BenchmarkNetsimEvents measures raw simulator throughput (events/op noted
+// via ns/op on a fixed workload).
+func BenchmarkNetsimEvents(b *testing.B) {
+	g, err := spineless.DRing(spineless.UniformDRing(6, 2, 24))
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(3))
+	gen := spineless.GenFlowConfig(200, 4*time.Millisecond)
+	gen.Sizes = spineless.ParetoSizes(30e3, 1.05, 300e3)
+	flows, err := spineless.GenerateFlows(g, spineless.UniformTM(len(g.Racks())), gen, rng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	scheme := spineless.NewECMP(g)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sim, err := spineless.NewSimulator(g, scheme, spineless.DefaultNetConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := sim.Run(flows); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFibConstruction measures Shortest-Union(2) FIB build cost at
+// paper scale (80 switches, ~1k links).
+func BenchmarkFibConstruction(b *testing.B) {
+	fs, err := spineless.PaperFabrics(rand.New(rand.NewSource(1)))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := spineless.NewShortestUnion(fs.DRing, 2); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPaperFabrics measures full-scale §5.1 trio construction.
+func BenchmarkPaperFabrics(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := spineless.PaperFabrics(rand.New(rand.NewSource(int64(i)))); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMicroburst runs the §3 microburst drain on the flat rewiring.
+func BenchmarkMicroburst(b *testing.B) {
+	fs := benchFabrics(b, 1)
+	combo, err := spineless.NewCombo("rrg", fs.RRG, "su2")
+	if err != nil {
+		b.Fatal(err)
+	}
+	spec := spineless.DefaultBurst()
+	spec.BurstBytes = 8 << 20
+	spec.Fanout = 4
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := spineless.RunBurst(combo, spec, spineless.DefaultNetConfig(), 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Incomplete != 0 {
+			b.Fatal("burst incomplete")
+		}
+	}
+}
+
+// BenchmarkIdealThroughput measures the fluid FPTAS on a paper-sized DRing
+// with a uniform matrix (the §2 ideal-routing reference computation).
+func BenchmarkIdealThroughput(b *testing.B) {
+	g, err := spineless.DRing(spineless.UniformDRing(8, 2, 24))
+	if err != nil {
+		b.Fatal(err)
+	}
+	m := spineless.UniformTM(len(g.Racks()))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := spineless.IdealThroughput(g, m, 0.1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFailureStudy runs the §7 failure sweep (structure + BGP
+// reconvergence + FCT replay) on a small DRing.
+func BenchmarkFailureStudy(b *testing.B) {
+	g, err := spineless.DRing(spineless.UniformDRing(6, 2, 20))
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := spineless.DefaultFailureStudyConfig()
+	cfg.Fractions = []float64{0.05}
+	cfg.Flows = 80
+	cfg.Samples = 24
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := spineless.FailureStudy(g, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDynamicSchedules compares slot-averaged throughput evaluation of
+// the two §7 dynamic contenders.
+func benchDynamic(b *testing.B, rotor bool) {
+	spec := spineless.UniformDRing(8, 2, 24)
+	var sched spineless.DynamicSchedule
+	var err error
+	if rotor {
+		sched, err = spineless.NewRotorMatchings(16, 8, 16, 24, 3)
+	} else {
+		sched, err = spineless.NewRotatingDRing(spec, 3)
+	}
+	if err != nil {
+		b.Fatal(err)
+	}
+	g := sched.Slot(0)
+	rng := rand.New(rand.NewSource(2))
+	var pairs [][2]int
+	for len(pairs) < 48 {
+		x, y := rng.Intn(g.Servers()), rng.Intn(g.Servers())
+		if g.RackOf(x) != g.RackOf(y) {
+			pairs = append(pairs, [2]int{x, y})
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := spineless.DynamicAvgThroughput(sched, pairs, "su2", spineless.DefaultFlowConfig()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDynamic_RotatingDRing(b *testing.B)  { benchDynamic(b, false) }
+func BenchmarkDynamic_RotorMatchings(b *testing.B) { benchDynamic(b, true) }
+
+// BenchmarkBGPConvergePaperScale converges the full §5.1 DRing control
+// plane (80 routers × 2 VRFs, ~8.5k sessions).
+func BenchmarkBGPConvergePaperScale(b *testing.B) {
+	fs, err := spineless.PaperFabrics(rand.New(rand.NewSource(1)))
+	if err != nil {
+		b.Fatal(err)
+	}
+	net, err := spineless.BuildBGP(fs.DRing, 2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := net.Converge(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,74 @@
+// Command failures runs the §7 "Impact of failures" study the paper leaves
+// as future work: it sweeps random link-failure fractions on a flat fabric
+// and reports path dilation, surviving Shortest-Union(K) path diversity,
+// BGP reconvergence rounds (incremental, from the pre-failure RIB), and
+// tail FCT on the degraded fabric.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"strconv"
+	"strings"
+
+	"spineless/internal/core"
+	"spineless/internal/resilience"
+	"spineless/internal/topology"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("failures: ")
+	var (
+		topoKind  = flag.String("topo", "dring", "fabric: dring or rrg")
+		m         = flag.Int("supernodes", 8, "dring supernodes")
+		n         = flag.Int("tors", 2, "dring ToRs per supernode")
+		ports     = flag.Int("ports", 24, "switch radix")
+		k         = flag.Int("k", 2, "Shortest-Union K")
+		fractions = flag.String("fractions", "0,0.01,0.05,0.10", "comma-separated link-failure fractions")
+		flows     = flag.Int("flows", 300, "uniform-workload flows for FCT replay (0 = skip)")
+		seed      = flag.Int64("seed", 1, "random seed")
+	)
+	flag.Parse()
+
+	var g *topology.Graph
+	var err error
+	switch *topoKind {
+	case "dring":
+		g, err = topology.DRing(topology.Uniform(*m, *n, *ports))
+	case "rrg":
+		dr, derr := topology.DRing(topology.Uniform(*m, *n, *ports))
+		if derr != nil {
+			log.Fatal(derr)
+		}
+		g, err = core.MatchedRRG(dr, rand.New(rand.NewSource(*seed)))
+	default:
+		log.Fatalf("unknown topology %q", *topoKind)
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	cfg := resilience.DefaultStudyConfig()
+	cfg.K = *k
+	cfg.Flows = *flows
+	cfg.Seed = *seed
+	cfg.Fractions = nil
+	for _, f := range strings.Split(*fractions, ",") {
+		v, err := strconv.ParseFloat(strings.TrimSpace(f), 64)
+		if err != nil {
+			log.Fatalf("bad fraction %q", f)
+		}
+		cfg.Fractions = append(cfg.Fractions, v)
+	}
+
+	fmt.Printf("fabric: %v, Shortest-Union(%d), seed=%d\n\n", g, *k, *seed)
+	rows, err := resilience.Study(g, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(resilience.Table(rows))
+	fmt.Println("reconv rounds = synchronous BGP rounds to re-settle from the pre-failure RIB.")
+}

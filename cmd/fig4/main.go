@@ -1,0 +1,192 @@
+// Command fig4 regenerates Figure 4 of "Spineless Data Centers": median and
+// 99th-percentile flow completion times for the seven §5.2 traffic matrices
+// across the five fabric × routing combinations, measured in the
+// packet-level TCP simulator at 30% spine load.
+//
+// By default it runs a proportionally scaled-down trio (leaf-spine(12,4))
+// so a laptop regenerates the figure in minutes; -paper runs the full §5.1
+// configuration (leaf-spine(48,16), 3072 servers), which takes much longer.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"os"
+
+	"path/filepath"
+	"time"
+
+	"spineless/internal/core"
+	"spineless/internal/metrics"
+	"spineless/internal/trace"
+	"spineless/internal/viz"
+	"spineless/internal/workload"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("fig4: ")
+	var (
+		paper    = flag.Bool("paper", false, "run the full-scale §5.1 configuration (slow)")
+		scale    = flag.Int("scale", 4, "scale-down factor for the default run (divides 48 and 16)")
+		util     = flag.Float64("util", 0.30, "offered load as a fraction of spine capacity")
+		window   = flag.Float64("window", 0.01, "flow arrival window, seconds")
+		seed     = flag.Int64("seed", 1, "random seed (run is fully deterministic given the seed)")
+		maxFlows = flag.Int("maxflows", 0, "cap on generated flows per cell (0 = uncapped)")
+		claim    = flag.Bool("claim", false, "also check the §6.1 'up to 7× lower FCT' claim on FB-skewed")
+		dump     = flag.String("dump", "", "write per-flow FCT CSVs for every cell into this directory")
+		svgOut   = flag.String("svg", "", "write fig4a.svg and fig4b.svg into this directory")
+	)
+	flag.Parse()
+
+	rng := rand.New(rand.NewSource(*seed))
+	var fs *core.FabricSet
+	var err error
+	if *paper {
+		fs, err = core.PaperFabrics(rng)
+	} else {
+		fs, err = core.ScaledFabrics(*scale, rng)
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("fabrics: %v | %v | %v\n", fs.LeafSpine, fs.RRG, fs.DRing)
+	fmt.Printf("seed=%d util=%.2f window=%.3fs flow sizes: Pareto(mean=100KB, alpha=1.05)\n\n", *seed, *util, *window)
+
+	combos, err := core.PaperCombos(fs)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg := core.DefaultFCTConfig()
+	cfg.Util = *util
+	cfg.WindowSec = *window
+	cfg.Seed = *seed
+	cfg.MaxFlows = *maxFlows
+	cfg.Sizes = workload.PaperFlowSizes()
+	cfg.KeepFlows = *dump != ""
+	if *dump != "" {
+		if err := os.MkdirAll(*dump, 0o755); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	var median, p99 metrics.Table
+	header := []string{"TM"}
+	for _, c := range combos {
+		header = append(header, c.Label)
+	}
+	median.AddRow(header...)
+	p99.AddRow(header...)
+
+	results := map[core.TMKind][]core.FCTResult{}
+	for _, kind := range core.AllTMKinds() {
+		start := time.Now()
+		row, err := core.Fig4Row(fs, combos, kind, cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		results[kind] = row
+		if *dump != "" {
+			if err := dumpRow(*dump, kind, row); err != nil {
+				log.Fatal(err)
+			}
+		}
+		mcells, pcells := []string{string(kind)}, []string{string(kind)}
+		for _, r := range row {
+			mcells = append(mcells, fmt.Sprintf("%.3f", r.Stats.MedianMS))
+			pcells = append(pcells, fmt.Sprintf("%.3f", r.Stats.P99MS))
+			if r.Stats.Incomplete > 0 {
+				log.Printf("warning: %s × %s left %d flows incomplete", r.Combo, kind, r.Stats.Incomplete)
+			}
+		}
+		median.AddRow(mcells...)
+		p99.AddRow(pcells...)
+		log.Printf("%-14s done in %v (%d flows per combo)", kind, time.Since(start).Round(time.Millisecond), row[0].Flows)
+	}
+
+	fmt.Println("(a) Median FCT (ms)")
+	fmt.Println(median.String())
+	fmt.Println("(b) 99th percentile FCT (ms)")
+	fmt.Println(p99.String())
+
+	if *svgOut != "" {
+		if err := os.MkdirAll(*svgOut, 0o755); err != nil {
+			log.Fatal(err)
+		}
+		labels := make([]string, len(combos))
+		for i, c := range combos {
+			labels[i] = c.Label
+		}
+		for _, panel := range []struct {
+			file, title string
+			pick        func(core.FCTResult) float64
+		}{
+			{"fig4a.svg", "(a) Median FCT (ms)", func(r core.FCTResult) float64 { return r.Stats.MedianMS }},
+			{"fig4b.svg", "(b) 99th percentile FCT (ms)", func(r core.FCTResult) float64 { return r.Stats.P99MS }},
+		} {
+			var groups []viz.BarGroup
+			for _, kind := range core.AllTMKinds() {
+				g := viz.BarGroup{Label: string(kind)}
+				for _, r := range results[kind] {
+					g.Values = append(g.Values, panel.pick(r))
+				}
+				groups = append(groups, g)
+			}
+			svg, err := viz.GroupedBars(panel.title, "FCT (ms)", labels, groups)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if err := os.WriteFile(filepath.Join(*svgOut, panel.file), []byte(svg), 0o644); err != nil {
+				log.Fatal(err)
+			}
+		}
+		log.Printf("wrote fig4a.svg and fig4b.svg to %s", *svgOut)
+	}
+
+	if *claim {
+		ls := results[core.TMFBSkewed][0].Stats
+		best := results[core.TMFBSkewed][1].Stats // DRing su2
+		if rrg := results[core.TMFBSkewed][2].Stats; rrg.P99MS < best.P99MS {
+			best = rrg
+		}
+		fmt.Printf("§6.1 claim check (FB-skewed, p99): leaf-spine %.3fms vs best flat %.3fms → %.2f× lower\n",
+			ls.P99MS, best.P99MS, ls.P99MS/best.P99MS)
+	}
+	os.Exit(0)
+}
+
+// dumpRow writes one per-flow FCT CSV per combo for a workload.
+func dumpRow(dir string, kind core.TMKind, row []core.FCTResult) error {
+	for _, r := range row {
+		name := fmt.Sprintf("%s_%s.csv", kind, sanitize(r.Combo))
+		f, err := os.Create(filepath.Join(dir, name))
+		if err != nil {
+			return err
+		}
+		if err := trace.WriteFCTs(f, r.RawFlows, r.RawFCTNS); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func sanitize(s string) string {
+	out := make([]rune, 0, len(s))
+	for _, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '-', r == '_':
+			out = append(out, r)
+		case r == ' ', r == '(', r == ')':
+			// dropped
+		default:
+			out = append(out, '_')
+		}
+	}
+	return string(out)
+}

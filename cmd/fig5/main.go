@@ -1,0 +1,122 @@
+// Command fig5 regenerates Figure 5 of "Spineless Data Centers": heatmaps
+// of throughput(DRing)/throughput(leaf-spine) across the C-S model, for
+// small and large C/S values and for both ECMP and Shortest-Union(2)
+// routing (four panels), using the max-min fair flow-level model with
+// long-running flows (§6.2).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"os"
+	"path/filepath"
+
+	"spineless/internal/core"
+	"spineless/internal/viz"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("fig5: ")
+	var (
+		paper   = flag.Bool("paper", false, "full-scale §5.1 fabrics (C,S up to 1400 as in the paper)")
+		scale   = flag.Int("scale", 4, "scale-down factor for the default run")
+		seed    = flag.Int64("seed", 1, "random seed")
+		density = flag.Int("flows", 2, "long-running flows per host (sampling density)")
+		csv     = flag.Bool("csv", false, "emit CSV instead of ASCII heatmaps")
+		svgOut  = flag.String("svg", "", "write fig5a..fig5d SVG heatmaps into this directory")
+	)
+	flag.Parse()
+	if *svgOut != "" {
+		if err := os.MkdirAll(*svgOut, 0o755); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	rng := rand.New(rand.NewSource(*seed))
+	var fs *core.FabricSet
+	var err error
+	if *paper {
+		fs, err = core.PaperFabrics(rng)
+	} else {
+		fs, err = core.ScaledFabrics(*scale, rng)
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("fabrics: %v vs %v (seed=%d)\n\n", fs.DRing, fs.LeafSpine, *seed)
+
+	// Tick grids: the paper sweeps 20..260 (small) and 200..1400 (large) at
+	// full scale; scaled runs shrink proportionally to the server count.
+	// C and S must pack into disjoint rack sets, so their sum stays below
+	// the host count with rack-granularity slack (the paper's 1400+1400
+	// against 2988 servers leaves the same margin).
+	hostCap := min(fs.DRing.Servers(), fs.LeafSpine.Servers())
+	small := gridTicks(hostCap/150+1, hostCap/12, 5)
+	large := gridTicks(hostCap/15, hostCap*45/100, 5)
+
+	cfg := core.DefaultThroughputConfig()
+	cfg.Seed = *seed
+	cfg.FlowsPerHost = *density
+
+	panels := []struct {
+		name   string
+		file   string
+		scheme string
+		ticks  []int
+	}{
+		{"(a) small values, ECMP", "fig5a.svg", "ecmp", small},
+		{"(b) small values, shortest-union(2)", "fig5b.svg", "su2", small},
+		{"(c) large values, ECMP", "fig5c.svg", "ecmp", large},
+		{"(d) large values, shortest-union(2)", "fig5d.svg", "su2", large},
+	}
+	for _, p := range panels {
+		dr, err := core.NewCombo("DRing", fs.DRing, p.scheme)
+		if err != nil {
+			log.Fatal(err)
+		}
+		ls, err := core.NewCombo("leaf-spine", fs.LeafSpine, "ecmp")
+		if err != nil {
+			log.Fatal(err)
+		}
+		h, err := core.CSRatioHeatmap(dr, ls, p.ticks, p.ticks, cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		h.Title = fmt.Sprintf("%s — throughput(DRing %s)/throughput(leaf-spine ecmp)", p.name, p.scheme)
+		if *csv {
+			fmt.Printf("# %s\n%s\n", h.Title, h.CSV())
+		} else {
+			fmt.Println(h.String())
+		}
+		if *svgOut != "" {
+			svg, err := viz.HeatmapSVG(h.Title, h.XLabel, h.YLabel, h.XTicks, h.YTicks, h.Cells)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if err := os.WriteFile(filepath.Join(*svgOut, p.file), []byte(svg), 0o644); err != nil {
+				log.Fatal(err)
+			}
+		}
+	}
+	if *svgOut != "" {
+		log.Printf("wrote fig5a..d SVGs to %s", *svgOut)
+	}
+}
+
+// gridTicks returns n evenly spaced integers in [lo, hi].
+func gridTicks(lo, hi, n int) []int {
+	if lo < 1 {
+		lo = 1
+	}
+	if hi <= lo {
+		hi = lo + n
+	}
+	out := make([]int, n)
+	for i := range out {
+		out[i] = lo + (hi-lo)*i/(n-1)
+	}
+	return out
+}

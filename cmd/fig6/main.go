@@ -1,0 +1,115 @@
+// Command fig6 regenerates Figure 6 of "Spineless Data Centers": the
+// effect of scale on the DRing. For each supernode count it builds the
+// §6.3 DRing (6 ToRs per supernode, 60-port switches, 36 server links) and
+// an equipment-matched RRG, runs uniform traffic through the packet
+// simulator, and reports p99FCT(DRing)/p99FCT(RRG) — the ratio that climbs
+// above 1 as the ring grows.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"time"
+
+	"spineless/internal/core"
+	"spineless/internal/metrics"
+	"spineless/internal/viz"
+	"spineless/internal/workload"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("fig6: ")
+	var (
+		sweep  = flag.String("supernodes", "7,9,11,13,15", "comma-separated supernode counts (paper: 42..90 racks)")
+		tors   = flag.Int("tors", 6, "ToRs per supernode (§6.3 uses 6)")
+		ports  = flag.Int("ports", 60, "switch radix (§6.3 uses 60)")
+		scheme = flag.String("scheme", "ecmp", "routing scheme for both fabrics (ecmp, su2, ...)")
+		util   = flag.Float64("util", 0.5, "offered load per server as a fraction of half its NIC rate")
+		window = flag.Float64("window", 0.004, "flow arrival window, seconds")
+		seed   = flag.Int64("seed", 1, "random seed")
+		flows  = flag.Int("maxflows", 0, "cap on flows per point (0 = uncapped; capping skews per-server load across the sweep)")
+		svgOut = flag.String("svg", "", "write fig6.svg into this directory")
+	)
+	flag.Parse()
+
+	counts, err := parseInts(*sweep)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg := core.DefaultScaleConfig()
+	cfg.TorsPerSupernode = *tors
+	cfg.Ports = *ports
+	cfg.Scheme = *scheme
+	cfg.FCT.Util = *util
+	cfg.FCT.WindowSec = *window
+	cfg.FCT.Seed = *seed
+	cfg.FCT.MaxFlows = *flows
+	cfg.FCT.Sizes = workload.PaperFlowSizes()
+
+	fmt.Printf("DRing(%d ToRs/supernode, %d ports) vs equipment-matched RRG, uniform traffic, %s routing, seed=%d\n\n",
+		*tors, *ports, *scheme, *seed)
+	var t metrics.Table
+	t.AddRow("supernodes", "racks", "servers", "p99 FCT(DRing)/FCT(RRG)", "median ratio")
+	var xs, p99s, medians []float64
+	for _, m := range counts {
+		start := time.Now()
+		pts, err := core.ScaleSweep([]int{m}, cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		p := pts[0]
+		t.AddRow(
+			strconv.Itoa(p.Supernodes),
+			strconv.Itoa(p.Racks),
+			strconv.Itoa(p.Servers),
+			fmt.Sprintf("%.3f", p.Ratio),
+			fmt.Sprintf("%.3f", p.MedianRatio),
+		)
+		xs = append(xs, float64(p.Racks))
+		p99s = append(p99s, p.Ratio)
+		medians = append(medians, p.MedianRatio)
+		log.Printf("m=%d done in %v", m, time.Since(start).Round(time.Millisecond))
+	}
+	fmt.Println(t.String())
+	fmt.Println("ratio > 1 means the DRing's tail FCT is worse than the expander's (§6.3).")
+
+	if *svgOut != "" {
+		if err := os.MkdirAll(*svgOut, 0o755); err != nil {
+			log.Fatal(err)
+		}
+		svg, err := viz.Lines("Effect of scale: DRing vs equivalent RRG (uniform traffic)",
+			"racks", "FCT(DRing)/FCT(RRG)", []viz.Series{
+				{Name: "p99", X: xs, Y: p99s},
+				{Name: "median", X: xs, Y: medians},
+			})
+		if err != nil {
+			log.Fatal(err)
+		}
+		path := filepath.Join(*svgOut, "fig6.svg")
+		if err := os.WriteFile(path, []byte(svg), 0o644); err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("wrote %s", path)
+	}
+}
+
+func parseInts(s string) ([]int, error) {
+	var out []int
+	for _, f := range strings.Split(s, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil {
+			return nil, fmt.Errorf("bad supernode count %q", f)
+		}
+		if v < 5 {
+			return nil, fmt.Errorf("supernode count %d < 5", v)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}

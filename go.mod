@@ -1,0 +1,3 @@
+module spineless
+
+go 1.22

@@ -1,0 +1,220 @@
+package bgp
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Route is one node's converged state for a destination prefix.
+type Route struct {
+	// ASPathLen is the length of the best AS-path (number of AS entries,
+	// including prepends and the originator).
+	ASPathLen int
+	// ASPath is the canonical best path (lexicographically smallest among
+	// equal-length bests), listing router ids, prepends included.
+	ASPath []int
+	// NextHops are the virtual nodes whose advertisements tied for best —
+	// the ECMP set ("maximum-paths" with equal AS-path lengths).
+	NextHops []NodeID
+}
+
+// Rib is the converged routing state: Rib[node][dstRouter].
+type Rib map[NodeID][]Route
+
+const inf = 1 << 30
+
+// Converge runs synchronous path-vector iterations until a fixpoint: every
+// round, every node advertises its single best path per prefix to its
+// inbound peers (with per-session prepending); receivers drop paths that
+// contain their own AS (BGP loop prevention) and keep all equal-best
+// advertisements as ECMP next hops. It returns the converged RIB and the
+// number of rounds taken.
+func (n *Network) Converge() (Rib, int, error) {
+	return n.converge(n.freshState())
+}
+
+// ConvergeFrom reconverges starting from a previous RIB — the §7 failure
+// question: after links fail (the Network is built on the failed fabric but
+// nodes still hold prev's routes), how many rounds until the protocol
+// settles? prev entries for vanished nodes are ignored; local prefixes are
+// re-originated.
+func (n *Network) ConvergeFrom(prev Rib) (Rib, int, error) {
+	state := n.freshState()
+	nr := n.Topo.N()
+	for _, node := range n.Nodes() {
+		old, ok := prev[node]
+		if !ok || len(old) != nr {
+			continue
+		}
+		for d, r := range old {
+			if node.VRF == n.K && d == node.Router {
+				continue // keep the fresh origination
+			}
+			if r.ASPathLen < 0 {
+				continue
+			}
+			state[node][d] = entry{
+				len:      r.ASPathLen,
+				path:     append([]int(nil), r.ASPath...),
+				nextHops: append([]NodeID(nil), r.NextHops...),
+			}
+		}
+	}
+	return n.converge(state)
+}
+
+func (n *Network) freshState() map[NodeID][]entry {
+	nr := n.Topo.N()
+	state := make(map[NodeID][]entry, n.K*nr)
+	for _, node := range n.Nodes() {
+		es := make([]entry, nr)
+		for d := range es {
+			es[d].len = inf
+		}
+		if node.VRF == n.K {
+			// Host interfaces live in VRF K: originate the rack prefix.
+			es[node.Router] = entry{len: 1, path: []int{node.Router}}
+		}
+		state[node] = es
+	}
+	return state
+}
+
+func (n *Network) converge(state map[NodeID][]entry) (Rib, int, error) {
+	nr := n.Topo.N()
+	maxRounds := 4*n.K*nr + 16
+	for round := 1; round <= maxRounds; round++ {
+		changed := false
+		next := make(map[NodeID][]entry, len(state))
+		for _, node := range n.Nodes() {
+			cur := state[node]
+			es := make([]entry, nr)
+			copy(es, cur)
+			for d := 0; d < nr; d++ {
+				if node.VRF == n.K && d == node.Router {
+					continue // originated locally; never replaced
+				}
+				best := inf
+				var bestPath []int
+				var hops []NodeID
+				for _, si := range n.inbound[node] {
+					s := n.Sessions[si]
+					adv := state[s.To][d]
+					if adv.len >= inf {
+						continue
+					}
+					// Sender prepends its own AS 1+Prepend times.
+					cand := adv.len + 1 + s.Prepend
+					if containsRouter(adv.path, node.Router) || s.To.Router == node.Router {
+						continue // AS-path loop
+					}
+					if cand < best {
+						best = cand
+						bestPath = prependPath(s.To.Router, 1+s.Prepend, adv.path)
+						hops = []NodeID{s.To}
+					} else if cand == best {
+						p := prependPath(s.To.Router, 1+s.Prepend, adv.path)
+						if lexLessInts(p, bestPath) {
+							bestPath = p
+						}
+						hops = append(hops, s.To)
+					}
+				}
+				sort.Slice(hops, func(a, b int) bool {
+					if hops[a].Router != hops[b].Router {
+						return hops[a].Router < hops[b].Router
+					}
+					return hops[a].VRF < hops[b].VRF
+				})
+				ne := entry{len: best, path: bestPath, nextHops: hops}
+				if !entryEqual(cur[d], ne) {
+					changed = true
+				}
+				es[d] = ne
+			}
+			next[node] = es
+		}
+		state = next
+		if !changed {
+			rib := make(Rib, len(state))
+			for node, es := range state {
+				rs := make([]Route, nr)
+				for d, e := range es {
+					if e.len >= inf {
+						rs[d] = Route{ASPathLen: -1}
+						continue
+					}
+					// nextHops are already sorted by the round computation.
+					rs[d] = Route{ASPathLen: e.len, ASPath: e.path, NextHops: append([]NodeID(nil), e.nextHops...)}
+				}
+				rib[node] = rs
+			}
+			return rib, round, nil
+		}
+	}
+	return nil, maxRounds, fmt.Errorf("bgp: no convergence after %d rounds", maxRounds)
+}
+
+func containsRouter(path []int, r int) bool {
+	for _, p := range path {
+		if p == r {
+			return true
+		}
+	}
+	return false
+}
+
+func prependPath(router, times int, rest []int) []int {
+	out := make([]int, 0, times+len(rest))
+	for i := 0; i < times; i++ {
+		out = append(out, router)
+	}
+	return append(out, rest...)
+}
+
+func lexLessInts(a, b []int) bool {
+	for i := 0; i < len(a) && i < len(b); i++ {
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return len(a) < len(b)
+}
+
+// entry is one node's working route for one prefix during convergence.
+type entry struct {
+	len      int
+	path     []int // router ids, nearest first
+	nextHops []NodeID
+}
+
+func entryEqual(a, b entry) bool {
+	if a.len != b.len || len(a.path) != len(b.path) || len(a.nextHops) != len(b.nextHops) {
+		return false
+	}
+	for i := range a.path {
+		if a.path[i] != b.path[i] {
+			return false
+		}
+	}
+	for i := range a.nextHops {
+		if a.nextHops[i] != b.nextHops[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Distance returns the converged routing distance (AS-path length minus the
+// originator entry) from (VRF K, src) to dst's prefix: Theorem 1 says this
+// equals max(L, K). It returns -1 if the prefix is unreachable.
+func (r Rib) Distance(n *Network, src, dst int) int {
+	if src == dst {
+		return 0
+	}
+	e := r[NodeID{src, n.K}][dst]
+	if e.ASPathLen < 0 {
+		return -1
+	}
+	return e.ASPathLen - 1
+}

@@ -1,0 +1,84 @@
+package core
+
+import (
+	"fmt"
+
+	"spineless/internal/routing"
+	"spineless/internal/topology"
+	"spineless/internal/workload"
+)
+
+// AdaptiveConfig controls the §7 coarse-grained adaptive composition.
+type AdaptiveConfig struct {
+	// K is the Shortest-Union K used for hot pairs.
+	K int
+	// HotFactor marks a rack pair hot when its demand exceeds HotFactor ×
+	// the mean positive pair demand. R2R-like concentration trips it; A2A
+	// never does.
+	HotFactor float64
+}
+
+// DefaultAdaptiveConfig uses SU(2) for pairs at ≥4× the mean demand.
+func DefaultAdaptiveConfig() AdaptiveConfig { return AdaptiveConfig{K: 2, HotFactor: 4} }
+
+// NewAdaptiveCombo builds the adaptive scheme for a fabric under a known
+// coarse demand matrix: hot rack pairs (by demand concentration) route via
+// Shortest-Union(K) for diversity, everything else via plain ECMP for path
+// length. Pairs that are physically adjacent and carry any demand also
+// count as hot, since ECMP gives them exactly one path (§4).
+func NewAdaptiveCombo(label string, g *topology.Graph, m *workload.Matrix, cfg AdaptiveConfig) (Combo, error) {
+	if cfg.K < 2 {
+		return Combo{}, fmt.Errorf("core: adaptive K must be >= 2")
+	}
+	if cfg.HotFactor <= 0 {
+		return Combo{}, fmt.Errorf("core: adaptive HotFactor must be positive")
+	}
+	racks := g.Racks()
+	if m.N() != len(racks) {
+		return Combo{}, fmt.Errorf("core: matrix has %d racks, fabric has %d", m.N(), len(racks))
+	}
+	rackIdx := make(map[int]int, len(racks))
+	for i, r := range racks {
+		rackIdx[r] = i
+	}
+	// Mean positive demand.
+	sum, n := 0.0, 0
+	for i := range m.W {
+		for j := range m.W {
+			if m.W[i][j] > 0 {
+				sum += m.W[i][j]
+				n++
+			}
+		}
+	}
+	if n == 0 {
+		return Combo{}, fmt.Errorf("core: empty demand matrix")
+	}
+	mean := sum / float64(n)
+
+	hot := make(map[[2]int]bool)
+	for i := range m.W {
+		for j := range m.W {
+			w := m.W[i][j]
+			if w <= 0 {
+				continue
+			}
+			si, sj := racks[i], racks[j]
+			if w >= cfg.HotFactor*mean || g.HasLink(si, sj) {
+				hot[[2]int{si, sj}] = true
+			}
+		}
+	}
+
+	ecmp := routing.NewECMP(g)
+	su, err := routing.NewShortestUnion(g, cfg.K)
+	if err != nil {
+		return Combo{}, err
+	}
+	scheme := routing.NewAdaptive(
+		fmt.Sprintf("adaptive(ecmp→su%d, hot=%d pairs)", cfg.K, len(hot)),
+		ecmp, su,
+		func(src, dst int) bool { return hot[[2]int{src, dst}] },
+	)
+	return Combo{Label: label, Fabric: g, Scheme: scheme}, nil
+}

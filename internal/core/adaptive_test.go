@@ -1,0 +1,152 @@
+package core
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"spineless/internal/routing"
+	"spineless/internal/workload"
+)
+
+func TestNewAdaptiveComboValidation(t *testing.T) {
+	fs := tinyFabrics(t)
+	m := workload.Uniform(len(fs.DRing.Racks()))
+	if _, err := NewAdaptiveCombo("x", fs.DRing, m, AdaptiveConfig{K: 1, HotFactor: 4}); err == nil {
+		t.Fatal("K=1 accepted")
+	}
+	if _, err := NewAdaptiveCombo("x", fs.DRing, m, AdaptiveConfig{K: 2, HotFactor: 0}); err == nil {
+		t.Fatal("zero HotFactor accepted")
+	}
+	if _, err := NewAdaptiveCombo("x", fs.DRing, workload.Uniform(3), DefaultAdaptiveConfig()); err == nil {
+		t.Fatal("rack mismatch accepted")
+	}
+}
+
+func TestAdaptiveUsesSUForHotPairs(t *testing.T) {
+	fs := tinyFabrics(t)
+	g := fs.DRing
+	racks := g.Racks()
+	// R2R: the single demand pair is hot by construction.
+	var src, dst int
+	for _, r := range racks {
+		for _, q := range racks {
+			if r != q && g.HasLink(r, q) {
+				src, dst = r, q
+			}
+		}
+	}
+	m := workload.NewMatrix("r2r", len(racks))
+	ri := map[int]int{}
+	for i, r := range racks {
+		ri[r] = i
+	}
+	m.W[ri[src]][ri[dst]] = 1
+
+	combo, err := NewAdaptiveCombo("adaptive", g, m, DefaultAdaptiveConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(combo.Scheme.Name(), "adaptive") {
+		t.Fatalf("name = %q", combo.Scheme.Name())
+	}
+	// Hot adjacent pair gets SU(2)'s multiple paths.
+	if n := len(combo.Scheme.PathSet(src, dst, 0)); n < 2 {
+		t.Fatalf("hot adjacent pair has %d paths, want SU(2) diversity", n)
+	}
+	// A cold non-adjacent pair keeps shortest-only paths (ECMP).
+	ecmp := routing.NewECMP(g)
+	for _, r := range racks {
+		for _, q := range racks {
+			if r == q || g.HasLink(r, q) || (r == src && q == dst) {
+				continue
+			}
+			got := combo.Scheme.PathSet(r, q, 0)
+			want := ecmp.PathSet(r, q, 0)
+			if len(got) != len(want) {
+				t.Fatalf("cold pair %d→%d: adaptive %d paths, ecmp %d", r, q, len(got), len(want))
+			}
+			return
+		}
+	}
+}
+
+func TestAdaptiveMatchesECMPOnUniform(t *testing.T) {
+	fs := tinyFabrics(t)
+	g := fs.DRing
+	m := workload.Uniform(len(g.Racks()))
+	combo, err := NewAdaptiveCombo("adaptive", g, m, DefaultAdaptiveConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Under uniform demand nothing exceeds 4× the mean; only physically
+	// adjacent pairs are escalated. Distant pairs behave exactly like ECMP.
+	ecmp := routing.NewECMP(g)
+	racks := g.Racks()
+	checked := 0
+	for _, r := range racks {
+		for _, q := range racks {
+			if r == q || g.HasLink(r, q) {
+				continue
+			}
+			for f := uint64(0); f < 5; f++ {
+				a := combo.Scheme.Path(r, q, f)
+				b := ecmp.Path(r, q, f)
+				if len(a) != len(b) {
+					t.Fatalf("pair %d→%d flow %d: adaptive len %d, ecmp len %d", r, q, f, len(a), len(b))
+				}
+			}
+			checked++
+		}
+	}
+	if checked == 0 {
+		t.Fatal("no non-adjacent pairs checked")
+	}
+}
+
+// TestAdaptiveBestOfBothFCT pins the §7 hypothesis: the adaptive scheme
+// tracks the better of ECMP and SU(2) on the patterns where they diverge.
+func TestAdaptiveBestOfBothFCT(t *testing.T) {
+	fs := tinyFabrics(t)
+	g := fs.DRing
+	cfg := fastFCTConfig()
+
+	run := func(kind TMKind, combo Combo) float64 {
+		t.Helper()
+		res, err := RunFCT(fs, combo, kind, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Stats.P99MS
+	}
+	for _, kind := range []TMKind{TMA2A, TMR2R} {
+		// RunFCT regenerates the TM internally from cfg.Seed; build the
+		// adaptive hot-pair analysis from the identical stream so the hot
+		// set matches the simulated demand.
+		m, _, err := BuildTM(kind, g, rand.New(rand.NewSource(cfg.Seed)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		adaptive, err := NewAdaptiveCombo("adaptive", g, m, DefaultAdaptiveConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		ecmp, err := NewCombo("ecmp", g, "ecmp")
+		if err != nil {
+			t.Fatal(err)
+		}
+		su2, err := NewCombo("su2", g, "su2")
+		if err != nil {
+			t.Fatal(err)
+		}
+		pa := run(kind, adaptive)
+		pe := run(kind, ecmp)
+		ps := run(kind, su2)
+		best := min(pe, ps)
+		worst := max(pe, ps)
+		if pa > worst*1.3 {
+			t.Fatalf("%s: adaptive p99 %.3f worse than both ECMP %.3f and SU2 %.3f", kind, pa, pe, ps)
+		}
+		t.Logf("%s: adaptive %.3f, ecmp %.3f, su2 %.3f (best %.3f)", kind, pa, pe, ps, best)
+	}
+}

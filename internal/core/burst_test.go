@@ -1,0 +1,104 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"spineless/internal/netsim"
+	"spineless/internal/workload"
+)
+
+// TestBurstFlatDrainsFaster pins the §3 microburst claim: a flat network's
+// bursting rack drains through all its network links, so its drain time
+// beats the leaf-spine's oversubscribed uplinks by roughly the UDF.
+func TestBurstFlatDrainsFaster(t *testing.T) {
+	fs := tinyFabrics(t)
+	spec := workload.BurstSpec{
+		BurstBytes:   24 << 20,
+		Fanout:       4,
+		FlowsPerDest: 4,
+	}
+	net := netsim.DefaultConfig()
+	net.MaxSimTime = 10 * time.Second
+
+	ls, err := NewCombo("leaf-spine", fs.LeafSpine, "ecmp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	flat, err := NewCombo("rrg", fs.RRG, "su2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	lsRes, err := RunBurst(ls, spec, net, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	flatRes, err := RunBurst(flat, spec, net, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lsRes.Incomplete != 0 || flatRes.Incomplete != 0 {
+		t.Fatalf("incomplete burst flows: ls=%d flat=%d", lsRes.Incomplete, flatRes.Incomplete)
+	}
+	// Leaf-spine drain floor: burst bytes over the rack's y×10G uplinks.
+	// Flat drain floor: the same bytes over ≈2y×10G links. Expect a clear
+	// gap, at least 1.3× (the full UDF=2 needs perfect balancing).
+	ratio := lsRes.DrainMS / flatRes.DrainMS
+	if ratio < 1.3 {
+		t.Fatalf("flat drain advantage = %.2f× (ls %.2fms vs flat %.2fms), want > 1.3×",
+			ratio, lsRes.DrainMS, flatRes.DrainMS)
+	}
+	if ratio > 4 {
+		t.Fatalf("implausible drain advantage %.2f×", ratio)
+	}
+	// Sanity: leaf-spine drain cannot beat its uplink serialization floor.
+	floorMS := float64(spec.BurstBytes) * 8 / (float64(fs.LeafSpineSpec.Y) * 10e9) * 1e3
+	if lsRes.DrainMS < floorMS*0.95 {
+		t.Fatalf("leaf-spine drained %.2fms, below its physical floor %.2fms", lsRes.DrainMS, floorMS)
+	}
+}
+
+func TestBurstValidation(t *testing.T) {
+	fs := tinyFabrics(t)
+	combo, err := NewCombo("x", fs.DRing, "ecmp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	net := netsim.DefaultConfig()
+	if _, err := RunBurst(combo, workload.BurstSpec{BurstBytes: 1, Fanout: 99, FlowsPerDest: 1}, net, 1); err == nil {
+		t.Fatal("fanout beyond racks accepted")
+	}
+	if _, err := RunBurst(combo, workload.BurstSpec{BurstBytes: 0, Fanout: 2, FlowsPerDest: 1}, net, 1); err == nil {
+		t.Fatal("empty burst accepted")
+	}
+}
+
+func TestBurstBackgroundSplit(t *testing.T) {
+	fs := tinyFabrics(t)
+	spec := workload.DefaultBurst()
+	spec.BurstBytes = 1 << 20
+	spec.Fanout = 3
+	spec.BackgroundFlows = 10
+	flows, burstN, err := workload.Burst(fs.DRing, spec, int64(time.Millisecond), testRNG())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if burstN != spec.Fanout*spec.FlowsPerDest {
+		t.Fatalf("burstN = %d", burstN)
+	}
+	if len(flows) != burstN+10 {
+		t.Fatalf("total flows = %d", len(flows))
+	}
+	srcRack := fs.DRing.RackOf(flows[0].Src)
+	for i := 0; i < burstN; i++ {
+		if flows[i].StartNS != 0 {
+			t.Fatal("burst flow does not start at t=0")
+		}
+		if fs.DRing.RackOf(flows[i].Src) != srcRack {
+			t.Fatal("burst flows from multiple racks")
+		}
+		if fs.DRing.RackOf(flows[i].Dst) == srcRack {
+			t.Fatal("burst flow targets its own rack")
+		}
+	}
+}

@@ -1,0 +1,71 @@
+package core
+
+import (
+	"fmt"
+
+	"spineless/internal/routing"
+	"spineless/internal/topology"
+)
+
+// Combo pairs a fabric with a routing scheme, labeled as in Figure 4.
+type Combo struct {
+	Label  string
+	Fabric *topology.Graph
+	Scheme routing.Scheme
+}
+
+// NewCombo builds a combo from a fabric and a scheme name: "ecmp",
+// "shortest-union(K)" / "suK", "kspK", "vlb", or the path-count-weighted
+// variants "wcmp" (weighted ECMP) and "wsuK".
+func NewCombo(label string, g *topology.Graph, scheme string) (Combo, error) {
+	var s routing.Scheme
+	var err error
+	switch {
+	case scheme == "ecmp":
+		s = routing.NewECMP(g)
+	case scheme == "wcmp":
+		s = routing.NewWeighted(routing.NewECMP(g))
+	case scheme == "vlb":
+		s = routing.NewVLB(g)
+	case len(scheme) == 3 && scheme[:2] == "su":
+		s, err = routing.NewShortestUnion(g, int(scheme[2]-'0'))
+	case len(scheme) == 4 && scheme[:3] == "wsu":
+		var fib *routing.Fib
+		fib, err = routing.NewShortestUnion(g, int(scheme[3]-'0'))
+		if err == nil {
+			s = routing.NewWeighted(fib)
+		}
+	case len(scheme) == 4 && scheme[:3] == "ksp":
+		s, err = routing.NewKSP(g, int(scheme[3]-'0'))
+	default:
+		err = fmt.Errorf("core: unknown scheme %q", scheme)
+	}
+	if err != nil {
+		return Combo{}, err
+	}
+	return Combo{Label: label, Fabric: g, Scheme: s}, nil
+}
+
+// PaperCombos returns the five Figure 4 combinations: leaf-spine(ecmp),
+// DRing(shortest-union(2)), RRG(shortest-union(2)), DRing(ecmp), RRG(ecmp).
+func PaperCombos(fs *FabricSet) ([]Combo, error) {
+	specs := []struct {
+		label, scheme string
+		g             *topology.Graph
+	}{
+		{"leaf-spine (ecmp)", "ecmp", fs.LeafSpine},
+		{"DRing (shortest-union(2))", "su2", fs.DRing},
+		{"RRG (shortest-union(2))", "su2", fs.RRG},
+		{"DRing (ecmp)", "ecmp", fs.DRing},
+		{"RRG (ecmp)", "ecmp", fs.RRG},
+	}
+	out := make([]Combo, 0, len(specs))
+	for _, sp := range specs {
+		c, err := NewCombo(sp.label, sp.g, sp.scheme)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, c)
+	}
+	return out, nil
+}

@@ -1,0 +1,121 @@
+// Package core orchestrates the paper's experiments over the substrates:
+// it builds the §5.1 equipment-matched fabric trio (leaf-spine, RRG, DRing),
+// wires the §5.2 workloads to them, and runs the FCT (Figure 4), C-S
+// throughput (Figure 5), scale (Figure 6) and UDF (§3.1) studies.
+package core
+
+import (
+	"fmt"
+	"math/rand"
+
+	"spineless/internal/topology"
+)
+
+// FabricSet is the §5.1 trio: a leaf-spine baseline plus the two flat
+// networks built with the same equipment — a random regular graph (the
+// Jellyfish rewiring) and a DRing.
+type FabricSet struct {
+	LeafSpineSpec topology.LeafSpineSpec
+	DRingSpec     topology.DRingSpec
+
+	LeafSpine *topology.Graph
+	RRG       *topology.Graph
+	DRing     *topology.Graph
+}
+
+// BuildFabrics constructs the trio from a leaf-spine spec. The RRG is the
+// flat rewiring of the exact same equipment (§5.1); the DRing uses the same
+// switches arranged into the given number of supernodes (the paper uses 12,
+// yielding 80 racks and ≈2988 servers against leaf-spine(48,16)). Pass
+// supernodes <= 0 to pick the count that best matches the leaf-spine's
+// server total, which is how the paper chose 12.
+func BuildFabrics(spec topology.LeafSpineSpec, supernodes int, rng *rand.Rand) (*FabricSet, error) {
+	ls, err := topology.LeafSpine(spec)
+	if err != nil {
+		return nil, fmt.Errorf("core: leaf-spine: %w", err)
+	}
+	rrg, err := topology.Flatten(ls, rng)
+	if err != nil {
+		return nil, fmt.Errorf("core: flat rewiring: %w", err)
+	}
+	rrg.Name = fmt.Sprintf("rrg(%s)", ls.Name)
+	if supernodes <= 0 {
+		supernodes = AutoSupernodes(spec)
+	}
+	dspec := topology.BalancedDRing(spec.Switches(), supernodes, spec.Radix())
+	// Feasibility: every ToR needs at least one server port. Grow the ring
+	// (smaller supernodes → smaller network degree) until it fits.
+	for dspec.Validate() != nil && supernodes < spec.Switches() {
+		supernodes++
+		dspec = topology.BalancedDRing(spec.Switches(), supernodes, spec.Radix())
+	}
+	dr, err := topology.DRing(dspec)
+	if err != nil {
+		return nil, fmt.Errorf("core: dring: %w", err)
+	}
+	return &FabricSet{
+		LeafSpineSpec: spec,
+		DRingSpec:     dspec,
+		LeafSpine:     ls,
+		RRG:           rrg,
+		DRing:         dr,
+	}, nil
+}
+
+// PaperFabrics builds the exact §5.1 configuration: leaf-spine(48,16) and
+// its 12-supernode DRing and RRG rewirings.
+func PaperFabrics(rng *rand.Rand) (*FabricSet, error) {
+	return BuildFabrics(topology.PaperLeafSpine, 12, rng)
+}
+
+// AutoSupernodes picks the supernode count whose DRing server total best
+// matches the leaf-spine's: servers per ToR is radix − 4·(switches/m), so
+// m ≈ 4·switches / (radix − flatServersPerSwitch). For leaf-spine(48,16)
+// this yields the paper's 12.
+func AutoSupernodes(spec topology.LeafSpineSpec) int {
+	n := float64(spec.Switches())
+	flatPerSwitch := float64(spec.TotalServers()) / n
+	spare := float64(spec.Radix()) - flatPerSwitch
+	if spare <= 0 {
+		return spec.Switches()
+	}
+	m := int(4*n/spare + 0.5)
+	if m < 5 {
+		m = 5
+	}
+	if m > spec.Switches() {
+		m = spec.Switches()
+	}
+	return m
+}
+
+// ScaledFabrics builds a proportionally scaled-down trio that preserves the
+// 3:1 oversubscription and the DRing geometry, for fast tests and benches.
+// factor 4 yields leaf-spine(12,4): 16 racks, 192 servers, 20 switches.
+func ScaledFabrics(factor int, rng *rand.Rand) (*FabricSet, error) {
+	if factor < 1 || 48%factor != 0 || 16%factor != 0 {
+		return nil, fmt.Errorf("core: scale factor %d must divide 48 and 16", factor)
+	}
+	spec := topology.LeafSpineSpec{X: 48 / factor, Y: 16 / factor}
+	return BuildFabrics(spec, 0, rng)
+}
+
+// MatchedRRG builds a random regular graph using the same equipment as an
+// existing flat fabric: identical switch count, radix, per-switch server
+// counts, and network degree distribution. Used by the Figure 6 scale sweep
+// to compare a DRing to its "equivalent RRG".
+func MatchedRRG(g *topology.Graph, rng *rand.Rand) (*topology.Graph, error) {
+	degrees := make([]int, g.N())
+	for v := range degrees {
+		degrees[v] = g.NetworkDegree(v)
+	}
+	r, err := topology.RRG(fmt.Sprintf("rrg-matched(%s)", g.Name), degrees, rng)
+	if err != nil {
+		return nil, err
+	}
+	r.Ports = g.Ports
+	for v := 0; v < g.N(); v++ {
+		r.SetServers(v, g.ServerCount(v))
+	}
+	return r, nil
+}

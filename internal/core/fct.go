@@ -1,0 +1,158 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+
+	"spineless/internal/metrics"
+	"spineless/internal/netsim"
+	"spineless/internal/workload"
+)
+
+// FCTConfig parameterizes a Figure 4-style flow-completion-time experiment.
+type FCTConfig struct {
+	// Util is the offered load as a fraction of the reference leaf-spine's
+	// spine capacity (the paper uses 0.30, §6.1).
+	Util float64
+	// WindowSec is the arrival window over which flows start.
+	WindowSec float64
+	// Sizes is the flow-size distribution (§5.2's Pareto by default).
+	Sizes workload.SizeDist
+	// Net is the packet-level simulator configuration.
+	Net netsim.Config
+	// MaxFlows caps the generated flow count (0 = uncapped) so scaled-down
+	// studies stay tractable.
+	MaxFlows int
+	// Seed drives all sampling.
+	Seed int64
+	// CapacityBps overrides the reference capacity the offered load is
+	// scaled against. 0 derives it from the fabric set's leaf-spine spec
+	// (the paper's spine-utilization rule).
+	CapacityBps float64
+	// KeepFlows retains the generated flow set and raw per-flow FCTs in the
+	// result (for CSV export); off by default to keep results small.
+	KeepFlows bool
+}
+
+// DefaultFCTConfig mirrors §5/§6: 30% spine load, Pareto(100KB, 1.05)
+// flows, 10 Gbps TCP fabric.
+func DefaultFCTConfig() FCTConfig {
+	return FCTConfig{
+		Util:      0.30,
+		WindowSec: 0.02,
+		Sizes:     workload.PaperFlowSizes(),
+		Net:       netsim.DefaultConfig(),
+		Seed:      1,
+	}
+}
+
+// FCTResult is one (combo, workload) cell of Figure 4.
+type FCTResult struct {
+	Combo    string
+	TM       TMKind
+	Flows    int
+	Stats    metrics.FCTStats
+	SimStats netsim.Stats
+	// RawFlows and RawFCTNS are populated only when FCTConfig.KeepFlows is
+	// set, for per-flow export via the trace package.
+	RawFlows []workload.Flow
+	RawFCTNS []int64
+}
+
+// RunFCT generates the workload on the combo's fabric, scales it to the
+// reference utilization (with the §6.1 participation scale-down for R2R and
+// C-S patterns), and measures flow completion times in the packet simulator.
+//
+// The reference capacity comes from fs.LeafSpineSpec so every fabric in the
+// set sees the identical offered load, exactly as the paper applies one TM
+// across topologies.
+func RunFCT(fs *FabricSet, combo Combo, kind TMKind, cfg FCTConfig) (FCTResult, error) {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	m, placement, err := BuildTM(kind, combo.Fabric, rng)
+	if err != nil {
+		return FCTResult{}, err
+	}
+	res, err := runFCT(fs, combo, m, placement, cfg, rng)
+	if err != nil {
+		return FCTResult{}, err
+	}
+	res.TM = kind
+	return res, nil
+}
+
+// RunFCTMatrix is RunFCT with an explicit rack-level matrix (e.g. an
+// operator trace imported via the trace package) instead of a built-in
+// workload kind.
+func RunFCTMatrix(fs *FabricSet, combo Combo, m *workload.Matrix, cfg FCTConfig) (FCTResult, error) {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	res, err := runFCT(fs, combo, m, nil, cfg, rng)
+	if err != nil {
+		return FCTResult{}, err
+	}
+	res.TM = TMKind(m.Name)
+	return res, nil
+}
+
+func runFCT(fs *FabricSet, combo Combo, m *workload.Matrix, placement []int, cfg FCTConfig, rng *rand.Rand) (FCTResult, error) {
+	if cfg.Sizes == nil {
+		cfg.Sizes = workload.PaperFlowSizes()
+	}
+	capacity := cfg.CapacityBps
+	if capacity == 0 {
+		capacity = workload.SpineCapacityBps(fs.LeafSpineSpec, cfg.Net.LinkRateBps)
+	}
+	// §6.1: patterns where only a few racks participate are scaled down by
+	// sendingRacks/totalRacks. For full-participation matrices (A2A, the FB
+	// workloads) the factor is exactly 1, so applying it unconditionally
+	// reproduces the paper's rule.
+	load := cfg.Util * workload.ParticipationScale(m)
+	count := workload.FlowCountForLoad(capacity, load, cfg.Sizes.Mean(), cfg.WindowSec)
+	if count < 1 {
+		count = 1
+	}
+	if cfg.MaxFlows > 0 && count > cfg.MaxFlows {
+		count = cfg.MaxFlows
+	}
+	flows, err := workload.GenerateFlows(combo.Fabric, m, workload.GenConfig{
+		Flows:     count,
+		Sizes:     cfg.Sizes,
+		WindowNS:  int64(cfg.WindowSec * 1e9),
+		Placement: placement,
+	}, rng)
+	if err != nil {
+		return FCTResult{}, err
+	}
+	sim, err := netsim.New(combo.Fabric, combo.Scheme, cfg.Net)
+	if err != nil {
+		return FCTResult{}, err
+	}
+	res, err := sim.Run(flows)
+	if err != nil {
+		return FCTResult{}, err
+	}
+	out := FCTResult{
+		Combo:    combo.Label,
+		Flows:    len(flows),
+		Stats:    metrics.SummarizeFCT(res.FCTNS),
+		SimStats: res.Stats,
+	}
+	if cfg.KeepFlows {
+		out.RawFlows = flows
+		out.RawFCTNS = res.FCTNS
+	}
+	return out, nil
+}
+
+// Fig4Row runs one workload across all combos — one group of bars in
+// Figure 4 — and returns results in combo order.
+func Fig4Row(fs *FabricSet, combos []Combo, kind TMKind, cfg FCTConfig) ([]FCTResult, error) {
+	out := make([]FCTResult, 0, len(combos))
+	for _, c := range combos {
+		r, err := RunFCT(fs, c, kind, cfg)
+		if err != nil {
+			return nil, fmt.Errorf("core: %s × %s: %w", c.Label, kind, err)
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}

@@ -1,0 +1,98 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+
+	"spineless/internal/topology"
+)
+
+// ScalePoint is one x-position of Figure 6: a DRing of the given size
+// against its equipment-matched RRG under uniform traffic.
+type ScalePoint struct {
+	Supernodes int
+	Racks      int
+	Servers    int
+	// Ratio is p99FCT(DRing)/p99FCT(RRG); > 1 means the DRing is worse.
+	Ratio float64
+	// MedianRatio is the same for median FCT (extra context; not in the paper).
+	MedianRatio float64
+}
+
+// ScaleConfig parameterizes the Figure 6 sweep. The DRing geometry is the
+// §6.3 configuration: TorsPerSupernode switches of Ports ports each, with
+// Ports−4×TorsPerSupernode server links per ToR.
+type ScaleConfig struct {
+	TorsPerSupernode int
+	Ports            int
+	Scheme           string // routing scheme name for both fabrics
+	FCT              FCTConfig
+}
+
+// DefaultScaleConfig uses the paper's §6.3 geometry (6 ToRs per supernode,
+// 60 ports, 36 server links) with ECMP, which suffices for uniform traffic.
+func DefaultScaleConfig() ScaleConfig {
+	return ScaleConfig{TorsPerSupernode: 6, Ports: 60, Scheme: "ecmp", FCT: DefaultFCTConfig()}
+}
+
+// ScaleSweep measures how the DRing degrades with scale (Figure 6): for
+// each supernode count it builds the DRing and an equipment-matched RRG,
+// runs the uniform workload on both, and reports the p99 FCT ratio.
+func ScaleSweep(supernodeCounts []int, cfg ScaleConfig) ([]ScalePoint, error) {
+	out := make([]ScalePoint, 0, len(supernodeCounts))
+	for _, m := range supernodeCounts {
+		pt, err := scalePoint(m, cfg)
+		if err != nil {
+			return nil, fmt.Errorf("core: scale m=%d: %w", m, err)
+		}
+		out = append(out, pt)
+	}
+	return out, nil
+}
+
+func scalePoint(m int, cfg ScaleConfig) (ScalePoint, error) {
+	spec := topology.Uniform(m, cfg.TorsPerSupernode, cfg.Ports)
+	dr, err := topology.DRing(spec)
+	if err != nil {
+		return ScalePoint{}, err
+	}
+	rng := rand.New(rand.NewSource(cfg.FCT.Seed))
+	rrg, err := MatchedRRG(dr, rng)
+	if err != nil {
+		return ScalePoint{}, err
+	}
+	// Keep per-server offered load constant across sweep points: the
+	// capacity reference scales with the fabric (half the aggregate server
+	// bandwidth), so Util=0.3 offers each server 15% of its NIC — enough
+	// that the DRing's growing mean path length turns into queueing at
+	// large m while the expander stays comfortable, which is the §6.3
+	// effect. (A fixed reference, or a flow cap, would skew per-server
+	// load across sweep points and invert the trend.)
+	fctCfg := cfg.FCT
+	fctCfg.CapacityBps = float64(dr.Servers()) * fctCfg.Net.LinkRateBps / 2
+	fs := &FabricSet{LeafSpineSpec: topology.LeafSpineSpec{X: 1, Y: 1}} // unused with CapacityBps set
+
+	drCombo, err := NewCombo("dring", dr, cfg.Scheme)
+	if err != nil {
+		return ScalePoint{}, err
+	}
+	rrgCombo, err := NewCombo("rrg", rrg, cfg.Scheme)
+	if err != nil {
+		return ScalePoint{}, err
+	}
+	drRes, err := RunFCT(fs, drCombo, TMA2A, fctCfg)
+	if err != nil {
+		return ScalePoint{}, err
+	}
+	rrgRes, err := RunFCT(fs, rrgCombo, TMA2A, fctCfg)
+	if err != nil {
+		return ScalePoint{}, err
+	}
+	return ScalePoint{
+		Supernodes:  m,
+		Racks:       dr.N(),
+		Servers:     dr.Servers(),
+		Ratio:       drRes.Stats.P99MS / rrgRes.Stats.P99MS,
+		MedianRatio: drRes.Stats.MedianMS / rrgRes.Stats.MedianMS,
+	}, nil
+}

@@ -1,0 +1,92 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+
+	"spineless/internal/topology"
+	"spineless/internal/workload"
+)
+
+// TMKind names the seven Figure 4 traffic matrices (§5.2).
+type TMKind string
+
+// The Figure 4 workloads, left to right.
+const (
+	TMA2A         TMKind = "A2A"
+	TMR2R         TMKind = "R2R"
+	TMCSSkewed    TMKind = "CS-skewed" // C = n/4, S = n/16 in the C-S model
+	TMFBSkewed    TMKind = "FB-skewed"
+	TMFBUniform   TMKind = "FB-uniform"
+	TMFBSkewedRP  TMKind = "FB-skewed-RP"
+	TMFBUniformRP TMKind = "FB-uniform-RP"
+)
+
+// AllTMKinds lists the Figure 4 workloads in presentation order.
+func AllTMKinds() []TMKind {
+	return []TMKind{TMA2A, TMR2R, TMCSSkewed, TMFBSkewed, TMFBUniform, TMFBSkewedRP, TMFBUniformRP}
+}
+
+// BuildTM instantiates a workload kind on a fabric: the rack-level matrix
+// plus an optional server placement permutation (non-nil only for the
+// random-placement variants).
+func BuildTM(kind TMKind, g *topology.Graph, rng *rand.Rand) (*workload.Matrix, []int, error) {
+	racks := len(g.Racks())
+	switch kind {
+	case TMA2A:
+		return workload.Uniform(racks), nil, nil
+	case TMR2R:
+		// Prefer a directly connected rack pair: rack-to-rack between
+		// adjacent racks is the pattern where ECMP's single shortest path
+		// hurts flat networks (§4, §7) — in a leaf-spine no racks are
+		// adjacent and any pair behaves identically.
+		a, b := r2rPair(g, rng)
+		return workload.RackToRack(racks, a, b), nil, nil
+	case TMCSSkewed:
+		n := g.Servers()
+		cs, err := workload.CSModel(g, max(1, n/4), max(1, n/16), rng)
+		if err != nil {
+			return nil, nil, fmt.Errorf("core: %s: %w", kind, err)
+		}
+		return workload.CSMatrix(g, cs), nil, nil
+	case TMFBSkewed:
+		return workload.FBSkewed(racks, rng), nil, nil
+	case TMFBUniform:
+		return workload.FBUniform(racks, rng), nil, nil
+	case TMFBSkewedRP:
+		return workload.FBSkewed(racks, rng), workload.RandomPlacement(g, rng), nil
+	case TMFBUniformRP:
+		return workload.FBUniform(racks, rng), workload.RandomPlacement(g, rng), nil
+	default:
+		return nil, nil, fmt.Errorf("core: unknown TM kind %q", kind)
+	}
+}
+
+// r2rPair picks the rack-to-rack endpoints (as rack indices): a uniform
+// random adjacent rack pair when the fabric has one, else a uniform random
+// distinct pair.
+func r2rPair(g *topology.Graph, rng *rand.Rand) (int, int) {
+	racks := g.Racks()
+	idx := make(map[int]int, len(racks))
+	for i, r := range racks {
+		idx[r] = i
+	}
+	var adjacent [][2]int
+	for i, r := range racks {
+		for _, q := range racks {
+			if q != r && g.HasLink(r, q) {
+				adjacent = append(adjacent, [2]int{i, idx[q]})
+			}
+		}
+	}
+	if len(adjacent) > 0 {
+		p := adjacent[rng.Intn(len(adjacent))]
+		return p[0], p[1]
+	}
+	a := rng.Intn(len(racks))
+	b := rng.Intn(len(racks) - 1)
+	if b >= a {
+		b++
+	}
+	return a, b
+}

@@ -1,0 +1,121 @@
+// Package dynamic explores the paper's §7 "Dynamic Networks based on flat
+// topologies" question: reconfigurable fabrics (RotorNet [19], Opera [18])
+// impose transient topologies with their moving links — Opera makes every
+// transient an expander; the paper asks "how much improvement can be gained
+// by reconfiguring links to obtain another flat network instead of an
+// expander" at small scale.
+//
+// This package models the idealized time-slotted view: server attachment is
+// fixed, the inter-ToR wiring changes per slot according to a Schedule, and
+// long-running throughput is the slot average of the max-min allocation
+// (reconfiguration penalties are out of scope — both contenders pay them
+// equally). Two schedules are provided: rotating DRings (each slot is a
+// DRing with shifted ring offsets) and rotor-style rotating matchings (each
+// slot is a union of perfect matchings — transient expander-ish wiring).
+package dynamic
+
+import (
+	"fmt"
+
+	"spineless/internal/flowsim"
+	"spineless/internal/routing"
+	"spineless/internal/topology"
+)
+
+// Schedule yields the fabric present during each time slot. Every slot must
+// keep the same switch count and per-switch server counts so host ids are
+// stable across slots.
+type Schedule interface {
+	Name() string
+	Slots() int
+	Slot(i int) *topology.Graph
+}
+
+// Static wraps a fixed fabric as a one-slot schedule.
+type Static struct{ G *topology.Graph }
+
+// Name implements Schedule.
+func (s Static) Name() string { return "static(" + s.G.Name + ")" }
+
+// Slots implements Schedule.
+func (s Static) Slots() int { return 1 }
+
+// Slot implements Schedule.
+func (s Static) Slot(int) *topology.Graph { return s.G }
+
+// Validate checks the cross-slot invariants of any schedule.
+func Validate(s Schedule) error {
+	if s.Slots() < 1 {
+		return fmt.Errorf("dynamic: schedule %q has no slots", s.Name())
+	}
+	base := s.Slot(0)
+	for i := 0; i < s.Slots(); i++ {
+		g := s.Slot(i)
+		if err := g.Validate(); err != nil {
+			return fmt.Errorf("dynamic: slot %d: %w", i, err)
+		}
+		if g.N() != base.N() {
+			return fmt.Errorf("dynamic: slot %d has %d switches, slot 0 has %d", i, g.N(), base.N())
+		}
+		for v := 0; v < g.N(); v++ {
+			if g.ServerCount(v) != base.ServerCount(v) {
+				return fmt.Errorf("dynamic: slot %d moves servers at switch %d", i, v)
+			}
+		}
+	}
+	return nil
+}
+
+// AvgThroughput routes the host pairs in every slot with the named scheme
+// ("ecmp" or "suK") rebuilt per slot, and returns the slot-averaged
+// aggregate max-min throughput plus the per-slot values.
+func AvgThroughput(s Schedule, pairs [][2]int, scheme string, cfg flowsim.Config) (avg float64, perSlot []float64, err error) {
+	if err := Validate(s); err != nil {
+		return 0, nil, err
+	}
+	perSlot = make([]float64, s.Slots())
+	for i := 0; i < s.Slots(); i++ {
+		g := s.Slot(i)
+		sch, err := buildScheme(g, scheme)
+		if err != nil {
+			return 0, nil, err
+		}
+		_, agg, err := flowsim.Throughput(g, sch, pairs, cfg)
+		if err != nil {
+			return 0, nil, fmt.Errorf("dynamic: slot %d: %w", i, err)
+		}
+		perSlot[i] = agg
+		avg += agg
+	}
+	avg /= float64(s.Slots())
+	return avg, perSlot, nil
+}
+
+// AvgPathLength returns the slot-averaged mean rack-to-rack hop distance —
+// the latency proxy for short flows, which must use whatever paths the
+// current slot offers (Opera's latency argument).
+func AvgPathLength(s Schedule) (float64, error) {
+	if err := Validate(s); err != nil {
+		return 0, err
+	}
+	sum := 0.0
+	for i := 0; i < s.Slots(); i++ {
+		st, err := topology.RackPathStats(s.Slot(i))
+		if err != nil {
+			return 0, fmt.Errorf("dynamic: slot %d: %w", i, err)
+		}
+		sum += st.Mean
+	}
+	return sum / float64(s.Slots()), nil
+}
+
+func buildScheme(g *topology.Graph, name string) (routing.Scheme, error) {
+	switch {
+	case name == "ecmp":
+		return routing.NewECMP(g), nil
+	case len(name) == 3 && name[:2] == "su":
+		return routing.NewShortestUnion(g, int(name[2]-'0'))
+	default:
+		return nil, fmt.Errorf("dynamic: unknown scheme %q", name)
+	}
+}

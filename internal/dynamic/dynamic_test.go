@@ -1,0 +1,205 @@
+package dynamic
+
+import (
+	"math/rand"
+	"testing"
+
+	"spineless/internal/flowsim"
+	"spineless/internal/topology"
+)
+
+func TestStaticSchedule(t *testing.T) {
+	g, err := topology.DRing(topology.Uniform(6, 2, 20))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := Static{G: g}
+	if err := Validate(s); err != nil {
+		t.Fatal(err)
+	}
+	if s.Slots() != 1 || s.Slot(0) != g {
+		t.Fatal("static schedule broken")
+	}
+}
+
+func TestRotatingDRingSlots(t *testing.T) {
+	spec := topology.Uniform(8, 2, 24)
+	r, err := NewRotatingDRing(spec, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Slots() != 3 { // ⌈(8−2)/2⌉ = 3
+		t.Fatalf("slots = %d, want 3", r.Slots())
+	}
+	if err := Validate(r); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < r.Slots(); i++ {
+		g := r.Slot(i)
+		if !g.Connected() {
+			t.Fatalf("slot %d disconnected", i)
+		}
+		// Port budget preserved: every ToR has the same total degree.
+		for v := 0; v < g.N(); v++ {
+			if g.NetworkDegree(v)+g.ServerCount(v) != spec.Ports {
+				t.Fatalf("slot %d switch %d port budget broken", i, v)
+			}
+		}
+	}
+	// Slot 0 must be the plain DRing wiring.
+	plain, err := topology.DRing(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g0 := r.Slot(0)
+	for a := 0; a < plain.N(); a++ {
+		for b := a + 1; b < plain.N(); b++ {
+			if plain.HasLink(a, b) != g0.HasLink(a, b) {
+				t.Fatalf("slot 0 differs from static DRing at %d-%d", a, b)
+			}
+		}
+	}
+}
+
+func TestRotatingDRingCoversAllSupernodePairs(t *testing.T) {
+	spec := topology.Uniform(9, 1, 20)
+	r, err := NewRotatingDRing(spec, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With 1 ToR per supernode, ToR id == supernode. Union of adjacency
+	// over all slots must cover every pair.
+	covered := map[[2]int]bool{}
+	for i := 0; i < r.Slots(); i++ {
+		g := r.Slot(i)
+		for a := 0; a < g.N(); a++ {
+			for b := a + 1; b < g.N(); b++ {
+				if g.HasLink(a, b) {
+					covered[[2]int{a, b}] = true
+				}
+			}
+		}
+	}
+	want := 9 * 8 / 2
+	if len(covered) != want {
+		t.Fatalf("covered %d supernode pairs, want %d", len(covered), want)
+	}
+}
+
+func TestRotorMatchingsStructure(t *testing.T) {
+	r, err := NewRotorMatchings(10, 3, 5, 10, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Validate(r); err != nil {
+		t.Fatal(err)
+	}
+	if r.Slots() != 3 { // ⌈9/3⌉
+		t.Fatalf("slots = %d, want 3", r.Slots())
+	}
+	for i := 0; i < r.Slots(); i++ {
+		g := r.Slot(i)
+		for v := 0; v < g.N(); v++ {
+			if g.NetworkDegree(v) != 3 {
+				t.Fatalf("slot %d switch %d degree %d, want 3", i, v, g.NetworkDegree(v))
+			}
+		}
+	}
+	// Union over all slots covers every ToR pair exactly once (9 rounds of
+	// the circle method are a 1-factorization of K10).
+	covered := map[[2]int]int{}
+	for i := 0; i < r.Slots(); i++ {
+		g := r.Slot(i)
+		for a := 0; a < g.N(); a++ {
+			for _, b := range g.Neighbors(a) {
+				if a < b {
+					covered[[2]int{a, b}]++
+				}
+			}
+		}
+	}
+	if len(covered) != 45 {
+		t.Fatalf("covered %d pairs, want 45", len(covered))
+	}
+	for pair, c := range covered {
+		if c != 1 {
+			t.Fatalf("pair %v wired %d times across the cycle", pair, c)
+		}
+	}
+}
+
+func TestRotorMatchingsValidation(t *testing.T) {
+	if _, err := NewRotorMatchings(7, 2, 2, 8, 0); err == nil {
+		t.Fatal("odd ToR count accepted")
+	}
+	if _, err := NewRotorMatchings(8, 0, 2, 8, 0); err == nil {
+		t.Fatal("zero degree accepted")
+	}
+	if _, err := NewRotorMatchings(8, 4, 6, 8, 0); err == nil {
+		t.Fatal("port overflow accepted")
+	}
+}
+
+func TestTournamentRoundIsPerfectMatching(t *testing.T) {
+	n := 12
+	for r := 0; r < n-1; r++ {
+		pairs := tournamentRound(n, r)
+		if len(pairs) != n/2 {
+			t.Fatalf("round %d has %d pairs", r, len(pairs))
+		}
+		seen := map[int]bool{}
+		for _, p := range pairs {
+			if p[0] == p[1] || seen[p[0]] || seen[p[1]] {
+				t.Fatalf("round %d not a matching: %v", r, pairs)
+			}
+			seen[p[0]] = true
+			seen[p[1]] = true
+		}
+		if len(seen) != n {
+			t.Fatalf("round %d covers %d ToRs", r, len(seen))
+		}
+	}
+}
+
+func TestAvgThroughputAndPathLength(t *testing.T) {
+	spec := topology.Uniform(8, 2, 24)
+	rot, err := NewRotatingDRing(spec, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := rot.Slot(0)
+	rng := rand.New(rand.NewSource(4))
+	var pairs [][2]int
+	for i := 0; i < 64; i++ {
+		a, b := rng.Intn(g.Servers()), rng.Intn(g.Servers())
+		if g.RackOf(a) == g.RackOf(b) {
+			continue
+		}
+		pairs = append(pairs, [2]int{a, b})
+	}
+	avg, perSlot, err := AvgThroughput(rot, pairs, "su2", flowsim.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if avg <= 0 || len(perSlot) != rot.Slots() {
+		t.Fatalf("avg=%v slots=%d", avg, len(perSlot))
+	}
+	// Static one-slot schedule must equal its own slot value.
+	sAvg, _, err := AvgThroughput(Static{G: g}, pairs, "su2", flowsim.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sAvg != perSlot[0] {
+		t.Fatalf("static avg %v != slot-0 value %v", sAvg, perSlot[0])
+	}
+	pl, err := AvgPathLength(rot)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pl < 1 || pl > 3 {
+		t.Fatalf("avg path length = %v", pl)
+	}
+	if _, _, err := AvgThroughput(rot, pairs, "warp", flowsim.DefaultConfig()); err == nil {
+		t.Fatal("unknown scheme accepted")
+	}
+}

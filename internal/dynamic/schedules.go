@@ -1,0 +1,156 @@
+package dynamic
+
+import (
+	"fmt"
+
+	"spineless/internal/topology"
+)
+
+// RotatingDRing is a schedule whose every slot is a DRing over the same
+// ToRs with shifted ring offsets: slot s connects supernode i to
+// i + (1+2s) and i + (2+2s) (mod m). Over ⌈(m−2)/2⌉ slots every supernode
+// pair becomes adjacent at least once — the "reconfigure into another flat
+// network" contender of §7.
+type RotatingDRing struct {
+	spec  topology.DRingSpec
+	slots int
+	cache []*topology.Graph
+}
+
+// NewRotatingDRing builds the schedule; slots ≤ 0 selects full coverage
+// (⌈(m−2)/2⌉ slots).
+func NewRotatingDRing(spec topology.DRingSpec, slots int) (*RotatingDRing, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	m := spec.Supernodes()
+	if slots <= 0 {
+		slots = (m - 1) / 2
+	}
+	r := &RotatingDRing{spec: spec, slots: slots, cache: make([]*topology.Graph, slots)}
+	for s := 0; s < slots; s++ {
+		g, err := dringOffsets(spec, 1+2*s, 2+2*s)
+		if err != nil {
+			return nil, fmt.Errorf("dynamic: slot %d: %w", s, err)
+		}
+		r.cache[s] = g
+	}
+	return r, nil
+}
+
+// Name implements Schedule.
+func (r *RotatingDRing) Name() string {
+	return fmt.Sprintf("rotating-dring(m=%d)", r.spec.Supernodes())
+}
+
+// Slots implements Schedule.
+func (r *RotatingDRing) Slots() int { return r.slots }
+
+// Slot implements Schedule.
+func (r *RotatingDRing) Slot(i int) *topology.Graph { return r.cache[i] }
+
+// dringOffsets builds a DRing variant whose ring offsets are o1 and o2
+// instead of 1 and 2. Offsets are reduced mod m; if they coincide (or
+// mirror, o2 ≡ m−o1) the wiring doubles into parallel links, preserving the
+// port budget.
+func dringOffsets(spec topology.DRingSpec, o1, o2 int) (*topology.Graph, error) {
+	m := spec.Supernodes()
+	o1, o2 = ((o1-1)%(m-1))+1, ((o2-1)%(m-1))+1 // keep in [1, m-1]
+	g := topology.New(fmt.Sprintf("dring-off(%d,%d)", o1, o2), spec.Switches(), spec.Ports)
+	base := make([]int, m+1)
+	for i, n := range spec.Sizes {
+		base[i+1] = base[i] + n
+	}
+	for i := 0; i < m; i++ {
+		for _, off := range []int{o1, o2} {
+			j := (i + off) % m
+			if j == i {
+				return nil, fmt.Errorf("offset %d degenerates", off)
+			}
+			for a := base[i]; a < base[i+1]; a++ {
+				for b := base[j]; b < base[j+1]; b++ {
+					if err := g.AddLink(a, b); err != nil {
+						return nil, err
+					}
+				}
+			}
+		}
+	}
+	for v := 0; v < g.N(); v++ {
+		s := spec.Ports - g.NetworkDegree(v)
+		if s < 0 {
+			return nil, fmt.Errorf("offset pair (%d,%d) exceeds radix at ToR %d", o1, o2, v)
+		}
+		g.SetServers(v, s)
+	}
+	return g, nil
+}
+
+// RotorMatchings is a RotorNet-style schedule: every ToR has `degree`
+// network ports; slot s wires them as `degree` disjoint perfect matchings
+// drawn from the round-robin tournament rotation, so over N−1 rounds every
+// ToR pair is directly connected — transient expander-ish wiring.
+type RotorMatchings struct {
+	name  string
+	slots int
+	cache []*topology.Graph
+}
+
+// NewRotorMatchings builds the schedule on n ToRs (n even) with the given
+// per-ToR degree, serversPerTor and radix.
+func NewRotorMatchings(n, degree, serversPerTor, ports, slots int) (*RotorMatchings, error) {
+	if n < 2 || n%2 != 0 {
+		return nil, fmt.Errorf("dynamic: rotor needs an even ToR count, got %d", n)
+	}
+	if degree < 1 || degree >= n {
+		return nil, fmt.Errorf("dynamic: rotor degree %d infeasible", degree)
+	}
+	if degree+serversPerTor > ports {
+		return nil, fmt.Errorf("dynamic: degree %d + servers %d exceeds radix %d", degree, serversPerTor, ports)
+	}
+	if slots <= 0 {
+		slots = (n - 1 + degree - 1) / degree // full pair coverage
+	}
+	r := &RotorMatchings{name: fmt.Sprintf("rotor(n=%d,d=%d)", n, degree), slots: slots}
+	round := 0
+	for s := 0; s < slots; s++ {
+		g := topology.New(fmt.Sprintf("rotor-slot%d", s), n, ports)
+		for v := 0; v < n; v++ {
+			g.SetServers(v, serversPerTor)
+		}
+		for d := 0; d < degree; d++ {
+			for _, pair := range tournamentRound(n, round%(n-1)) {
+				if err := g.AddLink(pair[0], pair[1]); err != nil {
+					return nil, err
+				}
+			}
+			round++
+		}
+		r.cache = append(r.cache, g)
+	}
+	return r, nil
+}
+
+// tournamentRound returns the perfect matching of round r in the circle
+// method: ToR n−1 is fixed, ToRs 0..n−2 rotate.
+func tournamentRound(n, r int) [][2]int {
+	m := n - 1
+	out := make([][2]int, 0, n/2)
+	// Fixed player pairs with position r.
+	out = append(out, [2]int{n - 1, r})
+	for k := 1; k <= (n-2)/2; k++ {
+		a := (r + k) % m
+		b := (r - k + m) % m
+		out = append(out, [2]int{a, b})
+	}
+	return out
+}
+
+// Name implements Schedule.
+func (r *RotorMatchings) Name() string { return r.name }
+
+// Slots implements Schedule.
+func (r *RotorMatchings) Slots() int { return r.slots }
+
+// Slot implements Schedule.
+func (r *RotorMatchings) Slot(i int) *topology.Graph { return r.cache[i] }

@@ -1,0 +1,203 @@
+// Package flowsim computes max-min fair throughput allocations for
+// long-running flows over a fabric — the fluid counterpart of the packet
+// simulator, used for the paper's C-S throughput experiments (§6.2), where
+// all flows are long-running (as in the Jellyfish methodology [23]).
+//
+// Each flow occupies its source host's uplink, its destination host's
+// downlink, and every directed network link along its switch path. Rates
+// are assigned by progressive filling: all flows grow together until some
+// resource saturates, flows through it freeze, and the rest keep growing.
+package flowsim
+
+import (
+	"fmt"
+	"math"
+
+	"spineless/internal/routing"
+	"spineless/internal/topology"
+)
+
+// Config sets the fabric's link speeds in bits per second.
+type Config struct {
+	LinkRateBps float64 // switch-to-switch links
+	HostRateBps float64 // server NICs; 0 means same as LinkRateBps
+}
+
+// DefaultConfig is the paper's setup: 10 Gbps everywhere (§5.3).
+func DefaultConfig() Config { return Config{LinkRateBps: 10e9} }
+
+func (c Config) hostRate() float64 {
+	if c.HostRateBps > 0 {
+		return c.HostRateBps
+	}
+	return c.LinkRateBps
+}
+
+// PathFlow is a long-running flow pinned to a concrete switch path.
+type PathFlow struct {
+	Src, Dst int   // global server ids
+	Path     []int // switch path from Src's rack to Dst's rack (inclusive)
+}
+
+// MaxMin returns the max-min fair rate (bits/s) of every flow.
+func MaxMin(g *topology.Graph, flows []PathFlow, cfg Config) ([]float64, error) {
+	if cfg.LinkRateBps <= 0 {
+		return nil, fmt.Errorf("flowsim: non-positive link rate")
+	}
+	res := newResources(g, cfg)
+	// flowRes[i] lists the resource indices flow i crosses.
+	flowRes := make([][]int32, len(flows))
+	for i, f := range flows {
+		r, err := res.forFlow(g, f)
+		if err != nil {
+			return nil, fmt.Errorf("flowsim: flow %d: %w", i, err)
+		}
+		flowRes[i] = r
+	}
+	active := make([]int32, len(res.cap))
+	for _, rs := range flowRes {
+		for _, r := range rs {
+			active[r]++
+		}
+	}
+	rem := append([]float64(nil), res.cap...)
+	rates := make([]float64, len(flows))
+	frozen := make([]bool, len(flows))
+	remaining := len(flows)
+
+	for remaining > 0 {
+		// Smallest per-flow headroom across loaded resources.
+		inc := math.Inf(1)
+		for r, a := range active {
+			if a > 0 {
+				if h := rem[r] / float64(a); h < inc {
+					inc = h
+				}
+			}
+		}
+		if math.IsInf(inc, 1) {
+			break // remaining flows cross no resources (shouldn't happen)
+		}
+		for r, a := range active {
+			if a > 0 {
+				rem[r] -= inc * float64(a)
+			}
+		}
+		// Freeze flows crossing any saturated resource.
+		const eps = 1e-6
+		saturated := make([]bool, len(rem))
+		for r := range rem {
+			if active[r] > 0 && rem[r] <= eps*res.cap[r] {
+				saturated[r] = true
+			}
+		}
+		for i := range flows {
+			if frozen[i] {
+				continue
+			}
+			rates[i] += inc
+			for _, r := range flowRes[i] {
+				if saturated[r] {
+					frozen[i] = true
+					break
+				}
+			}
+			if frozen[i] {
+				for _, r := range flowRes[i] {
+					active[r]--
+				}
+				remaining--
+			}
+		}
+	}
+	return rates, nil
+}
+
+// resources indexes every capacity-bearing element: directed network links
+// (aggregated across parallel copies) plus one uplink and one downlink per
+// host that appears in a flow.
+type resources struct {
+	cap      []float64
+	linkIdx  map[[2]int]int32 // directed (u,v) → resource
+	hostUp   map[int]int32
+	hostDown map[int]int32
+	linkBps  float64
+	hostBps  float64
+}
+
+func newResources(g *topology.Graph, cfg Config) *resources {
+	r := &resources{
+		linkIdx:  make(map[[2]int]int32),
+		hostUp:   make(map[int]int32),
+		hostDown: make(map[int]int32),
+		linkBps:  cfg.LinkRateBps,
+		hostBps:  cfg.hostRate(),
+	}
+	for u := 0; u < g.N(); u++ {
+		mult := map[int]int{}
+		for _, v := range g.Neighbors(u) {
+			mult[v]++
+		}
+		for v, m := range mult {
+			r.linkIdx[[2]int{u, v}] = int32(len(r.cap))
+			r.cap = append(r.cap, float64(m)*cfg.LinkRateBps)
+		}
+	}
+	return r
+}
+
+func (r *resources) forFlow(g *topology.Graph, f PathFlow) ([]int32, error) {
+	if f.Src == f.Dst {
+		return nil, fmt.Errorf("flow from host %d to itself", f.Src)
+	}
+	if len(f.Path) == 0 {
+		return nil, fmt.Errorf("flow %d→%d has no path", f.Src, f.Dst)
+	}
+	if g.RackOf(f.Src) != f.Path[0] || g.RackOf(f.Dst) != f.Path[len(f.Path)-1] {
+		return nil, fmt.Errorf("path %v does not join racks of hosts %d and %d", f.Path, f.Src, f.Dst)
+	}
+	out := make([]int32, 0, len(f.Path)+1)
+	out = append(out, r.host(r.hostUp, f.Src))
+	for h := 0; h+1 < len(f.Path); h++ {
+		idx, ok := r.linkIdx[[2]int{f.Path[h], f.Path[h+1]}]
+		if !ok {
+			return nil, fmt.Errorf("path %v uses nonexistent link %d→%d", f.Path, f.Path[h], f.Path[h+1])
+		}
+		out = append(out, idx)
+	}
+	out = append(out, r.host(r.hostDown, f.Dst))
+	return out, nil
+}
+
+func (r *resources) host(m map[int]int32, h int) int32 {
+	if idx, ok := m[h]; ok {
+		return idx
+	}
+	idx := int32(len(r.cap))
+	r.cap = append(r.cap, r.hostBps)
+	m[h] = idx
+	return idx
+}
+
+// Throughput routes each (client, server) host pair with the given scheme
+// and returns the per-flow max-min rates plus their aggregate (bits/s).
+// Flow ids are the pair indices, so path selection is deterministic.
+func Throughput(g *topology.Graph, scheme routing.Scheme, pairs [][2]int, cfg Config) (rates []float64, aggregate float64, err error) {
+	flows := make([]PathFlow, len(pairs))
+	for i, p := range pairs {
+		srcRack, dstRack := g.RackOf(p[0]), g.RackOf(p[1])
+		path := scheme.Path(srcRack, dstRack, uint64(i))
+		if path == nil {
+			return nil, 0, fmt.Errorf("flowsim: no path between racks %d and %d", srcRack, dstRack)
+		}
+		flows[i] = PathFlow{Src: p[0], Dst: p[1], Path: path}
+	}
+	rates, err = MaxMin(g, flows, cfg)
+	if err != nil {
+		return nil, 0, err
+	}
+	for _, r := range rates {
+		aggregate += r
+	}
+	return rates, aggregate, nil
+}

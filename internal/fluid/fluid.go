@@ -1,0 +1,264 @@
+// Package fluid computes ideal-routing throughput under the fluid-flow
+// model used by the throughput literature the paper builds on (§2: Jyothi
+// et al. [13], Singla et al. [22]): traffic is infinitely divisible and a
+// centralized, optimal, fractional multipath routing carries it. The
+// maximum concurrent flow — the largest λ such that λ× the whole demand
+// matrix is simultaneously routable — is approximated with the
+// Fleischer/Garg–Könemann multiplicative-weights FPTAS, stdlib only.
+//
+// Comparing fluid λ against the throughput the oblivious schemes realize in
+// flowsim separates what the *topology* can do from what ECMP or
+// Shortest-Union(K) extracts from it.
+package fluid
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+
+	"spineless/internal/topology"
+)
+
+// Demand is one commodity: Amount units of demand from rack Src to rack Dst
+// (switch ids).
+type Demand struct {
+	Src, Dst int
+	Amount   float64
+}
+
+// Options tunes the approximation.
+type Options struct {
+	// Epsilon is the FPTAS accuracy knob; the returned λ is within ≈(1−3ε)
+	// of optimal. Default 0.1.
+	Epsilon float64
+	// LinkCapacity is the capacity of every directed network link (default 1;
+	// results scale linearly).
+	LinkCapacity float64
+	// MaxPhases bounds the iteration count as a safety stop. Default 4000.
+	MaxPhases int
+}
+
+func (o *Options) defaults() {
+	if o.Epsilon <= 0 || o.Epsilon >= 0.5 {
+		o.Epsilon = 0.1
+	}
+	if o.LinkCapacity <= 0 {
+		o.LinkCapacity = 1
+	}
+	if o.MaxPhases <= 0 {
+		o.MaxPhases = 4000
+	}
+}
+
+// MaxConcurrentFlow returns a feasible λ such that λ·Amount of every
+// demand can be routed simultaneously without exceeding any directed link
+// capacity, within the FPTAS guarantee of optimal. The flows themselves are
+// not materialized (only per-link totals are tracked internally).
+func MaxConcurrentFlow(g *topology.Graph, demands []Demand, opt Options) (float64, error) {
+	opt.defaults()
+	if len(demands) == 0 {
+		return 0, fmt.Errorf("fluid: no demands")
+	}
+	net, err := newNetwork(g, opt.LinkCapacity)
+	if err != nil {
+		return 0, err
+	}
+	for i, d := range demands {
+		if d.Src == d.Dst || d.Amount <= 0 {
+			return 0, fmt.Errorf("fluid: demand %d invalid (src=%d dst=%d amount=%v)", i, d.Src, d.Dst, d.Amount)
+		}
+		if d.Src < 0 || d.Src >= g.N() || d.Dst < 0 || d.Dst >= g.N() {
+			return 0, fmt.Errorf("fluid: demand %d out of range", i)
+		}
+	}
+
+	eps := opt.Epsilon
+	m := float64(len(net.cap))
+	delta := (1 + eps) * math.Pow((1+eps)*m, -1/eps)
+	length := make([]float64, len(net.cap))
+	for e := range length {
+		length[e] = delta / net.cap[e]
+	}
+	flow := make([]float64, len(net.cap))
+
+	dualDone := func() bool {
+		sum := 0.0
+		for e := range length {
+			sum += length[e] * net.cap[e]
+		}
+		return sum >= 1
+	}
+
+	// routed[k] accumulates commodity k's total routed flow across phases.
+	routed := make([]float64, len(demands))
+	for phases := 0; !dualDone() && phases < opt.MaxPhases; phases++ {
+		for k, d := range demands {
+			rem := d.Amount
+			for rem > 1e-15 && !dualDone() {
+				path, ok := net.shortestPath(d.Src, d.Dst, length)
+				if !ok {
+					return 0, fmt.Errorf("fluid: rack %d cannot reach %d", d.Src, d.Dst)
+				}
+				// Bottleneck-limited increment.
+				f := rem
+				for _, e := range path {
+					if net.cap[e] < f {
+						f = net.cap[e]
+					}
+				}
+				for _, e := range path {
+					flow[e] += f
+					length[e] *= 1 + eps*f/net.cap[e]
+				}
+				rem -= f
+				routed[k] += f
+			}
+		}
+	}
+	// Feasible scaling: scaling all flows by 1/overload respects every
+	// capacity, so λ = min_k routed_k/d_k scaled the same way is feasible —
+	// a strict lower bound on the optimum regardless of phase boundaries.
+	overload := 0.0
+	for e := range flow {
+		if o := flow[e] / net.cap[e]; o > overload {
+			overload = o
+		}
+	}
+	if overload == 0 {
+		return 0, fmt.Errorf("fluid: no flow routed")
+	}
+	lam := math.Inf(1)
+	for k, d := range demands {
+		if r := routed[k] / d.Amount; r < lam {
+			lam = r
+		}
+	}
+	return lam / overload, nil
+}
+
+// network indexes the directed links with aggregated parallel capacity.
+type network struct {
+	n    int
+	out  [][]arc // per switch: outgoing arcs
+	cap  []float64
+	head []int32 // arc → head switch
+}
+
+type arc struct {
+	id int32
+	to int32
+}
+
+func newNetwork(g *topology.Graph, linkCap float64) (*network, error) {
+	net := &network{n: g.N(), out: make([][]arc, g.N())}
+	for u := 0; u < g.N(); u++ {
+		mult := map[int]int{}
+		for _, v := range g.Neighbors(u) {
+			mult[v]++
+		}
+		// Deterministic order.
+		for v := 0; v < g.N(); v++ {
+			k, ok := mult[v]
+			if !ok {
+				continue
+			}
+			id := int32(len(net.cap))
+			net.cap = append(net.cap, float64(k)*linkCap)
+			net.head = append(net.head, int32(v))
+			net.out[u] = append(net.out[u], arc{id: id, to: int32(v)})
+		}
+	}
+	if len(net.cap) == 0 {
+		return nil, fmt.Errorf("fluid: fabric has no links")
+	}
+	return net, nil
+}
+
+// shortestPath runs Dijkstra under the given arc lengths, returning the arc
+// ids of one shortest src→dst path.
+func (n *network) shortestPath(src, dst int, length []float64) ([]int32, bool) {
+	dist := make([]float64, n.n)
+	for i := range dist {
+		dist[i] = math.Inf(1)
+	}
+	parentArc := make([]int32, n.n)
+	for i := range parentArc {
+		parentArc[i] = -1
+	}
+	parentNode := make([]int32, n.n)
+	dist[src] = 0
+	pq := &fheap{fitem{node: int32(src), dist: 0}}
+	for pq.Len() > 0 {
+		it := heap.Pop(pq).(fitem)
+		if it.dist > dist[it.node] {
+			continue
+		}
+		if int(it.node) == dst {
+			break
+		}
+		for _, a := range n.out[it.node] {
+			nd := it.dist + length[a.id]
+			if nd < dist[a.to] {
+				dist[a.to] = nd
+				parentArc[a.to] = a.id
+				parentNode[a.to] = it.node
+				heap.Push(pq, fitem{node: a.to, dist: nd})
+			}
+		}
+	}
+	if math.IsInf(dist[dst], 1) {
+		return nil, false
+	}
+	var path []int32
+	for v := int32(dst); int(v) != src; v = parentNode[v] {
+		path = append(path, parentArc[v])
+	}
+	// Reverse into src→dst order.
+	for i, j := 0, len(path)-1; i < j; i, j = i+1, j-1 {
+		path[i], path[j] = path[j], path[i]
+	}
+	return path, true
+}
+
+type fitem struct {
+	node int32
+	dist float64
+}
+
+type fheap []fitem
+
+func (h fheap) Len() int            { return len(h) }
+func (h fheap) Less(i, j int) bool  { return h[i].dist < h[j].dist }
+func (h fheap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *fheap) Push(x interface{}) { *h = append(*h, x.(fitem)) }
+func (h *fheap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}
+
+// MatrixDemands converts a rack-level workload matrix into commodities on
+// fabric g (skipping zero entries).
+func MatrixDemands(g *topology.Graph, w [][]float64) ([]Demand, error) {
+	racks := g.Racks()
+	if len(w) != len(racks) {
+		return nil, fmt.Errorf("fluid: matrix has %d racks, fabric has %d", len(w), len(racks))
+	}
+	var out []Demand
+	for i, row := range w {
+		if len(row) != len(racks) {
+			return nil, fmt.Errorf("fluid: ragged matrix row %d", i)
+		}
+		for j, v := range row {
+			if v > 0 {
+				out = append(out, Demand{Src: racks[i], Dst: racks[j], Amount: v})
+			}
+		}
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("fluid: empty demand matrix")
+	}
+	return out, nil
+}

@@ -1,0 +1,201 @@
+package fluid
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"spineless/internal/topology"
+)
+
+func almost(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestSingleLinkExact(t *testing.T) {
+	g := topology.New("pair", 2, 4)
+	if err := g.AddLink(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	// One unit of capacity, demand 2 → λ = 0.5.
+	lam, err := MaxConcurrentFlow(g, []Demand{{Src: 0, Dst: 1, Amount: 2}}, Options{Epsilon: 0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almost(lam, 0.5, 0.05) {
+		t.Fatalf("λ = %v, want ≈0.5", lam)
+	}
+}
+
+func TestParallelPathsAggregate(t *testing.T) {
+	// Diamond: 0→{1,2}→3, all unit links. Max flow 0→3 is 2; demand 1 → λ≈2.
+	g := topology.New("diamond", 4, 4)
+	for _, e := range [][2]int{{0, 1}, {0, 2}, {1, 3}, {2, 3}} {
+		if err := g.AddLink(e[0], e[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	lam, err := MaxConcurrentFlow(g, []Demand{{Src: 0, Dst: 3, Amount: 1}}, Options{Epsilon: 0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almost(lam, 2, 0.2) {
+		t.Fatalf("λ = %v, want ≈2", lam)
+	}
+}
+
+func TestTwoCommoditiesShareBottleneck(t *testing.T) {
+	// Path 0-1-2: commodities 0→2 and 1→2 share link 1→2 (cap 1).
+	g := topology.New("line", 3, 4)
+	if err := g.AddLink(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.AddLink(1, 2); err != nil {
+		t.Fatal(err)
+	}
+	lam, err := MaxConcurrentFlow(g, []Demand{
+		{Src: 0, Dst: 2, Amount: 1},
+		{Src: 1, Dst: 2, Amount: 1},
+	}, Options{Epsilon: 0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almost(lam, 0.5, 0.05) {
+		t.Fatalf("λ = %v, want ≈0.5", lam)
+	}
+}
+
+func TestCapacityScalesLinearly(t *testing.T) {
+	g := topology.New("pair", 2, 4)
+	if err := g.AddLink(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	d := []Demand{{Src: 0, Dst: 1, Amount: 1}}
+	l1, err := MaxConcurrentFlow(g, d, Options{Epsilon: 0.05, LinkCapacity: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l10, err := MaxConcurrentFlow(g, d, Options{Epsilon: 0.05, LinkCapacity: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almost(l10/l1, 10, 0.5) {
+		t.Fatalf("capacity scaling: %v vs %v", l1, l10)
+	}
+}
+
+func TestValidation(t *testing.T) {
+	g := topology.New("pair", 2, 4)
+	if err := g.AddLink(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := MaxConcurrentFlow(g, nil, Options{}); err == nil {
+		t.Fatal("empty demands accepted")
+	}
+	if _, err := MaxConcurrentFlow(g, []Demand{{Src: 0, Dst: 0, Amount: 1}}, Options{}); err == nil {
+		t.Fatal("self demand accepted")
+	}
+	if _, err := MaxConcurrentFlow(g, []Demand{{Src: 0, Dst: 1, Amount: -1}}, Options{}); err == nil {
+		t.Fatal("negative demand accepted")
+	}
+	if _, err := MaxConcurrentFlow(g, []Demand{{Src: 0, Dst: 9, Amount: 1}}, Options{}); err == nil {
+		t.Fatal("out-of-range demand accepted")
+	}
+	// Disconnected.
+	g2 := topology.New("disc", 2, 4)
+	g2.SetServers(0, 1)
+	g2.SetServers(1, 1)
+	if _, err := MaxConcurrentFlow(g2, []Demand{{Src: 0, Dst: 1, Amount: 1}}, Options{}); err == nil {
+		t.Fatal("unreachable demand accepted")
+	}
+}
+
+func TestMatrixDemands(t *testing.T) {
+	g, err := topology.DRing(topology.Uniform(5, 1, 8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := [][]float64{
+		{0, 1, 0, 0, 0},
+		{0, 0, 2, 0, 0},
+		{0, 0, 0, 0, 0},
+		{0, 0, 0, 0, 0},
+		{0, 0, 0, 0, 0},
+	}
+	ds, err := MatrixDemands(g, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ds) != 2 {
+		t.Fatalf("demands = %v", ds)
+	}
+	if _, err := MatrixDemands(g, w[:2]); err == nil {
+		t.Fatal("wrong-size matrix accepted")
+	}
+	if _, err := MatrixDemands(g, [][]float64{{0}}); err == nil {
+		t.Fatal("tiny matrix accepted")
+	}
+}
+
+// TestIdealRRGBeatsDRingAtScale pins the §6.3 asymptotics in the *ideal*
+// routing model: for a long ring the DRing's uniform-traffic throughput
+// falls below the equipment-matched expander's, independent of transport
+// and routing-scheme artifacts.
+func TestIdealRRGBeatsDRingAtScale(t *testing.T) {
+	spec := topology.Uniform(14, 2, 24) // long thin ring
+	dr, err := topology.DRing(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	degrees := make([]int, dr.N())
+	for v := range degrees {
+		degrees[v] = dr.NetworkDegree(v)
+	}
+	rrg, err := topology.RRG("rrg", degrees, rand.New(rand.NewSource(3)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rrg.Ports = dr.Ports
+	for v := 0; v < dr.N(); v++ {
+		rrg.SetServers(v, dr.ServerCount(v))
+	}
+
+	uniform := func(g *topology.Graph) float64 {
+		t.Helper()
+		n := g.N()
+		var ds []Demand
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				if i != j {
+					ds = append(ds, Demand{Src: i, Dst: j, Amount: 1})
+				}
+			}
+		}
+		lam, err := MaxConcurrentFlow(g, ds, Options{Epsilon: 0.1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return lam
+	}
+	ld, lr := uniform(dr), uniform(rrg)
+	if lr <= ld {
+		t.Fatalf("ideal throughput: RRG %v not above DRing %v on a 14-supernode ring", lr, ld)
+	}
+}
+
+// TestIdealAtLeastRealized: the fluid optimum must dominate what max-min
+// fair single-path routing achieves on the same demand structure — a
+// cross-substrate consistency check between fluid and flowsim semantics.
+func TestIdealUpperBoundSanity(t *testing.T) {
+	g, err := topology.DRing(topology.Uniform(6, 2, 20))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One unit of demand between two distant racks; ideal λ must be at
+	// least the single shortest path's capacity (1 link unit).
+	lam, err := MaxConcurrentFlow(g, []Demand{{Src: 0, Dst: 6, Amount: 1}}, Options{Epsilon: 0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lam < 1 {
+		t.Fatalf("ideal λ %v below single-path capacity", lam)
+	}
+}

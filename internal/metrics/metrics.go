@@ -1,0 +1,266 @@
+// Package metrics provides the small statistics and rendering toolkit the
+// experiment harnesses share: percentiles, FCT summaries, aligned tables
+// and heatmaps (Figure 5 is a heatmap; Figures 4 and 6 are built from FCT
+// percentiles).
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Percentile returns the p-th percentile (0..100) of values using linear
+// interpolation between order statistics. It returns NaN for empty input.
+func Percentile(values []float64, p float64) float64 {
+	if len(values) == 0 {
+		return math.NaN()
+	}
+	s := append([]float64(nil), values...)
+	sort.Float64s(s)
+	if p <= 0 {
+		return s[0]
+	}
+	if p >= 100 {
+		return s[len(s)-1]
+	}
+	pos := p / 100 * float64(len(s)-1)
+	lo := int(pos)
+	frac := pos - float64(lo)
+	if lo+1 >= len(s) {
+		return s[len(s)-1]
+	}
+	return s[lo]*(1-frac) + s[lo+1]*frac
+}
+
+// FCTStats summarizes flow completion times.
+type FCTStats struct {
+	Count      int
+	Incomplete int
+	MedianMS   float64
+	P99MS      float64
+	MeanMS     float64
+	MaxMS      float64
+}
+
+// SummarizeFCT converts per-flow nanosecond FCTs (-1 = incomplete) into
+// millisecond statistics. Incomplete flows are counted but excluded from
+// the percentiles.
+func SummarizeFCT(fctNS []int64) FCTStats {
+	var done []float64
+	st := FCTStats{}
+	for _, v := range fctNS {
+		if v < 0 {
+			st.Incomplete++
+			continue
+		}
+		done = append(done, float64(v)/1e6)
+	}
+	st.Count = len(done)
+	if len(done) == 0 {
+		st.MedianMS, st.P99MS, st.MeanMS, st.MaxMS = math.NaN(), math.NaN(), math.NaN(), math.NaN()
+		return st
+	}
+	st.MedianMS = Percentile(done, 50)
+	st.P99MS = Percentile(done, 99)
+	sum, mx := 0.0, 0.0
+	for _, v := range done {
+		sum += v
+		mx = math.Max(mx, v)
+	}
+	st.MeanMS = sum / float64(len(done))
+	st.MaxMS = mx
+	return st
+}
+
+// Table renders rows of cells as an aligned text table. The first row is
+// the header, separated by a rule.
+type Table struct {
+	rows [][]string
+}
+
+// AddRow appends a row of cells.
+func (t *Table) AddRow(cells ...string) { t.rows = append(t.rows, cells) }
+
+// AddRowf appends a row where each cell is a formatted value.
+func (t *Table) AddRowf(format string, cells ...interface{}) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		row[i] = fmt.Sprintf(format, c)
+	}
+	t.rows = append(t.rows, row)
+}
+
+// String renders the table.
+func (t *Table) String() string {
+	if len(t.rows) == 0 {
+		return ""
+	}
+	widths := map[int]int{}
+	for _, r := range t.rows {
+		for i, c := range r {
+			if len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	for ri, r := range t.rows {
+		for i, c := range r {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteString("\n")
+		if ri == 0 {
+			total := 0
+			for i := 0; i < len(r); i++ {
+				total += widths[i] + 2
+			}
+			b.WriteString(strings.Repeat("-", max(total-2, 1)))
+			b.WriteString("\n")
+		}
+	}
+	return b.String()
+}
+
+// Heatmap is a 2D grid of values with axis tick labels — the shape of the
+// paper's Figure 5 panels.
+type Heatmap struct {
+	Title  string
+	XLabel string
+	YLabel string
+	XTicks []int
+	YTicks []int
+	// Cells[y][x] follows YTicks/XTicks ordering.
+	Cells [][]float64
+}
+
+// NewHeatmap allocates a heatmap with NaN cells.
+func NewHeatmap(title, xlabel, ylabel string, xticks, yticks []int) *Heatmap {
+	cells := make([][]float64, len(yticks))
+	for i := range cells {
+		cells[i] = make([]float64, len(xticks))
+		for j := range cells[i] {
+			cells[i][j] = math.NaN()
+		}
+	}
+	return &Heatmap{Title: title, XLabel: xlabel, YLabel: ylabel,
+		XTicks: append([]int(nil), xticks...), YTicks: append([]int(nil), yticks...), Cells: cells}
+}
+
+// Set assigns the cell at (xi, yi) tick indices.
+func (h *Heatmap) Set(xi, yi int, v float64) { h.Cells[yi][xi] = v }
+
+// CSV renders the heatmap as comma-separated values with axis headers.
+func (h *Heatmap) CSV() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\\%s", h.YLabel, h.XLabel)
+	for _, x := range h.XTicks {
+		fmt.Fprintf(&b, ",%d", x)
+	}
+	b.WriteString("\n")
+	for yi, y := range h.YTicks {
+		fmt.Fprintf(&b, "%d", y)
+		for xi := range h.XTicks {
+			fmt.Fprintf(&b, ",%.4f", h.Cells[yi][xi])
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// String renders an ASCII view: one glyph per cell bucketed by value, so
+// the ratio structure of Figure 5 is visible in a terminal.
+func (h *Heatmap) String() string {
+	var b strings.Builder
+	if h.Title != "" {
+		fmt.Fprintf(&b, "%s\n", h.Title)
+	}
+	fmt.Fprintf(&b, "%s ↓ / %s →\n", h.YLabel, h.XLabel)
+	for yi := len(h.YTicks) - 1; yi >= 0; yi-- {
+		fmt.Fprintf(&b, "%6d |", h.YTicks[yi])
+		for xi := range h.XTicks {
+			b.WriteString(glyph(h.Cells[yi][xi]))
+		}
+		b.WriteString("\n")
+	}
+	fmt.Fprintf(&b, "%6s  ", "")
+	for range h.XTicks {
+		b.WriteString("--")
+	}
+	fmt.Fprintf(&b, "\n%6s  %d..%d\n", "", h.XTicks[0], h.XTicks[len(h.XTicks)-1])
+	b.WriteString("legend: '. '<0.75  '- '<1.0  '+ '<1.25  '* '<1.75  '# '>=1.75  '? 'NaN\n")
+	return b.String()
+}
+
+func glyph(v float64) string {
+	switch {
+	case math.IsNaN(v):
+		return "? "
+	case v < 0.75:
+		return ". "
+	case v < 1.0:
+		return "- "
+	case v < 1.25:
+		return "+ "
+	case v < 1.75:
+		return "* "
+	default:
+		return "# "
+	}
+}
+
+// Ratio returns a/b, or NaN when b is zero.
+func Ratio(a, b float64) float64 {
+	if b == 0 {
+		return math.NaN()
+	}
+	return a / b
+}
+
+// CDF is an empirical cumulative distribution over a sample.
+type CDF struct {
+	sorted []float64
+}
+
+// NewCDF builds the empirical CDF of the samples (copied and sorted).
+func NewCDF(samples []float64) *CDF {
+	s := append([]float64(nil), samples...)
+	sort.Float64s(s)
+	return &CDF{sorted: s}
+}
+
+// At returns P(X <= x).
+func (c *CDF) At(x float64) float64 {
+	if len(c.sorted) == 0 {
+		return math.NaN()
+	}
+	i := sort.SearchFloat64s(c.sorted, math.Nextafter(x, math.Inf(1)))
+	return float64(i) / float64(len(c.sorted))
+}
+
+// Quantile returns the q-th quantile (q in [0,1]).
+func (c *CDF) Quantile(q float64) float64 {
+	return Percentile(c.sorted, q*100)
+}
+
+// Points returns n evenly spaced (x, P(X<=x)) pairs spanning the sample —
+// ready for a line chart of the FCT distribution.
+func (c *CDF) Points(n int) (xs, ys []float64) {
+	if len(c.sorted) == 0 || n < 2 {
+		return nil, nil
+	}
+	lo, hi := c.sorted[0], c.sorted[len(c.sorted)-1]
+	if hi == lo {
+		return []float64{lo, hi}, []float64{1, 1}
+	}
+	for i := 0; i < n; i++ {
+		x := lo + (hi-lo)*float64(i)/float64(n-1)
+		xs = append(xs, x)
+		ys = append(ys, c.At(x))
+	}
+	return xs, ys
+}

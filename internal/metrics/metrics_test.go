@@ -1,0 +1,208 @@
+package metrics
+
+import (
+	"math"
+	"sort"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestPercentileBasics(t *testing.T) {
+	vals := []float64{1, 2, 3, 4, 5}
+	if got := Percentile(vals, 50); got != 3 {
+		t.Fatalf("p50 = %v, want 3", got)
+	}
+	if got := Percentile(vals, 0); got != 1 {
+		t.Fatalf("p0 = %v", got)
+	}
+	if got := Percentile(vals, 100); got != 5 {
+		t.Fatalf("p100 = %v", got)
+	}
+	if got := Percentile(vals, 25); got != 2 {
+		t.Fatalf("p25 = %v, want 2", got)
+	}
+	if !math.IsNaN(Percentile(nil, 50)) {
+		t.Fatal("empty percentile not NaN")
+	}
+	// Interpolation: p50 of {1,2} = 1.5.
+	if got := Percentile([]float64{2, 1}, 50); got != 1.5 {
+		t.Fatalf("p50 of pair = %v, want 1.5", got)
+	}
+}
+
+func TestPercentileDoesNotMutate(t *testing.T) {
+	vals := []float64{3, 1, 2}
+	Percentile(vals, 50)
+	if vals[0] != 3 || vals[1] != 1 || vals[2] != 2 {
+		t.Fatal("input mutated")
+	}
+}
+
+func TestPercentileQuickMonotone(t *testing.T) {
+	f := func(raw []float64, aRaw, bRaw uint8) bool {
+		var vals []float64
+		for _, v := range raw {
+			if !math.IsNaN(v) && !math.IsInf(v, 0) {
+				vals = append(vals, v)
+			}
+		}
+		if len(vals) == 0 {
+			return true
+		}
+		a, b := float64(aRaw)*100/255, float64(bRaw)*100/255
+		if a > b {
+			a, b = b, a
+		}
+		pa, pb := Percentile(vals, a), Percentile(vals, b)
+		if pa > pb {
+			return false
+		}
+		sorted := append([]float64(nil), vals...)
+		sort.Float64s(sorted)
+		return pa >= sorted[0] && pb <= sorted[len(sorted)-1]
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSummarizeFCT(t *testing.T) {
+	fcts := []int64{1e6, 2e6, 3e6, -1, 4e6} // ms: 1,2,3,4 + one incomplete
+	st := SummarizeFCT(fcts)
+	if st.Count != 4 || st.Incomplete != 1 {
+		t.Fatalf("count=%d incomplete=%d", st.Count, st.Incomplete)
+	}
+	if st.MedianMS != 2.5 || st.MaxMS != 4 || st.MeanMS != 2.5 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if st.P99MS < 3.9 || st.P99MS > 4 {
+		t.Fatalf("p99 = %v", st.P99MS)
+	}
+}
+
+func TestSummarizeFCTAllIncomplete(t *testing.T) {
+	st := SummarizeFCT([]int64{-1, -1})
+	if st.Count != 0 || st.Incomplete != 2 || !math.IsNaN(st.MedianMS) {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestTableAlignment(t *testing.T) {
+	var tb Table
+	tb.AddRow("name", "value")
+	tb.AddRow("a", "1")
+	tb.AddRow("longer-name", "22")
+	s := tb.String()
+	lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("lines = %d:\n%s", len(lines), s)
+	}
+	if !strings.HasPrefix(lines[1], "---") {
+		t.Fatalf("no header rule:\n%s", s)
+	}
+	if !strings.Contains(lines[3], "longer-name  22") {
+		t.Fatalf("misaligned:\n%s", s)
+	}
+	var empty Table
+	if empty.String() != "" {
+		t.Fatal("empty table should render empty")
+	}
+}
+
+func TestTableAddRowf(t *testing.T) {
+	var tb Table
+	tb.AddRowf("%.2f", 1.0, 2.5)
+	if !strings.Contains(tb.String(), "1.00  2.50") {
+		t.Fatalf("AddRowf output: %q", tb.String())
+	}
+}
+
+func TestHeatmap(t *testing.T) {
+	h := NewHeatmap("test", "servers", "clients", []int{10, 20}, []int{5, 15})
+	h.Set(0, 0, 0.5)
+	h.Set(1, 0, 1.1)
+	h.Set(0, 1, 1.5)
+	h.Set(1, 1, 2.0)
+	csv := h.CSV()
+	if !strings.Contains(csv, "clients\\servers,10,20") {
+		t.Fatalf("csv header: %q", csv)
+	}
+	if !strings.Contains(csv, "5,0.5000,1.1000") {
+		t.Fatalf("csv row: %q", csv)
+	}
+	ascii := h.String()
+	for _, g := range []string{". ", "+ ", "* ", "# "} {
+		if !strings.Contains(ascii, g) {
+			t.Fatalf("ascii missing glyph %q:\n%s", g, ascii)
+		}
+	}
+	// Unset cell renders as NaN.
+	h2 := NewHeatmap("", "x", "y", []int{1}, []int{1})
+	if !strings.Contains(h2.String(), "? ") {
+		t.Fatal("NaN glyph missing")
+	}
+}
+
+func TestRatio(t *testing.T) {
+	if Ratio(4, 2) != 2 {
+		t.Fatal("ratio broken")
+	}
+	if !math.IsNaN(Ratio(1, 0)) {
+		t.Fatal("divide by zero not NaN")
+	}
+}
+
+func TestCDF(t *testing.T) {
+	c := NewCDF([]float64{1, 2, 3, 4})
+	if c.At(0) != 0 || c.At(2) != 0.5 || c.At(4) != 1 || c.At(10) != 1 {
+		t.Fatalf("At values wrong: %v %v %v %v", c.At(0), c.At(2), c.At(4), c.At(10))
+	}
+	if c.Quantile(0.5) != 2.5 {
+		t.Fatalf("median = %v", c.Quantile(0.5))
+	}
+	xs, ys := c.Points(4)
+	if len(xs) != 4 || xs[0] != 1 || xs[3] != 4 {
+		t.Fatalf("points xs = %v", xs)
+	}
+	for i := 1; i < len(ys); i++ {
+		if ys[i] < ys[i-1] {
+			t.Fatalf("CDF not monotone: %v", ys)
+		}
+	}
+	if !math.IsNaN(NewCDF(nil).At(1)) {
+		t.Fatal("empty CDF should be NaN")
+	}
+	// Degenerate single-value sample.
+	xs, ys = NewCDF([]float64{5, 5}).Points(3)
+	if len(xs) != 2 || ys[0] != 1 {
+		t.Fatalf("degenerate points: %v %v", xs, ys)
+	}
+}
+
+func TestCDFQuickMonotone(t *testing.T) {
+	f := func(raw []float64) bool {
+		var vals []float64
+		for _, v := range raw {
+			if !math.IsNaN(v) && !math.IsInf(v, 0) {
+				vals = append(vals, v)
+			}
+		}
+		if len(vals) == 0 {
+			return true
+		}
+		c := NewCDF(vals)
+		prev := -1.0
+		for _, v := range vals {
+			p := c.At(v)
+			if p <= 0 || p > 1 {
+				return false
+			}
+			_ = prev
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

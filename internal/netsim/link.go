@@ -1,0 +1,64 @@
+package netsim
+
+// packet is one frame in flight. Packets are pooled; never retain one after
+// handing it back to the simulator.
+type packet struct {
+	flow     int32
+	hop      int32
+	wireSize int32 // bytes on the wire
+	isAck    bool
+	ce       bool  // data: congestion-experienced mark; ack: echoed mark
+	seq      int64 // data: first payload byte; ack: cumulative ack
+	payload  int32 // data bytes carried (0 for ACKs)
+	echo     int64 // data: send timestamp; ack: echoed timestamp
+	links    []int32
+}
+
+// link is one directed egress port: a drop-tail FIFO feeding a transmitter.
+type link struct {
+	bytesPerNS float64
+	delayNS    int64
+	capBytes   int64
+
+	queueBytes int64
+	queue      []*packet // FIFO; index 0 is next to transmit
+	head       int
+	busy       bool
+
+	drops   uint64
+	txBytes uint64
+}
+
+func (l *link) txTimeNS(wire int32) int64 {
+	return int64(float64(wire)/l.bytesPerNS + 0.5)
+}
+
+// push appends p to the queue, returning false (drop) on overflow.
+func (l *link) push(p *packet) bool {
+	if l.queueBytes+int64(p.wireSize) > l.capBytes {
+		l.drops++
+		return false
+	}
+	l.queueBytes += int64(p.wireSize)
+	l.queue = append(l.queue, p)
+	return true
+}
+
+// pop removes the head of the queue, compacting lazily.
+func (l *link) pop() *packet {
+	p := l.queue[l.head]
+	l.queue[l.head] = nil
+	l.head++
+	if l.head == len(l.queue) {
+		l.queue = l.queue[:0]
+		l.head = 0
+	} else if l.head > 64 && l.head*2 >= len(l.queue) {
+		n := copy(l.queue, l.queue[l.head:])
+		l.queue = l.queue[:n]
+		l.head = 0
+	}
+	l.queueBytes -= int64(p.wireSize)
+	return p
+}
+
+func (l *link) queued() int { return len(l.queue) - l.head }

@@ -1,0 +1,506 @@
+package netsim
+
+import (
+	"fmt"
+	"math"
+
+	"spineless/internal/routing"
+	"spineless/internal/topology"
+	"spineless/internal/workload"
+)
+
+// Simulator runs packet-level TCP simulations over one fabric and routing
+// scheme. It is single-goroutine and fully deterministic: the same fabric,
+// scheme, config and flow list always produce identical results.
+type Simulator struct {
+	g      *topology.Graph
+	scheme routing.Scheme
+	cfg    Config
+
+	links    []link
+	netLinks map[[2]int][]int32 // directed switch pair → parallel link ids
+	hostUp   []int32
+	hostDown []int32
+
+	flows []flowState
+	done  int
+
+	events     eventHeap
+	seqCounter uint64
+	now        int64
+
+	pool  []*packet
+	stats Stats
+}
+
+// Stats aggregates data-plane counters across a run.
+type Stats struct {
+	Events          uint64
+	DataPackets     uint64
+	AckPackets      uint64
+	Retransmits     uint64
+	Timeouts        uint64
+	Drops           uint64
+	ECNMarks        uint64
+	FlowletSwitches uint64
+}
+
+// Results reports per-flow outcomes of a run.
+type Results struct {
+	// FCTNS[i] is flow i's completion time in ns, or -1 if it did not finish
+	// before MaxSimTime.
+	FCTNS     []int64
+	Completed int
+	EndNS     int64
+	Stats     Stats
+}
+
+type flowState struct {
+	spec      workload.Flow
+	dataLinks []int32
+	ackLinks  []int32
+
+	// Sender.
+	sndUna, sndNxt int64
+	cwnd, ssthresh float64 // segments
+	dupacks        int
+	inRecovery     bool
+	recover        int64
+	srtt, rttvar   float64 // ns
+	rto            int64   // ns
+	rtoEpoch       uint64
+
+	// DCTCP state (ECN configs only).
+	alpha       float64
+	ceAcked     int64 // bytes acked in the current observation window
+	ceMarked    int64 // of which were CE-marked
+	ceWindowEnd int64 // window boundary (sequence number)
+
+	// Flowlet state (FlowletTimeout configs only).
+	lastSendNS int64
+	flowletID  uint64
+
+	// Receiver.
+	rcvNxt int64
+	ooo    map[int64]int32 // seq → payload bytes
+
+	started bool
+	done    bool
+	fct     int64
+}
+
+// New builds a simulator for fabric g routed by scheme.
+func New(g *topology.Graph, scheme routing.Scheme, cfg Config) (*Simulator, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	s := &Simulator{g: g, scheme: scheme, cfg: cfg, netLinks: make(map[[2]int][]int32)}
+	addLink := func(rateBps float64, delayNS int64) int32 {
+		id := int32(len(s.links))
+		s.links = append(s.links, link{
+			bytesPerNS: rateBps / 8 / 1e9,
+			delayNS:    delayNS,
+			capBytes:   cfg.QueueBytes,
+		})
+		return id
+	}
+	for u := 0; u < g.N(); u++ {
+		for _, v := range g.Neighbors(u) {
+			key := [2]int{u, v}
+			s.netLinks[key] = append(s.netLinks[key], addLink(cfg.LinkRateBps, cfg.LinkDelayNS))
+		}
+	}
+	n := g.Servers()
+	s.hostUp = make([]int32, n)
+	s.hostDown = make([]int32, n)
+	for h := 0; h < n; h++ {
+		s.hostUp[h] = addLink(cfg.hostRate(), cfg.hostDelay())
+		s.hostDown[h] = addLink(cfg.hostRate(), cfg.hostDelay())
+	}
+	return s, nil
+}
+
+// Run simulates the given flows to completion (or MaxSimTime) and returns
+// per-flow completion times. Run may be called once per Simulator.
+func (s *Simulator) Run(flows []workload.Flow) (Results, error) {
+	if len(s.flows) != 0 {
+		return Results{}, fmt.Errorf("netsim: Run called twice")
+	}
+	if len(flows) == 0 {
+		return Results{}, fmt.Errorf("netsim: no flows")
+	}
+	for i, f := range flows {
+		if f.SizeBytes <= 0 {
+			return Results{}, fmt.Errorf("netsim: flow %d has size %d", i, f.SizeBytes)
+		}
+		if f.Src == f.Dst {
+			return Results{}, fmt.Errorf("netsim: flow %d is host-local", i)
+		}
+		if f.Src < 0 || f.Src >= s.g.Servers() || f.Dst < 0 || f.Dst >= s.g.Servers() {
+			return Results{}, fmt.Errorf("netsim: flow %d endpoints out of range", i)
+		}
+	}
+	s.flows = make([]flowState, len(flows))
+	for i, f := range flows {
+		s.flows[i].spec = f
+		s.flows[i].fct = -1
+		s.push(event{t: f.StartNS, kind: evStart, idx: int32(i)})
+	}
+	maxT := int64(s.cfg.MaxSimTime)
+	for len(s.events) > 0 && s.done < len(s.flows) {
+		ev := s.pop()
+		if ev.t > maxT {
+			break
+		}
+		s.now = ev.t
+		s.stats.Events++
+		switch ev.kind {
+		case evStart:
+			s.startFlow(ev.idx)
+		case evTxDone:
+			s.txDone(ev.idx, ev.pkt)
+		case evDeliver:
+			s.deliver(ev.pkt)
+		case evRTO:
+			s.timeout(ev.idx, ev.epoch)
+		}
+	}
+	res := Results{FCTNS: make([]int64, len(flows)), EndNS: s.now, Stats: s.stats}
+	for i := range s.flows {
+		res.FCTNS[i] = s.flows[i].fct
+		if s.flows[i].done {
+			res.Completed++
+		}
+	}
+	for i := range s.links {
+		res.Stats.Drops += s.links[i].drops
+	}
+	return res, nil
+}
+
+func (s *Simulator) startFlow(idx int32) {
+	f := &s.flows[idx]
+	if f.started {
+		return
+	}
+	f.started = true
+	spec := f.spec
+	srcRack, dstRack := s.g.RackOf(spec.Src), s.g.RackOf(spec.Dst)
+	fwd := s.scheme.Path(srcRack, dstRack, spec.ID)
+	rev := s.scheme.Path(dstRack, srcRack, spec.ID^0x5ca1ab1e)
+	if fwd == nil || rev == nil {
+		// Unreachable racks: leave the flow incomplete forever.
+		return
+	}
+	f.dataLinks = s.expandPath(spec.Src, spec.Dst, fwd, spec.ID)
+	f.ackLinks = s.expandPath(spec.Dst, spec.Src, rev, spec.ID^0x5ca1ab1e)
+	f.cwnd = s.cfg.InitCwnd
+	f.ssthresh = math.MaxFloat64
+	if s.cfg.InitSsthresh > 0 {
+		f.ssthresh = s.cfg.InitSsthresh
+	}
+	f.rto = int64(s.cfg.MinRTO)
+	f.ooo = make(map[int64]int32)
+	s.trySend(f, idx)
+}
+
+// expandPath converts a switch path into the directed link sequence
+// host-uplink, network links (hashing across parallel copies), host-downlink.
+func (s *Simulator) expandPath(srcHost, dstHost int, swPath []int, flowID uint64) []int32 {
+	out := make([]int32, 0, len(swPath)+1)
+	out = append(out, s.hostUp[srcHost])
+	for h := 0; h+1 < len(swPath); h++ {
+		copies := s.netLinks[[2]int{swPath[h], swPath[h+1]}]
+		out = append(out, copies[int(flowID>>uint(h%32))%len(copies)])
+	}
+	out = append(out, s.hostDown[dstHost])
+	return out
+}
+
+// trySend transmits new segments while the congestion window allows.
+func (s *Simulator) trySend(f *flowState, idx int32) {
+	mss := int64(s.cfg.MSS)
+	for f.sndNxt < f.spec.SizeBytes && f.sndNxt-f.sndUna < int64(f.cwnd*float64(mss)) {
+		s.sendSegment(f, idx, f.sndNxt)
+		f.sndNxt += min(mss, f.spec.SizeBytes-f.sndNxt)
+	}
+	if f.sndNxt > f.sndUna {
+		s.armRTO(f, idx)
+	}
+}
+
+func (s *Simulator) sendSegment(f *flowState, idx int32, seq int64) {
+	if t := int64(s.cfg.FlowletTimeout); t > 0 {
+		// Flowlet switching [25]: an idle gap longer than the timeout lets
+		// the next burst re-hash onto a (possibly) different path.
+		if f.lastSendNS > 0 && s.now-f.lastSendNS > t {
+			f.flowletID++
+			s.stats.FlowletSwitches++
+			spec := f.spec
+			srcRack, dstRack := s.g.RackOf(spec.Src), s.g.RackOf(spec.Dst)
+			h := spec.ID ^ (f.flowletID * 0x9e3779b97f4a7c15)
+			if fwd := s.scheme.Path(srcRack, dstRack, h); fwd != nil {
+				f.dataLinks = s.expandPath(spec.Src, spec.Dst, fwd, h)
+			}
+		}
+		f.lastSendNS = s.now
+	}
+	payload := min(int64(s.cfg.MSS), f.spec.SizeBytes-seq)
+	p := s.alloc()
+	p.flow = idx
+	p.hop = 0
+	p.isAck = false
+	p.ce = false
+	p.seq = seq
+	p.payload = int32(payload)
+	p.wireSize = int32(payload) + int32(s.cfg.HeaderBytes)
+	p.echo = s.now
+	p.links = f.dataLinks
+	s.stats.DataPackets++
+	s.enterLink(p)
+}
+
+func (s *Simulator) sendAck(f *flowState, idx int32, echo int64, ce bool) {
+	p := s.alloc()
+	p.flow = idx
+	p.hop = 0
+	p.isAck = true
+	p.ce = ce
+	p.seq = f.rcvNxt
+	p.payload = 0
+	p.wireSize = int32(s.cfg.AckBytes)
+	p.echo = echo
+	p.links = f.ackLinks
+	s.stats.AckPackets++
+	s.enterLink(p)
+}
+
+func (s *Simulator) enterLink(p *packet) {
+	l := &s.links[p.links[p.hop]]
+	if s.cfg.ECN && !p.isAck && !p.ce && l.queueBytes >= s.cfg.ECNThresholdBytes {
+		// DCTCP-style instantaneous-queue marking at enqueue.
+		p.ce = true
+		s.stats.ECNMarks++
+	}
+	if !l.busy {
+		l.busy = true
+		s.push(event{t: s.now + l.txTimeNS(p.wireSize), kind: evTxDone, idx: p.links[p.hop], pkt: p})
+		return
+	}
+	if !l.push(p) {
+		s.free(p) // drop-tail
+	}
+}
+
+func (s *Simulator) txDone(linkID int32, p *packet) {
+	l := &s.links[linkID]
+	l.txBytes += uint64(p.wireSize)
+	s.push(event{t: s.now + l.delayNS, kind: evDeliver, pkt: p})
+	if l.queued() > 0 {
+		next := l.pop()
+		s.push(event{t: s.now + l.txTimeNS(next.wireSize), kind: evTxDone, idx: linkID, pkt: next})
+	} else {
+		l.busy = false
+	}
+}
+
+func (s *Simulator) deliver(p *packet) {
+	p.hop++
+	if int(p.hop) < len(p.links) {
+		s.enterLink(p)
+		return
+	}
+	idx := p.flow
+	f := &s.flows[idx]
+	if p.isAck {
+		ack, echo, ce := p.seq, p.echo, p.ce
+		s.free(p)
+		s.handleAck(f, idx, ack, echo, ce)
+		return
+	}
+	// Receiver side.
+	seq, payload, echo, ce := p.seq, int64(p.payload), p.echo, p.ce
+	s.free(p)
+	if f.done {
+		return
+	}
+	if seq == f.rcvNxt {
+		f.rcvNxt += payload
+		for {
+			pl, ok := f.ooo[f.rcvNxt]
+			if !ok {
+				break
+			}
+			delete(f.ooo, f.rcvNxt)
+			f.rcvNxt += int64(pl)
+		}
+	} else if seq > f.rcvNxt {
+		f.ooo[seq] = int32(payload)
+	}
+	s.sendAck(f, idx, echo, ce)
+}
+
+func (s *Simulator) handleAck(f *flowState, idx int32, ack, echo int64, ce bool) {
+	if f.done {
+		return
+	}
+	s.updateRTT(f, s.now-echo)
+	mss := float64(s.cfg.MSS)
+	switch {
+	case ack > f.sndUna:
+		ackedBytes := ack - f.sndUna
+		f.sndUna = ack
+		if f.sndNxt < f.sndUna {
+			// A pre-timeout segment was acked after go-back-N rewound sndNxt.
+			f.sndNxt = f.sndUna
+		}
+		f.dupacks = 0
+		if s.cfg.ECN {
+			s.dctcpUpdate(f, ackedBytes, ce)
+		}
+		if f.inRecovery {
+			if ack >= f.recover {
+				f.inRecovery = false
+				f.cwnd = f.ssthresh
+			} else {
+				// NewReno partial ack: the next hole is lost too.
+				s.stats.Retransmits++
+				s.sendSegment(f, idx, f.sndUna)
+			}
+		} else {
+			ackedSegs := float64(ackedBytes) / mss
+			if f.cwnd < f.ssthresh {
+				f.cwnd += ackedSegs // slow start
+			} else {
+				f.cwnd += ackedSegs / f.cwnd // congestion avoidance
+			}
+		}
+		if f.sndUna >= f.spec.SizeBytes {
+			f.done = true
+			f.fct = s.now - f.spec.StartNS
+			f.rtoEpoch++ // cancel timer
+			s.done++
+			return
+		}
+		s.armRTO(f, idx)
+		s.trySend(f, idx)
+	case ack == f.sndUna && f.sndNxt > f.sndUna:
+		f.dupacks++
+		if f.inRecovery {
+			f.cwnd++ // inflate per extra dupack
+			s.trySend(f, idx)
+		} else if f.dupacks == 3 {
+			flightSegs := float64(f.sndNxt-f.sndUna) / mss
+			f.ssthresh = math.Max(flightSegs/2, 2)
+			f.recover = f.sndNxt
+			f.inRecovery = true
+			f.cwnd = f.ssthresh + 3
+			s.stats.Retransmits++
+			s.sendSegment(f, idx, f.sndUna)
+			s.armRTO(f, idx)
+		}
+	}
+}
+
+func (s *Simulator) timeout(idx int32, epoch uint64) {
+	f := &s.flows[idx]
+	if f.done || epoch != f.rtoEpoch || f.sndNxt == f.sndUna {
+		return
+	}
+	s.stats.Timeouts++
+	flightSegs := float64(f.sndNxt-f.sndUna) / float64(s.cfg.MSS)
+	f.ssthresh = math.Max(flightSegs/2, 2)
+	f.cwnd = 1
+	f.inRecovery = false
+	f.dupacks = 0
+	f.sndNxt = f.sndUna // go-back-N from the hole
+	f.rto = min(2*f.rto, int64(s.cfg.MaxRTO))
+	s.stats.Retransmits++
+	s.trySend(f, idx)
+}
+
+// dctcpUpdate runs the DCTCP control law once per observation window: α is
+// the EWMA of the marked byte fraction, and any marking in a window scales
+// cwnd by (1 − α/2).
+func (s *Simulator) dctcpUpdate(f *flowState, ackedBytes int64, ce bool) {
+	f.ceAcked += ackedBytes
+	if ce {
+		f.ceMarked += ackedBytes
+	}
+	if f.sndUna < f.ceWindowEnd {
+		return
+	}
+	if f.ceAcked > 0 {
+		frac := float64(f.ceMarked) / float64(f.ceAcked)
+		g := s.cfg.DCTCPGain
+		f.alpha = (1-g)*f.alpha + g*frac
+		if f.ceMarked > 0 && !f.inRecovery {
+			f.cwnd *= 1 - f.alpha/2
+			if f.cwnd < 1 {
+				f.cwnd = 1
+			}
+		}
+	}
+	f.ceAcked, f.ceMarked = 0, 0
+	f.ceWindowEnd = f.sndNxt
+}
+
+func (s *Simulator) updateRTT(f *flowState, sample int64) {
+	if sample <= 0 {
+		sample = 1
+	}
+	sa := float64(sample)
+	if f.srtt == 0 {
+		f.srtt = sa
+		f.rttvar = sa / 2
+	} else {
+		d := f.srtt - sa
+		if d < 0 {
+			d = -d
+		}
+		f.rttvar = 0.75*f.rttvar + 0.25*d
+		f.srtt = 0.875*f.srtt + 0.125*sa
+	}
+	rto := int64(f.srtt + 4*f.rttvar)
+	f.rto = max(int64(s.cfg.MinRTO), min(rto, int64(s.cfg.MaxRTO)))
+}
+
+// armRTO (re)schedules the retransmission timer: the epoch bump invalidates
+// any previously scheduled firing.
+func (s *Simulator) armRTO(f *flowState, idx int32) {
+	f.rtoEpoch++
+	s.push(event{t: s.now + f.rto, kind: evRTO, idx: idx, epoch: f.rtoEpoch})
+}
+
+func (s *Simulator) alloc() *packet {
+	if n := len(s.pool); n > 0 {
+		p := s.pool[n-1]
+		s.pool = s.pool[:n-1]
+		return p
+	}
+	return &packet{}
+}
+
+func (s *Simulator) free(p *packet) {
+	p.links = nil
+	s.pool = append(s.pool, p)
+}
+
+// LinkDrops returns the total packets dropped at queues (diagnostics).
+func (s *Simulator) LinkDrops() uint64 {
+	var d uint64
+	for i := range s.links {
+		d += s.links[i].drops
+	}
+	return d
+}
+
+// NetLinkTx returns the bytes transmitted on the directed switch link u→v,
+// summed over parallel copies. It reports 0 for non-existent links.
+func (s *Simulator) NetLinkTx(u, v int) uint64 {
+	var t uint64
+	for _, id := range s.netLinks[[2]int{u, v}] {
+		t += s.links[id].txBytes
+	}
+	return t
+}

@@ -1,0 +1,151 @@
+// Package resilience studies the paper's §7 "Impact of failures" questions:
+// how quickly routing converges to alternative paths when links fail in a
+// flat network, and what failures do to path length, path diversity, and
+// flow completion times. Nothing here is in the paper's evaluation — it is
+// the future-work direction built out so the open questions can actually be
+// measured.
+package resilience
+
+import (
+	"fmt"
+	"math/rand"
+
+	"spineless/internal/topology"
+)
+
+// Failure is one failed physical link.
+type Failure struct {
+	A, B int
+}
+
+// FailRandomLinks returns a copy of g with a fraction of its network links
+// removed (uniformly at random, without replacement), plus the failed
+// links. Host links never fail. fraction is clamped to [0, 1].
+func FailRandomLinks(g *topology.Graph, fraction float64, rng *rand.Rand) (*topology.Graph, []Failure, error) {
+	if fraction < 0 {
+		fraction = 0
+	}
+	if fraction > 1 {
+		fraction = 1
+	}
+	type edge struct{ a, b int }
+	var edges []edge
+	for v := 0; v < g.N(); v++ {
+		for _, w := range g.Neighbors(v) {
+			if v < w {
+				edges = append(edges, edge{v, w})
+			}
+		}
+	}
+	k := int(float64(len(edges))*fraction + 0.5)
+	if k > len(edges) {
+		k = len(edges)
+	}
+	rng.Shuffle(len(edges), func(i, j int) { edges[i], edges[j] = edges[j], edges[i] })
+	out := g.Clone()
+	out.Name = fmt.Sprintf("%s-f%.3f", g.Name, fraction)
+	failures := make([]Failure, 0, k)
+	for _, e := range edges[:k] {
+		if !out.RemoveLink(e.a, e.b) {
+			return nil, nil, fmt.Errorf("resilience: failed to remove link %d-%d", e.a, e.b)
+		}
+		failures = append(failures, Failure{A: e.a, B: e.b})
+	}
+	return out, failures, nil
+}
+
+// PathReport compares rack-to-rack shortest paths before and after failures.
+type PathReport struct {
+	// Disconnected counts ordered rack pairs that lost all connectivity.
+	Disconnected int
+	// Pairs is the total ordered rack pairs considered.
+	Pairs int
+	// MeanDilation is the mean of dist_after/dist_before over still
+	// connected pairs (1.0 = no stretch).
+	MeanDilation float64
+	// MaxDilation is the worst stretch observed.
+	MaxDilation float64
+}
+
+// ComparePaths measures the dilation failures introduce.
+func ComparePaths(before, after *topology.Graph) (PathReport, error) {
+	if before.N() != after.N() {
+		return PathReport{}, fmt.Errorf("resilience: graphs differ in size")
+	}
+	racks := before.Racks()
+	var rep PathReport
+	sum := 0.0
+	counted := 0
+	for _, r := range racks {
+		db := topology.BFS(before, r)
+		da := topology.BFS(after, r)
+		for _, q := range racks {
+			if q == r {
+				continue
+			}
+			rep.Pairs++
+			if db[q] < 0 {
+				continue // was never connected; not a failure effect
+			}
+			if da[q] < 0 {
+				rep.Disconnected++
+				continue
+			}
+			d := float64(da[q]) / float64(db[q])
+			sum += d
+			counted++
+			if d > rep.MaxDilation {
+				rep.MaxDilation = d
+			}
+		}
+	}
+	if counted > 0 {
+		rep.MeanDilation = sum / float64(counted)
+	}
+	return rep, nil
+}
+
+// DiversityReport summarizes multipath degradation under a routing scheme.
+type DiversityReport struct {
+	// MeanPathsBefore/After are average admissible-path counts over sampled
+	// rack pairs.
+	MeanPathsBefore, MeanPathsAfter float64
+	// MinPathsAfter is the worst-case surviving diversity.
+	MinPathsAfter int
+}
+
+// PathSetCounter is the subset of routing.Scheme needed here (avoids a
+// dependency cycle and lets tests substitute fakes).
+type PathSetCounter interface {
+	PathSet(src, dst, max int) [][]int
+}
+
+// CompareDiversity samples rack pairs and reports admissible path counts
+// under schemes built for the before/after fabrics.
+func CompareDiversity(before, after *topology.Graph, sBefore, sAfter PathSetCounter, samples int, rng *rand.Rand) DiversityReport {
+	racks := before.Racks()
+	rep := DiversityReport{MinPathsAfter: int(^uint(0) >> 1)}
+	if len(racks) < 2 || samples <= 0 {
+		rep.MinPathsAfter = 0
+		return rep
+	}
+	const cap = 64
+	sb, sa := 0, 0
+	for i := 0; i < samples; i++ {
+		src := racks[rng.Intn(len(racks))]
+		dst := racks[rng.Intn(len(racks))]
+		for dst == src {
+			dst = racks[rng.Intn(len(racks))]
+		}
+		nb := len(sBefore.PathSet(src, dst, cap))
+		na := len(sAfter.PathSet(src, dst, cap))
+		sb += nb
+		sa += na
+		if na < rep.MinPathsAfter {
+			rep.MinPathsAfter = na
+		}
+	}
+	rep.MeanPathsBefore = float64(sb) / float64(samples)
+	rep.MeanPathsAfter = float64(sa) / float64(samples)
+	return rep
+}

@@ -1,0 +1,173 @@
+package resilience
+
+import (
+	"fmt"
+	"math/rand"
+
+	"spineless/internal/bgp"
+	"spineless/internal/metrics"
+	"spineless/internal/netsim"
+	"spineless/internal/routing"
+	"spineless/internal/topology"
+	"spineless/internal/workload"
+)
+
+// StudyConfig parameterizes a failure sweep on one fabric.
+type StudyConfig struct {
+	// Fractions are the link-failure rates to sweep (e.g. 0.01, 0.05, 0.10).
+	Fractions []float64
+	// K is the Shortest-Union K used for routing and BGP (≥2).
+	K int
+	// Flows is the uniform-workload flow count for the FCT measurement
+	// (0 skips the packet simulation).
+	Flows int
+	// Samples is the rack-pair sample count for diversity measurement.
+	Samples int
+	// Net configures the packet simulator.
+	Net netsim.Config
+	// Seed drives failure selection and workloads.
+	Seed int64
+}
+
+// DefaultStudyConfig sweeps 1%, 5% and 10% link failures under SU(2).
+func DefaultStudyConfig() StudyConfig {
+	return StudyConfig{
+		Fractions: []float64{0.01, 0.05, 0.10},
+		K:         2,
+		Flows:     200,
+		Samples:   64,
+		Net:       netsim.DefaultConfig(),
+		Seed:      1,
+	}
+}
+
+// StudyRow is the outcome at one failure fraction.
+type StudyRow struct {
+	Fraction     float64
+	FailedLinks  int
+	Connected    bool
+	Paths        PathReport
+	Diversity    DiversityReport
+	ReconvRounds int // BGP rounds to reconverge from the pre-failure RIB
+	P99FCTms     float64
+	MedianFCTms  float64
+	Incomplete   int
+}
+
+// Study sweeps failure fractions on fabric g: for each fraction it fails
+// links, measures path dilation and multipath degradation, reconverges the
+// §4 BGP control plane from the pre-failure RIB (counting rounds), and —
+// when cfg.Flows > 0 — replays a uniform workload through the packet
+// simulator on the degraded fabric.
+func Study(g *topology.Graph, cfg StudyConfig) ([]StudyRow, error) {
+	if cfg.K < 2 {
+		return nil, fmt.Errorf("resilience: K must be >= 2")
+	}
+	baseFib, err := routing.NewShortestUnion(g, cfg.K)
+	if err != nil {
+		return nil, err
+	}
+	baseNet, err := bgp.Build(g, cfg.K)
+	if err != nil {
+		return nil, err
+	}
+	baseRib, _, err := baseNet.Converge()
+	if err != nil {
+		return nil, err
+	}
+
+	var rows []StudyRow
+	for _, f := range cfg.Fractions {
+		rng := rand.New(rand.NewSource(cfg.Seed))
+		failed, failures, err := FailRandomLinks(g, f, rng)
+		if err != nil {
+			return nil, err
+		}
+		row := StudyRow{Fraction: f, FailedLinks: len(failures), Connected: failed.Connected()}
+
+		row.Paths, err = ComparePaths(g, failed)
+		if err != nil {
+			return nil, err
+		}
+		if !row.Connected {
+			// Partitioned fabric: routing state is still well-defined per
+			// component, but the FCT replay would block forever; report the
+			// structural metrics only.
+			rows = append(rows, row)
+			continue
+		}
+
+		failedFib, err := routing.NewShortestUnion(failed, cfg.K)
+		if err != nil {
+			return nil, err
+		}
+		row.Diversity = CompareDiversity(g, failed, baseFib, failedFib, cfg.Samples, rng)
+
+		failedNet, err := bgp.Build(failed, cfg.K)
+		if err != nil {
+			return nil, err
+		}
+		rib, rounds, err := failedNet.ConvergeFrom(baseRib)
+		if err != nil {
+			return nil, err
+		}
+		row.ReconvRounds = rounds
+		if err := bgp.VerifyTheorem1(failedNet, rib); err != nil {
+			return nil, fmt.Errorf("resilience: post-failure routing broken: %w", err)
+		}
+
+		if cfg.Flows > 0 {
+			st, err := replayUniform(failed, failedFib, cfg, rng)
+			if err != nil {
+				return nil, err
+			}
+			row.P99FCTms = st.P99MS
+			row.MedianFCTms = st.MedianMS
+			row.Incomplete = st.Incomplete
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+func replayUniform(g *topology.Graph, scheme routing.Scheme, cfg StudyConfig, rng *rand.Rand) (metrics.FCTStats, error) {
+	flows, err := workload.GenerateFlows(g, workload.Uniform(len(g.Racks())), workload.GenConfig{
+		Flows:    cfg.Flows,
+		Sizes:    workload.Pareto{MeanBytes: 30e3, Alpha: 1.05, Cap: 300e3},
+		WindowNS: 4e6,
+	}, rng)
+	if err != nil {
+		return metrics.FCTStats{}, err
+	}
+	sim, err := netsim.New(g, scheme, cfg.Net)
+	if err != nil {
+		return metrics.FCTStats{}, err
+	}
+	res, err := sim.Run(flows)
+	if err != nil {
+		return metrics.FCTStats{}, err
+	}
+	return metrics.SummarizeFCT(res.FCTNS), nil
+}
+
+// Table renders a failure study.
+func Table(rows []StudyRow) string {
+	var t metrics.Table
+	t.AddRow("fail%", "links", "connected", "dilation(mean)", "dilation(max)",
+		"paths before", "paths after", "min paths", "reconv rounds", "p99 FCT ms")
+	for _, r := range rows {
+		t.AddRow(
+			fmt.Sprintf("%.1f%%", r.Fraction*100),
+			fmt.Sprintf("%d", r.FailedLinks),
+			fmt.Sprintf("%v", r.Connected),
+			fmt.Sprintf("%.3f", r.Paths.MeanDilation),
+			fmt.Sprintf("%.2f", r.Paths.MaxDilation),
+			fmt.Sprintf("%.1f", r.Diversity.MeanPathsBefore),
+			fmt.Sprintf("%.1f", r.Diversity.MeanPathsAfter),
+			fmt.Sprintf("%d", r.Diversity.MinPathsAfter),
+			fmt.Sprintf("%d", r.ReconvRounds),
+			fmt.Sprintf("%.3f", r.P99FCTms),
+		)
+	}
+	return t.String()
+}

@@ -1,0 +1,39 @@
+package routing
+
+// GreedyDisjoint returns a maximal (greedy) subset of the given paths that
+// are pairwise link-disjoint, preferring shorter paths. The result size is a
+// lower bound on the number of link-disjoint admissible paths; §4 claims
+// Shortest-Union(2) provides at least n+1 disjoint paths between any two
+// DRing racks (n = ToRs per supernode), which tests verify with this.
+func GreedyDisjoint(paths [][]int) [][]int {
+	// Stable selection: shorter paths first, then input order.
+	idx := make([]int, len(paths))
+	for i := range idx {
+		idx[i] = i
+	}
+	for i := 1; i < len(idx); i++ {
+		for j := i; j > 0 && len(paths[idx[j]]) < len(paths[idx[j-1]]); j-- {
+			idx[j], idx[j-1] = idx[j-1], idx[j]
+		}
+	}
+	used := make(map[[2]int]bool)
+	var out [][]int
+	for _, i := range idx {
+		p := paths[i]
+		ok := true
+		for h := 0; h+1 < len(p); h++ {
+			if used[edgeKey(p[h], p[h+1])] {
+				ok = false
+				break
+			}
+		}
+		if !ok {
+			continue
+		}
+		for h := 0; h+1 < len(p); h++ {
+			used[edgeKey(p[h], p[h+1])] = true
+		}
+		out = append(out, p)
+	}
+	return out
+}

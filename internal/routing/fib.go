@@ -1,0 +1,410 @@
+package routing
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"sort"
+
+	"spineless/internal/topology"
+)
+
+// Fib is forwarding state for ECMP or Shortest-Union(K) over a fabric.
+//
+// It materializes the paper's §4 VRF construction as a K-layer virtual
+// graph. Virtual node (layer l, router r) models VRF l+1 on router r; hosts
+// sit in VRF K. For every directed physical link u→v the virtual links are
+//
+//	(VRF K, u) → (VRF i, v)  cost i,  i = 1..K   (path admission)
+//	(VRF i, u) → (VRF i+1, v) cost 1,  i < K      (ascent toward delivery)
+//	(VRF 1, u) → (VRF 1, v)  cost 1              (transit floor)
+//
+// with delivery at (VRF K, dst). Equal-cost shortest paths in this graph are
+// exactly the Shortest-Union(K) path set: every physical path of length ≤ K
+// plus every shortest physical path (Theorem 1: the (VRF K,src)→(VRF K,dst)
+// distance is max(L, K) where L is the physical distance). ECMP is the
+// degenerate single-layer, unit-cost instance.
+type Fib struct {
+	g      *topology.Graph
+	name   string
+	K      int // 0 for plain ECMP
+	layers int
+	n      int
+
+	// Reversed virtual adjacency: for Dijkstra from the delivery node.
+	rev [][]varc
+	// Forward virtual adjacency: for next-hop extraction.
+	fwd [][]varc
+
+	// Per destination switch: cost-to-go and equal-cost next hops.
+	ctg  [][]int32
+	next [][][]int32
+	// npaths[dst][vnode] counts min-cost virtual paths from vnode to the
+	// delivery node (saturating), for weighted next-hop selection.
+	npaths [][]int64
+}
+
+type varc struct {
+	to   int32
+	cost int8
+}
+
+// NewECMP builds standard shortest-path ECMP forwarding state for g.
+func NewECMP(g *topology.Graph) *Fib {
+	f := &Fib{g: g, name: "ecmp", K: 0, layers: 1, n: g.N()}
+	f.buildEdges()
+	f.buildAll()
+	return f
+}
+
+// NewShortestUnion builds Shortest-Union(K) forwarding state for g. K must
+// be at least 2 (K=1 is plain ECMP; use NewECMP).
+func NewShortestUnion(g *topology.Graph, k int) (*Fib, error) {
+	if k < 2 {
+		return nil, fmt.Errorf("routing: shortest-union requires K >= 2, got %d", k)
+	}
+	if k > 120 {
+		return nil, fmt.Errorf("routing: K = %d too large", k)
+	}
+	f := &Fib{g: g, name: fmt.Sprintf("shortest-union(%d)", k), K: k, layers: k, n: g.N()}
+	f.buildEdges()
+	f.buildAll()
+	return f, nil
+}
+
+// Name implements Scheme.
+func (f *Fib) Name() string { return f.name }
+
+// Graph returns the fabric this FIB routes.
+func (f *Fib) Graph() *topology.Graph { return f.g }
+
+func (f *Fib) vnode(layer, router int) int { return layer*f.n + router }
+func (f *Fib) router(vn int) int           { return vn % f.n }
+
+// deliveryLayer is the layer hosting servers (VRF K).
+func (f *Fib) deliveryLayer() int { return f.layers - 1 }
+
+func (f *Fib) addArc(from, to, cost int) {
+	f.fwd[from] = append(f.fwd[from], varc{to: int32(to), cost: int8(cost)})
+	f.rev[to] = append(f.rev[to], varc{to: int32(from), cost: int8(cost)})
+}
+
+func (f *Fib) buildEdges() {
+	v := f.layers * f.n
+	f.fwd = make([][]varc, v)
+	f.rev = make([][]varc, v)
+	for u := 0; u < f.n; u++ {
+		for _, w := range f.g.Neighbors(u) {
+			if f.K == 0 {
+				f.addArc(f.vnode(0, u), f.vnode(0, w), 1)
+				continue
+			}
+			top := f.deliveryLayer()
+			// (VRF K, u) → (VRF i, w) cost i.
+			for i := 1; i <= f.K; i++ {
+				f.addArc(f.vnode(top, u), f.vnode(i-1, w), i)
+			}
+			// (VRF i, u) → (VRF i+1, w) cost 1 for i < K.
+			for l := 0; l < top; l++ {
+				f.addArc(f.vnode(l, u), f.vnode(l+1, w), 1)
+			}
+			// (VRF 1, u) → (VRF 1, w) cost 1.
+			f.addArc(f.vnode(0, u), f.vnode(0, w), 1)
+		}
+	}
+}
+
+func (f *Fib) buildAll() {
+	f.ctg = make([][]int32, f.n)
+	f.next = make([][][]int32, f.n)
+	f.npaths = make([][]int64, f.n)
+	for dst := 0; dst < f.n; dst++ {
+		f.buildDst(dst)
+	}
+}
+
+// buildDst runs Dijkstra over reversed virtual arcs from the delivery node
+// of dst, then records every arc on an equal-cost shortest path.
+func (f *Fib) buildDst(dst int) {
+	v := f.layers * f.n
+	const inf = int32(math.MaxInt32 / 2)
+	ctg := make([]int32, v)
+	for i := range ctg {
+		ctg[i] = inf
+	}
+	target := f.vnode(f.deliveryLayer(), dst)
+	ctg[target] = 0
+	pq := &vheap{{node: int32(target), dist: 0}}
+	for pq.Len() > 0 {
+		it := heap.Pop(pq).(vitem)
+		if it.dist > ctg[it.node] {
+			continue
+		}
+		for _, a := range f.rev[it.node] {
+			nd := it.dist + int32(a.cost)
+			if nd < ctg[a.to] {
+				ctg[a.to] = nd
+				heap.Push(pq, vitem{node: a.to, dist: nd})
+			}
+		}
+	}
+	next := make([][]int32, v)
+	for u := 0; u < v; u++ {
+		if ctg[u] >= inf || u == target {
+			continue
+		}
+		for _, a := range f.fwd[u] {
+			if ctg[u] == int32(a.cost)+ctg[a.to] {
+				next[u] = append(next[u], a.to)
+			}
+		}
+	}
+	f.ctg[dst] = ctg
+	f.next[dst] = next
+
+	// Count min-cost paths: cost-to-go strictly decreases along equal-cost
+	// arcs, so processing vnodes by increasing ctg is a topological order.
+	counts := make([]int64, v)
+	counts[target] = 1
+	order := make([]int32, 0, v)
+	for u := 0; u < v; u++ {
+		if ctg[u] < inf {
+			order = append(order, int32(u))
+		}
+	}
+	sort.Slice(order, func(a, b int) bool { return ctg[order[a]] < ctg[order[b]] })
+	const saturate = int64(1) << 40
+	for _, u := range order {
+		if u == int32(target) {
+			continue
+		}
+		var c int64
+		for _, nh := range next[u] {
+			c += counts[nh]
+			if c >= saturate {
+				c = saturate
+				break
+			}
+		}
+		counts[u] = c
+	}
+	f.npaths[dst] = counts
+}
+
+type vitem struct {
+	node int32
+	dist int32
+}
+
+type vheap []vitem
+
+func (h vheap) Len() int            { return len(h) }
+func (h vheap) Less(i, j int) bool  { return h[i].dist < h[j].dist }
+func (h vheap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *vheap) Push(x interface{}) { *h = append(*h, x.(vitem)) }
+func (h *vheap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}
+
+// Distance returns the virtual-graph distance from src's delivery node to
+// dst's delivery node: the physical hop distance for ECMP, and max(L, K)
+// for Shortest-Union(K) (§4, Theorem 1). It returns -1 if unreachable.
+func (f *Fib) Distance(src, dst int) int {
+	d := f.ctg[dst][f.vnode(f.deliveryLayer(), src)]
+	if d >= math.MaxInt32/2 {
+		return -1
+	}
+	return int(d)
+}
+
+// Path implements Scheme: hop-by-hop equal-cost selection hashed on flowID.
+func (f *Fib) Path(src, dst int, flowID uint64) []int {
+	if src == dst {
+		return []int{src}
+	}
+	target := f.vnode(f.deliveryLayer(), dst)
+	state := f.vnode(f.deliveryLayer(), src)
+	path := []int{src}
+	next := f.next[dst]
+	for hop := 0; state != target; hop++ {
+		nh := next[state]
+		if len(nh) == 0 {
+			return nil // unreachable
+		}
+		state = int(nh[hashChoice(flowID, hop, f.router(state), len(nh))])
+		path = append(path, f.router(state))
+		if hop > f.layers*f.n {
+			panic("routing: forwarding walk did not terminate")
+		}
+	}
+	return path
+}
+
+// PathSet implements Scheme: it enumerates the admissible physical paths by
+// depth-first search over the equal-cost next-hop DAG, rejecting walks that
+// revisit a router (BGP's AS-path loop prevention) and deduplicating
+// physical paths (beyond distance K a physical path is realizable through
+// more than one VRF layer schedule — e.g. 2→1→2→1→2 and 2→1→1→1→2 both
+// cost L — which weights forwarding but must not inflate the enumeration).
+// max caps the result; 0 means unlimited.
+func (f *Fib) PathSet(src, dst, max int) [][]int {
+	if src == dst {
+		return [][]int{{src}}
+	}
+	target := f.vnode(f.deliveryLayer(), dst)
+	start := f.vnode(f.deliveryLayer(), src)
+	next := f.next[dst]
+
+	var out [][]int
+	seen := map[string]bool{}
+	onPath := map[int]bool{src: true}
+	cur := []int{src}
+	var dfs func(state int) bool
+	dfs = func(state int) bool {
+		if state == target {
+			k := physPathKey(cur)
+			if !seen[k] {
+				seen[k] = true
+				out = append(out, append([]int(nil), cur...))
+			}
+			return max == 0 || len(out) < max
+		}
+		for _, nh := range next[state] {
+			r := f.router(int(nh))
+			if onPath[r] {
+				continue
+			}
+			onPath[r] = true
+			cur = append(cur, r)
+			ok := dfs(int(nh))
+			cur = cur[:len(cur)-1]
+			delete(onPath, r)
+			if !ok {
+				return false
+			}
+		}
+		return true
+	}
+	dfs(start)
+	return out
+}
+
+func physPathKey(p []int) string {
+	b := make([]byte, 0, len(p)*3)
+	for _, v := range p {
+		b = append(b, byte(v), byte(v>>8), byte(v>>16))
+	}
+	return string(b)
+}
+
+// NextHopRouters returns the distinct physical next-hop switches a packet
+// at src may use toward dst (layer-collapsed), useful for diagnostics.
+func (f *Fib) NextHopRouters(src, dst int) []int {
+	if src == dst {
+		return nil
+	}
+	seen := map[int]bool{}
+	var out []int
+	for _, nh := range f.next[dst][f.vnode(f.deliveryLayer(), src)] {
+		r := f.router(int(nh))
+		if !seen[r] {
+			seen[r] = true
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// Weighted wraps a Fib with WCMP-style forwarding: at every hop the next
+// hop is chosen with probability proportional to the number of admissible
+// min-cost paths through it, instead of uniformly. On fabrics with uneven
+// path multiplicity (the §5.1 DRing's supernodes differ by one ToR) uniform
+// hashing overloads the sparse directions; weighting restores balance.
+// PathSet semantics are identical to the underlying Fib's.
+type Weighted struct{ *Fib }
+
+// NewWeighted wraps fib with path-count-weighted hashing.
+func NewWeighted(fib *Fib) Weighted { return Weighted{fib} }
+
+// Name implements Scheme.
+func (w Weighted) Name() string { return "wcmp(" + w.Fib.Name() + ")" }
+
+// Path implements Scheme with weighted per-hop selection.
+func (w Weighted) Path(src, dst int, flowID uint64) []int {
+	f := w.Fib
+	if src == dst {
+		return []int{src}
+	}
+	target := f.vnode(f.deliveryLayer(), dst)
+	state := f.vnode(f.deliveryLayer(), src)
+	path := []int{src}
+	next := f.next[dst]
+	counts := f.npaths[dst]
+	for hop := 0; state != target; hop++ {
+		nh := next[state]
+		if len(nh) == 0 {
+			return nil
+		}
+		var total int64
+		for _, x := range nh {
+			total += counts[x]
+		}
+		var pick int32
+		if total <= 0 {
+			pick = nh[hashChoice(flowID, hop, f.router(state), len(nh))]
+		} else {
+			r := int64(splitmix64(flowID^splitmix64(uint64(hop)<<32|uint64(uint32(f.router(state))))) % uint64(total))
+			for _, x := range nh {
+				r -= counts[x]
+				if r < 0 {
+					pick = x
+					break
+				}
+			}
+		}
+		state = int(pick)
+		path = append(path, f.router(state))
+		if hop > f.layers*f.n {
+			panic("routing: weighted walk did not terminate")
+		}
+	}
+	return path
+}
+
+var _ Scheme = Weighted{}
+
+// VNode is a (VRF, router) pair in the virtual forwarding graph. VRF is
+// 1-based as in the paper; plain ECMP has a single VRF 1.
+type VNode struct {
+	VRF    int
+	Router int
+}
+
+// VirtualNextHops returns the equal-cost next hops at (vrf, router) toward
+// dst in the virtual graph, for cross-validation against the BGP control
+// plane. VRFs are 1-based; for ECMP the only valid vrf is 1.
+func (f *Fib) VirtualNextHops(vrf, router, dst int) []VNode {
+	layer := vrf - 1
+	if layer < 0 || layer >= f.layers {
+		return nil
+	}
+	var out []VNode
+	seen := map[int]bool{}
+	for _, nh := range f.next[dst][f.vnode(layer, router)] {
+		if seen[int(nh)] {
+			continue // parallel links duplicate virtual arcs
+		}
+		seen[int(nh)] = true
+		out = append(out, VNode{VRF: int(nh)/f.n + 1, Router: f.router(int(nh))})
+	}
+	return out
+}
+
+// K returns the scheme's K (0 for plain ECMP).
+func (f *Fib) SchemeK() int { return f.K }
+
+var _ Scheme = (*Fib)(nil)

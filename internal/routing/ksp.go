@@ -1,0 +1,215 @@
+package routing
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"spineless/internal/topology"
+)
+
+// KSP is k-shortest-path routing, the scheme Jellyfish [23] pairs with
+// MPTCP. Each rack pair uses its k shortest loopless paths (Yen's
+// algorithm, unit weights); a flow is pinned to one of them by hash.
+type KSP struct {
+	g *topology.Graph
+	k int
+
+	mu    sync.Mutex
+	cache map[[2]int][][]int
+}
+
+// NewKSP builds a k-shortest-path scheme over g. Path sets are computed
+// lazily per rack pair and memoized.
+func NewKSP(g *topology.Graph, k int) (*KSP, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("routing: ksp requires k >= 1, got %d", k)
+	}
+	return &KSP{g: g, k: k, cache: make(map[[2]int][][]int)}, nil
+}
+
+// Name implements Scheme.
+func (s *KSP) Name() string { return fmt.Sprintf("ksp(%d)", s.k) }
+
+// Path implements Scheme: flows are pinned to one of the k paths by hash.
+func (s *KSP) Path(src, dst int, flowID uint64) []int {
+	if src == dst {
+		return []int{src}
+	}
+	paths := s.paths(src, dst)
+	if len(paths) == 0 {
+		return nil
+	}
+	return paths[hashChoice(flowID, 0, src, len(paths))]
+}
+
+// PathSet implements Scheme.
+func (s *KSP) PathSet(src, dst, max int) [][]int {
+	if src == dst {
+		return [][]int{{src}}
+	}
+	paths := s.paths(src, dst)
+	if max > 0 && len(paths) > max {
+		paths = paths[:max]
+	}
+	out := make([][]int, len(paths))
+	for i, p := range paths {
+		out[i] = append([]int(nil), p...)
+	}
+	return out
+}
+
+func (s *KSP) paths(src, dst int) [][]int {
+	key := [2]int{src, dst}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if p, ok := s.cache[key]; ok {
+		return p
+	}
+	p := YenKSP(s.g, src, dst, s.k)
+	s.cache[key] = p
+	return p
+}
+
+// YenKSP returns up to k shortest loopless switch paths from src to dst
+// using Yen's algorithm over unit-weight links. Paths are ordered by length
+// (ties broken deterministically by lexicographic order).
+func YenKSP(g *topology.Graph, src, dst, k int) [][]int {
+	first := bfsPath(g, src, dst, nil, nil)
+	if first == nil {
+		return nil
+	}
+	accepted := [][]int{first}
+	var candidates [][]int
+
+	for len(accepted) < k {
+		prev := accepted[len(accepted)-1]
+		for i := 0; i < len(prev)-1; i++ {
+			spur := prev[i]
+			root := prev[:i+1]
+
+			bannedEdges := make(map[[2]int]bool)
+			for _, p := range accepted {
+				if len(p) > i && equalPrefix(p, root) {
+					bannedEdges[edgeKey(p[i], p[i+1])] = true
+				}
+			}
+			bannedNodes := make(map[int]bool, i)
+			for _, v := range root[:len(root)-1] {
+				bannedNodes[v] = true
+			}
+
+			tail := bfsPath(g, spur, dst, bannedNodes, bannedEdges)
+			if tail == nil {
+				continue
+			}
+			cand := append(append([]int(nil), root[:len(root)-1]...), tail...)
+			if !containsPath(accepted, cand) && !containsPath(candidates, cand) {
+				candidates = append(candidates, cand)
+			}
+		}
+		if len(candidates) == 0 {
+			break
+		}
+		sort.Slice(candidates, func(a, b int) bool {
+			if len(candidates[a]) != len(candidates[b]) {
+				return len(candidates[a]) < len(candidates[b])
+			}
+			return lexLess(candidates[a], candidates[b])
+		})
+		accepted = append(accepted, candidates[0])
+		candidates = candidates[1:]
+	}
+	return accepted
+}
+
+func edgeKey(a, b int) [2]int {
+	if a > b {
+		a, b = b, a
+	}
+	return [2]int{a, b}
+}
+
+func equalPrefix(p, prefix []int) bool {
+	if len(p) < len(prefix) {
+		return false
+	}
+	for i, v := range prefix {
+		if p[i] != v {
+			return false
+		}
+	}
+	return true
+}
+
+func containsPath(set [][]int, p []int) bool {
+	for _, q := range set {
+		if len(q) == len(p) {
+			same := true
+			for i := range q {
+				if q[i] != p[i] {
+					same = false
+					break
+				}
+			}
+			if same {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func lexLess(a, b []int) bool {
+	for i := 0; i < len(a) && i < len(b); i++ {
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return len(a) < len(b)
+}
+
+// bfsPath finds one shortest path avoiding banned nodes and edges, with
+// deterministic tie-breaking (lowest neighbor id first).
+func bfsPath(g *topology.Graph, src, dst int, bannedNodes map[int]bool, bannedEdges map[[2]int]bool) []int {
+	if src == dst {
+		return []int{src}
+	}
+	if bannedNodes[src] || bannedNodes[dst] {
+		return nil
+	}
+	parent := make([]int, g.N())
+	for i := range parent {
+		parent[i] = -1
+	}
+	parent[src] = src
+	queue := []int{src}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		// Deterministic order: sort a copy of the adjacency.
+		nb := append([]int(nil), g.Neighbors(v)...)
+		sort.Ints(nb)
+		for _, w := range nb {
+			if parent[w] >= 0 || bannedNodes[w] || bannedEdges[edgeKey(v, w)] {
+				continue
+			}
+			parent[w] = v
+			if w == dst {
+				var path []int
+				for x := dst; x != src; x = parent[x] {
+					path = append(path, x)
+				}
+				path = append(path, src)
+				for i, j := 0, len(path)-1; i < j; i, j = i+1, j-1 {
+					path[i], path[j] = path[j], path[i]
+				}
+				return path
+			}
+			queue = append(queue, w)
+		}
+	}
+	return nil
+}
+
+var _ Scheme = (*KSP)(nil)

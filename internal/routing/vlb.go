@@ -1,0 +1,100 @@
+package routing
+
+import (
+	"spineless/internal/topology"
+)
+
+// VLB is Valiant load balancing: each flow is bounced through a hashed
+// intermediate switch using shortest paths on both legs. The paper's §2
+// discusses the ECMP/VLB hybrid of Kassing et al. [15]; pure VLB is the
+// oblivious extreme and serves as an ablation baseline here.
+type VLB struct {
+	g    *topology.Graph
+	ecmp *Fib
+}
+
+// NewVLB builds a VLB scheme over g, reusing ECMP forwarding per leg.
+func NewVLB(g *topology.Graph) *VLB {
+	return &VLB{g: g, ecmp: NewECMP(g)}
+}
+
+// Name implements Scheme.
+func (s *VLB) Name() string { return "vlb" }
+
+// Path implements Scheme. The intermediate switch is chosen by flow hash
+// (excluding src and dst); the two shortest-path legs are then ECMP-hashed.
+// Any switch-level loop created by the concatenation is spliced out, which
+// is what a real FIB would do (the packet would simply be forwarded on).
+func (s *VLB) Path(src, dst int, flowID uint64) []int {
+	if src == dst {
+		return []int{src}
+	}
+	mid := s.intermediate(src, dst, flowID)
+	if mid < 0 {
+		return s.ecmp.Path(src, dst, flowID)
+	}
+	a := s.ecmp.Path(src, mid, flowID)
+	b := s.ecmp.Path(mid, dst, splitmix64(flowID))
+	if a == nil || b == nil {
+		return nil
+	}
+	return SpliceLoops(append(a, b[1:]...))
+}
+
+// PathSet implements Scheme. VLB admits, for every intermediate m, the
+// concatenation of shortest paths src→m→dst; enumerating all is exponential,
+// so PathSet samples one spliced path per intermediate.
+func (s *VLB) PathSet(src, dst, max int) [][]int {
+	if src == dst {
+		return [][]int{{src}}
+	}
+	var out [][]int
+	for m := 0; m < s.g.N(); m++ {
+		if m == src || m == dst {
+			continue
+		}
+		a := s.ecmp.Path(src, m, uint64(m))
+		b := s.ecmp.Path(m, dst, uint64(m)+1)
+		if a == nil || b == nil {
+			continue
+		}
+		out = append(out, SpliceLoops(append(a, b[1:]...)))
+		if max > 0 && len(out) >= max {
+			break
+		}
+	}
+	return out
+}
+
+func (s *VLB) intermediate(src, dst int, flowID uint64) int {
+	n := s.g.N()
+	if n <= 2 {
+		return -1
+	}
+	m := hashChoice(splitmix64(flowID^0x1b0), 0, src, n)
+	for m == src || m == dst {
+		m = (m + 1) % n
+	}
+	return m
+}
+
+// SpliceLoops removes switch-level loops from a walk by keeping only the
+// last occurrence of each repeated switch, yielding a simple path with the
+// same endpoints.
+func SpliceLoops(walk []int) []int {
+	last := make(map[int]int, len(walk))
+	for i, v := range walk {
+		last[v] = i
+	}
+	out := make([]int, 0, len(walk))
+	for i := 0; i < len(walk); i++ {
+		v := walk[i]
+		out = append(out, v)
+		if j := last[v]; j > i {
+			i = j // skip the loop; v already emitted once
+		}
+	}
+	return out
+}
+
+var _ Scheme = (*VLB)(nil)

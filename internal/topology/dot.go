@@ -1,0 +1,49 @@
+package topology
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// WriteDOT emits the fabric as a Graphviz DOT graph: switches as boxes
+// labelled with their server counts, network links as edges (parallel
+// links drawn individually). Handy for eyeballing small fabrics:
+//
+//	go run ./cmd/spineless topo -dot | dot -Tsvg > fabric.svg
+func WriteDOT(w io.Writer, g *Graph) error {
+	var b strings.Builder
+	fmt.Fprintf(&b, "graph %q {\n", sanitizeDOT(g.Name))
+	b.WriteString("  node [shape=box, fontname=\"Helvetica\", fontsize=10];\n")
+	b.WriteString("  edge [color=\"#888888\"];\n")
+	for v := 0; v < g.N(); v++ {
+		label := fmt.Sprintf("s%d", v)
+		if c := g.ServerCount(v); c > 0 {
+			label = fmt.Sprintf("s%d\\n%d srv", v, c)
+		}
+		fill := "#eef4fb"
+		if g.ServerCount(v) == 0 {
+			fill = "#fbeeee" // serverless switches (spines/cores) tinted red
+		}
+		fmt.Fprintf(&b, "  n%d [label=\"%s\", style=filled, fillcolor=%q];\n", v, label, fill)
+	}
+	for v := 0; v < g.N(); v++ {
+		for _, u := range g.Neighbors(v) {
+			if v < u {
+				fmt.Fprintf(&b, "  n%d -- n%d;\n", v, u)
+			}
+		}
+	}
+	b.WriteString("}\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+func sanitizeDOT(s string) string {
+	return strings.Map(func(r rune) rune {
+		if r == '"' || r == '\\' || r == '\n' {
+			return '_'
+		}
+		return r
+	}, s)
+}

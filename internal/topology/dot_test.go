@@ -1,0 +1,37 @@
+package topology
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestWriteDOT(t *testing.T) {
+	g, err := LeafSpine(LeafSpineSpec{X: 2, Y: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	if err := WriteDOT(&b, g); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.HasPrefix(out, "graph ") || !strings.HasSuffix(out, "}\n") {
+		t.Fatalf("not a DOT graph:\n%s", out)
+	}
+	if strings.Count(out, " -- ") != g.Links() {
+		t.Fatalf("edges = %d, want %d", strings.Count(out, " -- "), g.Links())
+	}
+	// Leaves show server labels; spines show the serverless tint.
+	if !strings.Contains(out, "2 srv") {
+		t.Fatal("missing server label")
+	}
+	if !strings.Contains(out, "#fbeeee") {
+		t.Fatal("missing spine tint")
+	}
+}
+
+func TestSanitizeDOT(t *testing.T) {
+	if got := sanitizeDOT("a\"b\\c\nd"); got != "a_b_c_d" {
+		t.Fatalf("sanitize = %q", got)
+	}
+}

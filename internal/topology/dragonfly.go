@@ -1,0 +1,92 @@
+package topology
+
+import "fmt"
+
+// DragonflySpec describes a canonical Dragonfly [16]: Groups groups of A
+// routers each; routers within a group form a complete graph; each router
+// contributes H global links, and the A×H global link endpoints of a group
+// are spread across the other groups in the standard round-robin
+// arrangement. §7 names Dragonfly (with Slim Fly) as another low-diameter
+// flat network worth considering at small scale.
+type DragonflySpec struct {
+	A      int // routers per group
+	H      int // global links per router
+	Groups int // total groups; at most A*H + 1 for the canonical wiring
+	Ports  int // switch radix; spare ports host servers
+}
+
+// MaxGroups returns the largest canonical group count, a*h+1.
+func (s DragonflySpec) MaxGroups() int { return s.A*s.H + 1 }
+
+// Switches returns the total router count.
+func (s DragonflySpec) Switches() int { return s.A * s.Groups }
+
+// NetworkDegree returns each router's network degree: (A-1) local + H global.
+func (s DragonflySpec) NetworkDegree() int { return s.A - 1 + s.H }
+
+// Validate checks the spec.
+func (s DragonflySpec) Validate() error {
+	if s.A < 2 || s.H < 1 {
+		return fmt.Errorf("dragonfly: need A >= 2 and H >= 1, got A=%d H=%d: %w", s.A, s.H, ErrInfeasible)
+	}
+	if s.Groups < 2 || s.Groups > s.MaxGroups() {
+		return fmt.Errorf("dragonfly: groups must be in [2, %d], got %d: %w", s.MaxGroups(), s.Groups, ErrInfeasible)
+	}
+	if s.NetworkDegree() >= s.Ports {
+		return fmt.Errorf("dragonfly: network degree %d leaves no server ports on radix %d: %w",
+			s.NetworkDegree(), s.Ports, ErrInfeasible)
+	}
+	return nil
+}
+
+// Dragonfly builds the fabric. Routers are numbered group-major; servers
+// fill every router's spare ports, so the network is flat. With fewer than
+// the maximum groups, global ports that would reach missing groups are
+// reused as extra server ports.
+func Dragonfly(spec DragonflySpec) (*Graph, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	g := New(fmt.Sprintf("dragonfly(a=%d,h=%d,g=%d)", spec.A, spec.H, spec.Groups),
+		spec.Switches(), spec.Ports)
+	// Local links: complete graph within each group.
+	for grp := 0; grp < spec.Groups; grp++ {
+		base := grp * spec.A
+		for i := 0; i < spec.A; i++ {
+			for j := i + 1; j < spec.A; j++ {
+				if err := g.AddLink(base+i, base+j); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	// Global links: slot s ∈ [0, A*H) of group grp connects to group
+	// (grp + s + 1) mod MaxGroups when that group exists; the canonical
+	// pairing connects slot s of grp to the matching slot of the peer.
+	maxG := spec.MaxGroups()
+	for grp := 0; grp < spec.Groups; grp++ {
+		for s := 0; s < spec.A*spec.H; s++ {
+			peer := (grp + s + 1) % maxG
+			if peer >= spec.Groups || peer == grp {
+				continue // missing group: port becomes a server port
+			}
+			if grp < peer { // add each inter-group link once
+				// Router owning slot s locally, and the peer's matching slot:
+				// peer slot s' satisfies (peer + s' + 1) ≡ grp (mod maxG).
+				sp := (grp - peer - 1 + maxG) % maxG
+				if sp >= spec.A*spec.H {
+					continue
+				}
+				a := grp*spec.A + s/spec.H
+				b := peer*spec.A + sp/spec.H
+				if err := g.AddLink(a, b); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	for v := 0; v < g.N(); v++ {
+		g.SetServers(v, spec.Ports-g.NetworkDegree(v))
+	}
+	return g, nil
+}

@@ -1,0 +1,161 @@
+package topology
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// ExpandReport quantifies the rewiring cost of growing a fabric — the
+// §3.2 claim that the DRing "is easily incrementally expandable, by adding
+// supernodes in the ring supergraph", made measurable.
+type ExpandReport struct {
+	// LinksAdded and LinksRemoved count physical cabling changes among
+	// pre-existing and new switches.
+	LinksAdded, LinksRemoved int
+	// TouchedSwitches counts pre-existing switches whose cabling changed.
+	TouchedSwitches int
+	// ServerDelta is the change in total server ports across pre-existing
+	// switches (ports freed or consumed by the rewiring).
+	ServerDelta int
+}
+
+// ExpandDRing grows a DRing by appending new supernodes at the ring seam
+// (between the last and first supernode). Pre-existing ToRs keep their ids;
+// new ToRs are appended. It returns the expanded fabric and the rewiring
+// cost relative to DRing(old).
+//
+// The cost is local to the seam: only ToRs within ring distance 2 of the
+// insertion point are touched, independent of the ring's length — the
+// property that makes incremental expansion cheap at small scale.
+func ExpandDRing(old DRingSpec, extra []int) (*Graph, DRingSpec, ExpandReport, error) {
+	if len(extra) == 0 {
+		return nil, DRingSpec{}, ExpandReport{}, fmt.Errorf("dring: nothing to add: %w", ErrInfeasible)
+	}
+	for i, e := range extra {
+		if e <= 0 {
+			return nil, DRingSpec{}, ExpandReport{}, fmt.Errorf("dring: extra supernode %d has size %d: %w", i, e, ErrInfeasible)
+		}
+	}
+	newSpec := DRingSpec{Sizes: append(append([]int(nil), old.Sizes...), extra...), Ports: old.Ports}
+	gOld, err := DRing(old)
+	if err != nil {
+		return nil, DRingSpec{}, ExpandReport{}, err
+	}
+	gNew, err := DRing(newSpec)
+	if err != nil {
+		return nil, DRingSpec{}, ExpandReport{}, err
+	}
+	rep := diffGraphs(gOld, gNew)
+	return gNew, newSpec, rep, nil
+}
+
+// diffGraphs compares edge sets over the shared id range (old switches keep
+// their ids; new ones have ids >= old.N()).
+func diffGraphs(old, new *Graph) ExpandReport {
+	oldEdges := edgeSet(old)
+	newEdges := edgeSet(new)
+	var rep ExpandReport
+	touched := map[int]bool{}
+	for e := range oldEdges {
+		if !newEdges[e] {
+			rep.LinksRemoved++
+			touched[e[0]] = true
+			touched[e[1]] = true
+		}
+	}
+	for e := range newEdges {
+		if !oldEdges[e] {
+			rep.LinksAdded++
+			if e[0] < old.N() {
+				touched[e[0]] = true
+			}
+			if e[1] < old.N() {
+				touched[e[1]] = true
+			}
+		}
+	}
+	for v := range touched {
+		if v < old.N() {
+			rep.TouchedSwitches++
+		}
+	}
+	for v := 0; v < old.N(); v++ {
+		rep.ServerDelta += new.ServerCount(v) - old.ServerCount(v)
+	}
+	return rep
+}
+
+func edgeSet(g *Graph) map[[2]int]bool {
+	out := make(map[[2]int]bool, g.Links())
+	for v := 0; v < g.N(); v++ {
+		for _, w := range g.Neighbors(v) {
+			if v < w {
+				out[[2]int{v, w}] = true
+			}
+		}
+	}
+	return out
+}
+
+// ExpandRRG grows a random regular graph the Jellyfish way: each new switch
+// with degree d is attached by removing ⌊d/2⌋ random existing links and
+// connecting both freed endpoints to the newcomer. Servers are not
+// reassigned. It returns the expanded fabric and the rewiring cost.
+func ExpandRRG(g *Graph, newSwitches, degree int, rng *rand.Rand) (*Graph, ExpandReport, error) {
+	if newSwitches <= 0 || degree < 2 {
+		return nil, ExpandReport{}, fmt.Errorf("rrg: bad expansion (%d switches, degree %d): %w",
+			newSwitches, degree, ErrInfeasible)
+	}
+	out := g.Clone()
+	var rep ExpandReport
+	touched := map[int]bool{}
+	for k := 0; k < newSwitches; k++ {
+		v := out.AddSwitches(1)
+		need := degree / 2
+		for i := 0; i < need; i++ {
+			a, b, ok := randomEdgeAvoiding(out, v, rng)
+			if !ok {
+				return nil, ExpandReport{}, fmt.Errorf("rrg: no removable links left: %w", ErrInfeasible)
+			}
+			out.RemoveLink(a, b)
+			rep.LinksRemoved++
+			if err := out.AddLink(a, v); err != nil {
+				return nil, ExpandReport{}, err
+			}
+			if err := out.AddLink(b, v); err != nil {
+				return nil, ExpandReport{}, err
+			}
+			rep.LinksAdded += 2
+			if a < g.N() {
+				touched[a] = true
+			}
+			if b < g.N() {
+				touched[b] = true
+			}
+		}
+	}
+	rep.TouchedSwitches = len(touched)
+	return out, rep, nil
+}
+
+// randomEdgeAvoiding picks a uniform random link not incident to v and not
+// already duplicating a v-adjacency (keeps the graph simple).
+func randomEdgeAvoiding(g *Graph, v int, rng *rand.Rand) (int, int, bool) {
+	type edge struct{ a, b int }
+	var candidates []edge
+	for a := 0; a < g.N(); a++ {
+		if a == v {
+			continue
+		}
+		for _, b := range g.Neighbors(a) {
+			if a < b && b != v && !g.HasLink(a, v) && !g.HasLink(b, v) {
+				candidates = append(candidates, edge{a, b})
+			}
+		}
+	}
+	if len(candidates) == 0 {
+		return 0, 0, false
+	}
+	e := candidates[rng.Intn(len(candidates))]
+	return e.a, e.b, true
+}

@@ -1,0 +1,50 @@
+package topology
+
+import "fmt"
+
+// FatTree builds the 3-tier k-ary fat-tree of Al-Fares et al. [4] — the
+// hyperscale architecture the expander literature (§2) compares against.
+// It is included so the moderate-scale story can be contrasted with the
+// 3-tier world: k pods of k/2 edge and k/2 aggregation switches, (k/2)²
+// cores, k³/4 servers, every switch radix k.
+//
+// Switch ids: edges first (pod-major), then aggregations (pod-major), then
+// cores. Only edge switches host servers, so — like the leaf-spine — the
+// fat-tree is not flat.
+func FatTree(k int) (*Graph, error) {
+	if k < 2 || k%2 != 0 {
+		return nil, fmt.Errorf("fattree: k must be even and >= 2, got %d: %w", k, ErrInfeasible)
+	}
+	half := k / 2
+	edges := k * half
+	aggs := k * half
+	cores := half * half
+	g := New(fmt.Sprintf("fattree(%d)", k), edges+aggs+cores, k)
+
+	edgeID := func(pod, i int) int { return pod*half + i }
+	aggID := func(pod, j int) int { return edges + pod*half + j }
+	coreID := func(c int) int { return edges + aggs + c }
+
+	for pod := 0; pod < k; pod++ {
+		for i := 0; i < half; i++ {
+			g.SetServers(edgeID(pod, i), half)
+			for j := 0; j < half; j++ {
+				if err := g.AddLink(edgeID(pod, i), aggID(pod, j)); err != nil {
+					return nil, err
+				}
+			}
+		}
+		// Aggregation j uplinks to cores [j·k/2, (j+1)·k/2).
+		for j := 0; j < half; j++ {
+			for c := j * half; c < (j+1)*half; c++ {
+				if err := g.AddLink(aggID(pod, j), coreID(c)); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	return g, nil
+}
+
+// FatTreeServers returns k³/4.
+func FatTreeServers(k int) int { return k * k * k / 4 }

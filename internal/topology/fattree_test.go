@@ -1,0 +1,110 @@
+package topology
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestFatTreeStructure(t *testing.T) {
+	k := 4
+	g, err := FatTree(k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 5*k*k/4 {
+		t.Fatalf("switches = %d, want %d", g.N(), 5*k*k/4)
+	}
+	if g.Servers() != FatTreeServers(k) {
+		t.Fatalf("servers = %d, want %d", g.Servers(), FatTreeServers(k))
+	}
+	if !g.Connected() {
+		t.Fatal("fat-tree disconnected")
+	}
+	// Every switch uses exactly k ports.
+	for v := 0; v < g.N(); v++ {
+		if g.NetworkDegree(v)+g.ServerCount(v) != k {
+			t.Fatalf("switch %d uses %d ports, want %d",
+				v, g.NetworkDegree(v)+g.ServerCount(v), k)
+		}
+	}
+	// Only edges (first k²/2 switches) host servers.
+	for v := 0; v < g.N(); v++ {
+		hostsServers := g.ServerCount(v) > 0
+		isEdge := v < k*k/2
+		if hostsServers != isEdge {
+			t.Fatalf("switch %d: servers=%v edge=%v", v, hostsServers, isEdge)
+		}
+	}
+}
+
+func TestFatTreePathLengths(t *testing.T) {
+	g, err := FatTree(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := RackPathStats(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same pod: 2 hops via aggregation; cross-pod: 4 hops via core.
+	if st.Diameter != 4 {
+		t.Fatalf("rack diameter = %d, want 4", st.Diameter)
+	}
+	if st.Hist[2] <= 0 || st.Hist[4] <= 0 || st.Hist[1] != 0 || st.Hist[3] != 0 {
+		t.Fatalf("path histogram = %v, want mass only at 2 and 4", st.Hist)
+	}
+	// Leaf-spine racks are uniformly 2 apart — strictly shorter on average
+	// than the 3-tier tree, the §2 observation motivating the paper's
+	// question of whether expander gains survive at 2 tiers.
+	ls, err := LeafSpine(LeafSpineSpec{X: 2, Y: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lst, err := RackPathStats(ls)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lst.Mean >= st.Mean {
+		t.Fatalf("leaf-spine mean path %v not shorter than fat-tree %v", lst.Mean, st.Mean)
+	}
+}
+
+func TestFatTreeRejectsOddK(t *testing.T) {
+	for _, k := range []int{0, 1, 3, 5} {
+		if _, err := FatTree(k); !errors.Is(err, ErrInfeasible) {
+			t.Fatalf("k=%d accepted", k)
+		}
+	}
+}
+
+func TestFatTreeFlattens(t *testing.T) {
+	// The §3.1 rewiring machinery applies to 3-tier trees too: flattening a
+	// fat-tree spreads its servers over all 5k²/4 switches.
+	g, err := FatTree(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	flat, err := Flatten(g, testRNG())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if flat.Servers() != g.Servers() || flat.N() != g.N() {
+		t.Fatal("flatten changed equipment")
+	}
+	nsrBase, err := NSR(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nsrFlat, err := NSR(flat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fat-tree edge NSR = 1 (k/2 up, k/2 down); the flat rewiring packs
+	// ~16/5 servers per switch on radix 4... NSR must rise.
+	if nsrFlat.Mean <= nsrBase.Mean {
+		t.Fatalf("flattening did not raise NSR: %v vs %v", nsrFlat.Mean, nsrBase.Mean)
+	}
+}

@@ -1,0 +1,70 @@
+package topology
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Flatten builds F(T): the flat rewiring of a baseline fabric with the exact
+// same equipment (§3.1, §5.1). All switches of the baseline become ToRs, the
+// baseline's servers are redistributed as evenly as possible across them, and
+// the remaining ports are wired as a random regular graph (Jellyfish).
+//
+// The result has the same switch count, radix, and total server count as the
+// baseline. If the leftover network-port sum is odd, one server port on the
+// least-loaded switch is left unused (reported by the final port budget, not
+// by dropping a server — a server is moved instead so totals are preserved
+// whenever possible).
+func Flatten(base *Graph, rng *rand.Rand) (*Graph, error) {
+	if base.Ports <= 0 {
+		return nil, fmt.Errorf("flatten: baseline %q has no radix set: %w", base.Name, ErrInfeasible)
+	}
+	n := base.N()
+	total := base.Servers()
+	servers := SpreadEvenly(total, n)
+	degrees := make([]int, n)
+	sum := 0
+	for i, s := range servers {
+		if s > base.Ports {
+			return nil, fmt.Errorf("flatten: %d servers exceed radix %d at switch %d: %w", s, base.Ports, i, ErrInfeasible)
+		}
+		degrees[i] = base.Ports - s
+		sum += degrees[i]
+	}
+	if sum%2 != 0 {
+		// Leave one port idle at a switch with the largest network degree.
+		maxI := 0
+		for i, d := range degrees {
+			if d > degrees[maxI] {
+				maxI = i
+			}
+		}
+		degrees[maxI]--
+	}
+	g, err := RRG(fmt.Sprintf("flat(%s)", base.Name), degrees, rng)
+	if err != nil {
+		return nil, err
+	}
+	g.Ports = base.Ports
+	for i, s := range servers {
+		g.SetServers(i, s)
+	}
+	return g, nil
+}
+
+// SpreadEvenly distributes total items over n bins as evenly as possible:
+// the first total%n bins get one extra item.
+func SpreadEvenly(total, n int) []int {
+	out := make([]int, n)
+	if n == 0 {
+		return out
+	}
+	base, extra := total/n, total%n
+	for i := range out {
+		out[i] = base
+		if i < extra {
+			out[i]++
+		}
+	}
+	return out
+}

@@ -1,0 +1,159 @@
+package topology
+
+import (
+	"fmt"
+)
+
+// The paper's flat fabrics are built "by rewiring the baseline leaf-spine
+// topology" (§5.1). An operator doing that to a production network needs
+// the rewiring as a sequence of single cable moves that never partitions
+// the fabric. PlanMigration computes such a sequence.
+
+// CableMove is one migration step: unplug the cable between RemoveA and
+// RemoveB and replug it between AddA and AddB, as one atomic maintenance
+// action.
+type CableMove struct {
+	RemoveA, RemoveB int
+	AddA, AddB       int
+}
+
+// MigrationPlan is an ordered sequence of cable moves from one fabric to
+// another built on the same switches, plus the server-port reassignments
+// the flat rewiring needs.
+type MigrationPlan struct {
+	Steps []CableMove
+	// ServerMoves counts server-port reassignments between switches
+	// (|Δ servers| summed over switches, halved).
+	ServerMoves int
+}
+
+// PlanMigration orders the rewiring from fabric `from` to fabric `to`
+// (same switch count) such that after every individual cable move the
+// fabric remains connected. Surplus old links (when `from` has more links
+// than `to`) are pure removals appended at the end; deficits are pure
+// additions. It returns an error if no connectivity-preserving order could
+// be found greedily.
+func PlanMigration(from, to *Graph) (MigrationPlan, error) {
+	if from.N() != to.N() {
+		return MigrationPlan{}, fmt.Errorf("topology: migrate between different switch counts (%d vs %d)", from.N(), to.N())
+	}
+	cur := from.Clone()
+	oldOnly := edgeDiff(from, to)
+	newOnly := edgeDiff(to, from)
+
+	var plan MigrationPlan
+	for len(oldOnly) > 0 && len(newOnly) > 0 {
+		placed := false
+		for oi, o := range oldOnly {
+			for ni, n := range newOnly {
+				cur.RemoveLink(o[0], o[1])
+				if err := cur.AddLink(n[0], n[1]); err != nil {
+					cur.AddLink(o[0], o[1]) //nolint:errcheck // restoring a just-removed link cannot fail
+					continue
+				}
+				if cur.Connected() {
+					plan.Steps = append(plan.Steps, CableMove{o[0], o[1], n[0], n[1]})
+					oldOnly = append(oldOnly[:oi], oldOnly[oi+1:]...)
+					newOnly = append(newOnly[:ni], newOnly[ni+1:]...)
+					placed = true
+					break
+				}
+				cur.RemoveLink(n[0], n[1])
+				cur.AddLink(o[0], o[1]) //nolint:errcheck // restoring a just-removed link cannot fail
+			}
+			if placed {
+				break
+			}
+		}
+		if !placed {
+			return MigrationPlan{}, fmt.Errorf("topology: no connectivity-preserving move left (%d old, %d new edges pending)", len(oldOnly), len(newOnly))
+		}
+	}
+	// Leftovers: pure additions first (safe), then pure removals that keep
+	// connectivity.
+	for _, n := range newOnly {
+		if err := cur.AddLink(n[0], n[1]); err != nil {
+			return MigrationPlan{}, err
+		}
+		plan.Steps = append(plan.Steps, CableMove{-1, -1, n[0], n[1]})
+	}
+	for len(oldOnly) > 0 {
+		placed := false
+		for oi, o := range oldOnly {
+			cur.RemoveLink(o[0], o[1])
+			if cur.Connected() {
+				plan.Steps = append(plan.Steps, CableMove{o[0], o[1], -1, -1})
+				oldOnly = append(oldOnly[:oi], oldOnly[oi+1:]...)
+				placed = true
+				break
+			}
+			cur.AddLink(o[0], o[1]) //nolint:errcheck // restoring a just-removed link cannot fail
+		}
+		if !placed {
+			return MigrationPlan{}, fmt.Errorf("topology: surplus removal would partition the fabric")
+		}
+	}
+	for v := 0; v < from.N(); v++ {
+		d := to.ServerCount(v) - from.ServerCount(v)
+		if d > 0 {
+			plan.ServerMoves += d
+		}
+	}
+	return plan, nil
+}
+
+// edgeDiff returns the multiset of edges in a but not b (respecting
+// multiplicity).
+func edgeDiff(a, b *Graph) [][2]int {
+	remaining := map[[2]int]int{}
+	for v := 0; v < b.N(); v++ {
+		for _, w := range b.Neighbors(v) {
+			if v < w {
+				remaining[[2]int{v, w}]++
+			}
+		}
+	}
+	var out [][2]int
+	for v := 0; v < a.N(); v++ {
+		for _, w := range a.Neighbors(v) {
+			if v >= w {
+				continue
+			}
+			k := [2]int{v, w}
+			if remaining[k] > 0 {
+				remaining[k]--
+				continue
+			}
+			out = append(out, k)
+		}
+	}
+	return out
+}
+
+// Apply replays a plan on a copy of `from`, verifying connectivity after
+// every step, and returns the final fabric. Server counts are set to the
+// target's at the end (server moves are rack work, not fabric risk).
+func (p MigrationPlan) Apply(from, to *Graph) (*Graph, error) {
+	cur := from.Clone()
+	for i, s := range p.Steps {
+		if s.RemoveA >= 0 {
+			if !cur.RemoveLink(s.RemoveA, s.RemoveB) {
+				return nil, fmt.Errorf("topology: step %d removes missing link %d-%d", i, s.RemoveA, s.RemoveB)
+			}
+		}
+		if s.AddA >= 0 {
+			if err := cur.AddLink(s.AddA, s.AddB); err != nil {
+				return nil, fmt.Errorf("topology: step %d: %w", i, err)
+			}
+		}
+		if !cur.Connected() {
+			return nil, fmt.Errorf("topology: step %d partitions the fabric", i)
+		}
+	}
+	for v := 0; v < cur.N(); v++ {
+		cur.SetServers(v, to.ServerCount(v))
+	}
+	cur.Name = to.Name
+	cur.Ports = to.Ports
+	return cur, nil
+}

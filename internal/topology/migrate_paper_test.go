@@ -1,0 +1,25 @@
+package topology
+
+import "testing"
+
+func TestPlanMigrationPaperScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("paper-scale migration")
+	}
+	base, err := LeafSpine(PaperLeafSpine)
+	if err != nil {
+		t.Fatal(err)
+	}
+	flat, err := Flatten(base, testRNG())
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := PlanMigration(base, flat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := plan.Apply(base, flat); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("paper-scale migration: %d cable moves, %d server moves", len(plan.Steps), plan.ServerMoves)
+}

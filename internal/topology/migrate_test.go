@@ -1,0 +1,142 @@
+package topology
+
+import (
+	"testing"
+)
+
+func TestPlanMigrationLeafSpineToFlat(t *testing.T) {
+	base, err := LeafSpine(LeafSpineSpec{X: 6, Y: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	flat, err := Flatten(base, testRNG())
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := PlanMigration(base, flat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.Steps) == 0 {
+		t.Fatal("empty plan for a real rewiring")
+	}
+	// Replaying must keep connectivity throughout and land on the target.
+	final, err := plan.Apply(base, flat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final.Links() != flat.Links() {
+		t.Fatalf("final links = %d, want %d", final.Links(), flat.Links())
+	}
+	for a := 0; a < flat.N(); a++ {
+		for b := a + 1; b < flat.N(); b++ {
+			if final.LinkMultiplicity(a, b) != flat.LinkMultiplicity(a, b) {
+				t.Fatalf("final fabric differs from target at %d-%d", a, b)
+			}
+		}
+	}
+	if final.Servers() != flat.Servers() {
+		t.Fatalf("final servers = %d, want %d", final.Servers(), flat.Servers())
+	}
+	// Servers move from the old leaves to the former spines.
+	if plan.ServerMoves == 0 {
+		t.Fatal("flat rewiring should move servers")
+	}
+	if err := final.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPlanMigrationToDRing(t *testing.T) {
+	base, err := LeafSpine(LeafSpineSpec{X: 6, Y: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dr, err := DRing(BalancedDRing(base.N(), 10, base.Ports))
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := PlanMigration(base, dr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := plan.Apply(base, dr); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPlanMigrationIdentity(t *testing.T) {
+	g, err := DRing(Uniform(6, 2, 20))
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := PlanMigration(g, g.Clone())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.Steps) != 0 || plan.ServerMoves != 0 {
+		t.Fatalf("identity migration has %d steps, %d moves", len(plan.Steps), plan.ServerMoves)
+	}
+}
+
+func TestPlanMigrationSizeMismatch(t *testing.T) {
+	a := New("a", 3, 4)
+	b := New("b", 4, 4)
+	if _, err := PlanMigration(a, b); err == nil {
+		t.Fatal("size mismatch accepted")
+	}
+}
+
+func TestApplyDetectsCorruptPlan(t *testing.T) {
+	base, err := LeafSpine(LeafSpineSpec{X: 4, Y: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	flat, err := Flatten(base, testRNG())
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := MigrationPlan{Steps: []CableMove{{RemoveA: 0, RemoveB: 1, AddA: -1, AddB: -1}}}
+	if _, err := bad.Apply(base, flat); err == nil {
+		t.Fatal("removal of nonexistent leaf-leaf link accepted")
+	}
+}
+
+func TestPlanMigrationSurplusRemovals(t *testing.T) {
+	// From a triangle to a path: one pure removal at the end.
+	tri := New("tri", 3, 4)
+	for _, e := range [][2]int{{0, 1}, {1, 2}, {0, 2}} {
+		mustLink(t, tri, e[0], e[1])
+	}
+	path := New("path", 3, 4)
+	mustLink(t, path, 0, 1)
+	mustLink(t, path, 1, 2)
+	plan, err := PlanMigration(tri, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	final, err := plan.Apply(tri, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final.Links() != 2 {
+		t.Fatalf("final links = %d", final.Links())
+	}
+}
+
+func TestPlanMigrationPureAdditions(t *testing.T) {
+	path := New("path", 3, 4)
+	mustLink(t, path, 0, 1)
+	mustLink(t, path, 1, 2)
+	tri := New("tri", 3, 4)
+	for _, e := range [][2]int{{0, 1}, {1, 2}, {0, 2}} {
+		mustLink(t, tri, e[0], e[1])
+	}
+	plan, err := PlanMigration(path, tri)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := plan.Apply(path, tri); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,156 @@
+// Package trace imports and exports the experiment artifacts as CSV:
+// rack-level traffic matrices (so operators can replay their own telemetry
+// instead of the synthetic FB-like stand-ins), generated flow sets, and
+// per-flow completion times. All formats are plain CSV with a header row,
+// written deterministically.
+package trace
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+
+	"spineless/internal/workload"
+)
+
+// WriteMatrix emits a rack-level matrix as CSV: header "src\dst,0,1,..."
+// then one row per source rack.
+func WriteMatrix(w io.Writer, m *workload.Matrix) error {
+	if err := m.Validate(); err != nil {
+		return err
+	}
+	cw := csv.NewWriter(w)
+	n := m.N()
+	head := make([]string, n+1)
+	head[0] = `src\dst`
+	for j := 0; j < n; j++ {
+		head[j+1] = strconv.Itoa(j)
+	}
+	if err := cw.Write(head); err != nil {
+		return err
+	}
+	row := make([]string, n+1)
+	for i := 0; i < n; i++ {
+		row[0] = strconv.Itoa(i)
+		for j := 0; j < n; j++ {
+			row[j+1] = strconv.FormatFloat(m.W[i][j], 'g', -1, 64)
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadMatrix parses a matrix written by WriteMatrix (or any CSV with the
+// same shape: a header row plus n rows of n+1 cells).
+func ReadMatrix(r io.Reader, name string) (*workload.Matrix, error) {
+	cr := csv.NewReader(r)
+	records, err := cr.ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("trace: %w", err)
+	}
+	if len(records) < 2 {
+		return nil, fmt.Errorf("trace: matrix CSV needs a header and at least one row")
+	}
+	n := len(records) - 1
+	if len(records[0]) != n+1 {
+		return nil, fmt.Errorf("trace: matrix CSV header has %d columns for %d rows", len(records[0]), n)
+	}
+	m := workload.NewMatrix(name, n)
+	for i, rec := range records[1:] {
+		if len(rec) != n+1 {
+			return nil, fmt.Errorf("trace: row %d has %d cells, want %d", i, len(rec), n+1)
+		}
+		for j := 0; j < n; j++ {
+			v, err := strconv.ParseFloat(rec[j+1], 64)
+			if err != nil {
+				return nil, fmt.Errorf("trace: row %d col %d: %w", i, j, err)
+			}
+			m.W[i][j] = v
+		}
+	}
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// WriteFlows emits a flow set: id,src,dst,bytes,start_ns.
+func WriteFlows(w io.Writer, flows []workload.Flow) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"id", "src", "dst", "bytes", "start_ns"}); err != nil {
+		return err
+	}
+	for _, f := range flows {
+		if err := cw.Write([]string{
+			strconv.FormatUint(f.ID, 10),
+			strconv.Itoa(f.Src),
+			strconv.Itoa(f.Dst),
+			strconv.FormatInt(f.SizeBytes, 10),
+			strconv.FormatInt(f.StartNS, 10),
+		}); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadFlows parses a flow set written by WriteFlows.
+func ReadFlows(r io.Reader) ([]workload.Flow, error) {
+	cr := csv.NewReader(r)
+	records, err := cr.ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("trace: %w", err)
+	}
+	if len(records) == 0 || len(records[0]) != 5 {
+		return nil, fmt.Errorf("trace: flow CSV needs the 5-column header")
+	}
+	flows := make([]workload.Flow, 0, len(records)-1)
+	for i, rec := range records[1:] {
+		if len(rec) != 5 {
+			return nil, fmt.Errorf("trace: flow row %d has %d cells", i, len(rec))
+		}
+		id, err1 := strconv.ParseUint(rec[0], 10, 64)
+		src, err2 := strconv.Atoi(rec[1])
+		dst, err3 := strconv.Atoi(rec[2])
+		size, err4 := strconv.ParseInt(rec[3], 10, 64)
+		start, err5 := strconv.ParseInt(rec[4], 10, 64)
+		for _, e := range []error{err1, err2, err3, err4, err5} {
+			if e != nil {
+				return nil, fmt.Errorf("trace: flow row %d: %w", i, e)
+			}
+		}
+		flows = append(flows, workload.Flow{ID: id, Src: src, Dst: dst, SizeBytes: size, StartNS: start})
+	}
+	return flows, nil
+}
+
+// WriteFCTs emits per-flow completion times next to their flows:
+// id,src,dst,bytes,start_ns,fct_ns (fct −1 = incomplete).
+func WriteFCTs(w io.Writer, flows []workload.Flow, fctNS []int64) error {
+	if len(flows) != len(fctNS) {
+		return fmt.Errorf("trace: %d flows but %d FCTs", len(flows), len(fctNS))
+	}
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"id", "src", "dst", "bytes", "start_ns", "fct_ns"}); err != nil {
+		return err
+	}
+	for i, f := range flows {
+		if err := cw.Write([]string{
+			strconv.FormatUint(f.ID, 10),
+			strconv.Itoa(f.Src),
+			strconv.Itoa(f.Dst),
+			strconv.FormatInt(f.SizeBytes, 10),
+			strconv.FormatInt(f.StartNS, 10),
+			strconv.FormatInt(fctNS[i], 10),
+		}); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

@@ -1,0 +1,105 @@
+package trace
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"spineless/internal/workload"
+)
+
+func TestMatrixRoundTrip(t *testing.T) {
+	m := workload.FBSkewed(12, rand.New(rand.NewSource(6)))
+	var buf bytes.Buffer
+	if err := WriteMatrix(&buf, m); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadMatrix(&buf, "roundtrip")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.N() != m.N() {
+		t.Fatalf("size %d, want %d", got.N(), m.N())
+	}
+	for i := range m.W {
+		for j := range m.W {
+			if got.W[i][j] != m.W[i][j] {
+				t.Fatalf("cell (%d,%d): %v != %v", i, j, got.W[i][j], m.W[i][j])
+			}
+		}
+	}
+}
+
+func TestWriteMatrixRejectsInvalid(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteMatrix(&buf, workload.NewMatrix("zero", 3)); err == nil {
+		t.Fatal("zero matrix written")
+	}
+}
+
+func TestReadMatrixRejectsMalformed(t *testing.T) {
+	cases := []string{
+		"",
+		"src\\dst,0\n",                  // header only
+		"src\\dst,0,1\n0,1,2\n",         // 1 row for a 2-col header... (n=1, header 3)
+		"src\\dst,0\n0,abc\n",           // non-numeric
+		"src\\dst,0,1\n0,0,1\n1,-1,0\n", // negative weight
+	}
+	for i, c := range cases {
+		if _, err := ReadMatrix(strings.NewReader(c), "bad"); err == nil {
+			t.Fatalf("case %d accepted", i)
+		}
+	}
+}
+
+func TestFlowsRoundTrip(t *testing.T) {
+	flows := []workload.Flow{
+		{ID: 1, Src: 0, Dst: 9, SizeBytes: 1000, StartNS: 0},
+		{ID: 2, Src: 4, Dst: 2, SizeBytes: 1 << 30, StartNS: 123456789},
+	}
+	var buf bytes.Buffer
+	if err := WriteFlows(&buf, flows); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFlows(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(flows) {
+		t.Fatalf("flows = %d", len(got))
+	}
+	for i := range flows {
+		if got[i] != flows[i] {
+			t.Fatalf("flow %d: %+v != %+v", i, got[i], flows[i])
+		}
+	}
+}
+
+func TestReadFlowsRejectsMalformed(t *testing.T) {
+	cases := []string{
+		"",
+		"id,src,dst,bytes\n", // wrong header width
+		"id,src,dst,bytes,start_ns\n1,2,3,x,5\n",
+	}
+	for i, c := range cases {
+		if _, err := ReadFlows(strings.NewReader(c)); err == nil {
+			t.Fatalf("case %d accepted", i)
+		}
+	}
+}
+
+func TestWriteFCTs(t *testing.T) {
+	flows := []workload.Flow{{ID: 7, Src: 1, Dst: 2, SizeBytes: 99, StartNS: 5}}
+	var buf bytes.Buffer
+	if err := WriteFCTs(&buf, flows, []int64{42}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "fct_ns") || !strings.Contains(out, "7,1,2,99,5,42") {
+		t.Fatalf("output: %q", out)
+	}
+	if err := WriteFCTs(&buf, flows, []int64{1, 2}); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+}

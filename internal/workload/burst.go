@@ -1,0 +1,102 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"spineless/internal/topology"
+)
+
+// BurstSpec describes a §3 microburst: one rack suddenly has a lot of
+// traffic to send in a short period while the rest of the fabric idles
+// (a few background flows keep the network warm). The paper argues flat
+// networks are "especially valuable for micro bursts ... traffic is
+// well-multiplexed at the network links (very few racks are bursting at any
+// given point)": all of a ToR's network links can carry its local burst.
+type BurstSpec struct {
+	// BurstBytes is the total volume the bursting rack must move.
+	BurstBytes int64
+	// Fanout is the number of distinct destination racks.
+	Fanout int
+	// FlowsPerDest splits each destination's share into parallel flows.
+	FlowsPerDest int
+	// BackgroundFlows adds light uniform traffic (0 for none).
+	BackgroundFlows int
+	// BackgroundSize is the size of each background flow.
+	BackgroundSize int64
+}
+
+// DefaultBurst is a 64 MB burst fanned out to 8 racks.
+func DefaultBurst() BurstSpec {
+	return BurstSpec{
+		BurstBytes:      64 << 20,
+		Fanout:          8,
+		FlowsPerDest:    4,
+		BackgroundFlows: 64,
+		BackgroundSize:  64 << 10,
+	}
+}
+
+// Burst generates the flow set: the bursting rack is chosen at random, its
+// servers share the burst evenly, destinations are random distinct racks,
+// and all burst flows start at t=0 (that is what makes it a burst).
+// Background flows start uniformly over windowNS. The returned index is the
+// number of burst flows — flows[:burstN] are the burst, the rest are
+// background.
+func Burst(g *topology.Graph, spec BurstSpec, windowNS int64, rng *rand.Rand) (flows []Flow, burstN int, err error) {
+	racks := g.Racks()
+	if spec.Fanout < 1 || spec.Fanout >= len(racks) {
+		return nil, 0, fmt.Errorf("workload: burst fanout %d infeasible with %d racks", spec.Fanout, len(racks))
+	}
+	if spec.BurstBytes <= 0 || spec.FlowsPerDest < 1 {
+		return nil, 0, fmt.Errorf("workload: bad burst spec %+v", spec)
+	}
+	order := rng.Perm(len(racks))
+	src := racks[order[0]]
+	dsts := make([]int, spec.Fanout)
+	for i := range dsts {
+		dsts[i] = racks[order[1+i]]
+	}
+	srcLo, srcHi := g.ServersOf(src)
+	if srcHi == srcLo {
+		return nil, 0, fmt.Errorf("workload: burst rack %d has no servers", src)
+	}
+
+	total := spec.Fanout * spec.FlowsPerDest
+	per := spec.BurstBytes / int64(total)
+	if per < 1 {
+		per = 1
+	}
+	id := uint64(0)
+	for _, d := range dsts {
+		dLo, dHi := g.ServersOf(d)
+		for f := 0; f < spec.FlowsPerDest; f++ {
+			flows = append(flows, Flow{
+				ID:        id,
+				Src:       srcLo + int(id)%(srcHi-srcLo),
+				Dst:       dLo + int(id)%(dHi-dLo),
+				SizeBytes: per,
+				StartNS:   0,
+			})
+			id++
+		}
+	}
+	burstN = len(flows)
+
+	for b := 0; b < spec.BackgroundFlows; b++ {
+		si := racks[rng.Intn(len(racks))]
+		di := racks[rng.Intn(len(racks))]
+		for di == si {
+			di = racks[rng.Intn(len(racks))]
+		}
+		flows = append(flows, Flow{
+			ID:        id,
+			Src:       hostIn(g, si, rng),
+			Dst:       hostIn(g, di, rng),
+			SizeBytes: spec.BackgroundSize,
+			StartNS:   rng.Int63n(max(windowNS, 1)),
+		})
+		id++
+	}
+	return flows, burstN, nil
+}

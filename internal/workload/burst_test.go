@@ -1,0 +1,106 @@
+package workload
+
+import (
+	"testing"
+	"testing/quick"
+
+	"spineless/internal/topology"
+)
+
+func burstFabric(t *testing.T) *topology.Graph {
+	t.Helper()
+	g, err := topology.DRing(topology.Uniform(8, 2, 24))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestBurstVolumeConserved(t *testing.T) {
+	g := burstFabric(t)
+	spec := BurstSpec{BurstBytes: 10 << 20, Fanout: 5, FlowsPerDest: 3}
+	flows, burstN, err := Burst(g, spec, 1e6, testRNG())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if burstN != 15 {
+		t.Fatalf("burstN = %d", burstN)
+	}
+	var total int64
+	dsts := map[int]bool{}
+	for _, f := range flows[:burstN] {
+		total += f.SizeBytes
+		dsts[g.RackOf(f.Dst)] = true
+	}
+	// Integer division may shave a few bytes; never exceed, never lose more
+	// than one flow's worth.
+	if total > spec.BurstBytes || total < spec.BurstBytes-int64(burstN) {
+		t.Fatalf("burst total = %d, want ≈%d", total, spec.BurstBytes)
+	}
+	if len(dsts) != spec.Fanout {
+		t.Fatalf("destination racks = %d, want %d", len(dsts), spec.Fanout)
+	}
+}
+
+func TestBurstValidation(t *testing.T) {
+	g := burstFabric(t)
+	cases := []BurstSpec{
+		{BurstBytes: 1, Fanout: 0, FlowsPerDest: 1},
+		{BurstBytes: 1, Fanout: 99, FlowsPerDest: 1},
+		{BurstBytes: 0, Fanout: 2, FlowsPerDest: 1},
+		{BurstBytes: 1, Fanout: 2, FlowsPerDest: 0},
+	}
+	for i, spec := range cases {
+		if _, _, err := Burst(g, spec, 1e6, testRNG()); err == nil {
+			t.Fatalf("case %d accepted", i)
+		}
+	}
+}
+
+func TestBurstQuickInvariants(t *testing.T) {
+	g := burstFabric(t)
+	f := func(seed int64, fanRaw, fpdRaw uint8) bool {
+		rng := testRNG()
+		rng.Seed(seed)
+		spec := BurstSpec{
+			BurstBytes:      1 << 20,
+			Fanout:          1 + int(fanRaw)%(len(g.Racks())-1),
+			FlowsPerDest:    1 + int(fpdRaw%8),
+			BackgroundFlows: int(fpdRaw % 5),
+			BackgroundSize:  1000,
+		}
+		flows, burstN, err := Burst(g, spec, 1e6, rng)
+		if err != nil {
+			return false
+		}
+		if burstN != spec.Fanout*spec.FlowsPerDest {
+			return false
+		}
+		if len(flows) != burstN+spec.BackgroundFlows {
+			return false
+		}
+		srcRack := g.RackOf(flows[0].Src)
+		for _, fl := range flows[:burstN] {
+			if fl.StartNS != 0 || fl.SizeBytes < 1 ||
+				g.RackOf(fl.Src) != srcRack || g.RackOf(fl.Dst) == srcRack {
+				return false
+			}
+		}
+		for _, fl := range flows[burstN:] {
+			if fl.Src == fl.Dst || fl.StartNS < 0 || fl.StartNS >= 1e6 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDefaultBurst(t *testing.T) {
+	spec := DefaultBurst()
+	if spec.BurstBytes != 64<<20 || spec.Fanout != 8 {
+		t.Fatalf("defaults changed: %+v", spec)
+	}
+}

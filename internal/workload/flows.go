@@ -1,0 +1,174 @@
+package workload
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"spineless/internal/topology"
+)
+
+// Flow is one transfer between two hosts.
+type Flow struct {
+	ID        uint64
+	Src, Dst  int   // global server ids
+	SizeBytes int64 // total bytes to deliver
+	StartNS   int64 // start time in simulation nanoseconds
+}
+
+// SizeDist draws flow sizes in bytes.
+type SizeDist interface {
+	Sample(rng *rand.Rand) int64
+	Mean() float64
+}
+
+// Pareto is the §5.2 flow-size distribution: a Pareto with the given mean
+// and shape alpha (the paper uses mean 100 KB, alpha 1.05, mimicking the
+// irregular flow sizes of [6]). Samples are capped at Cap bytes to keep the
+// heavy tail simulable; Cap defaults to 10000× the mean.
+type Pareto struct {
+	MeanBytes float64
+	Alpha     float64
+	Cap       int64
+}
+
+// PaperFlowSizes is the §5.2 distribution: Pareto, mean 100 KB, alpha 1.05.
+func PaperFlowSizes() Pareto { return Pareto{MeanBytes: 100e3, Alpha: 1.05} }
+
+// Sample implements SizeDist.
+func (p Pareto) Sample(rng *rand.Rand) int64 {
+	xm := p.MeanBytes * (p.Alpha - 1) / p.Alpha
+	u := rng.Float64()
+	for u == 0 {
+		u = rng.Float64()
+	}
+	v := xm / math.Pow(u, 1/p.Alpha)
+	cap := p.Cap
+	if cap == 0 {
+		cap = int64(p.MeanBytes * 1e4)
+	}
+	if v > float64(cap) {
+		v = float64(cap)
+	}
+	if v < 1 {
+		v = 1
+	}
+	return int64(v)
+}
+
+// Mean implements SizeDist. It returns the analytic mean of the *capped*
+// distribution, so that load calculations (flows-per-window for a target
+// utilization) match what Sample actually produces. With alpha=1.05 the cap
+// matters: the capped mean is roughly half the nominal MeanBytes.
+func (p Pareto) Mean() float64 {
+	xm := p.MeanBytes * (p.Alpha - 1) / p.Alpha
+	c := float64(p.Cap)
+	if p.Cap == 0 {
+		c = p.MeanBytes * 1e4
+	}
+	if c <= xm {
+		return c
+	}
+	a := p.Alpha
+	// E[min(X, c)] = (a·xm^a/(a−1))·(xm^(1−a) − c^(1−a)) + c·(xm/c)^a.
+	body := a * math.Pow(xm, a) / (a - 1) * (math.Pow(xm, 1-a) - math.Pow(c, 1-a))
+	tail := c * math.Pow(xm/c, a)
+	return body + tail
+}
+
+// Fixed draws a constant flow size.
+type Fixed int64
+
+// Sample implements SizeDist.
+func (f Fixed) Sample(*rand.Rand) int64 { return int64(f) }
+
+// Mean implements SizeDist.
+func (f Fixed) Mean() float64 { return float64(f) }
+
+// GenConfig controls flow generation from a rack-level matrix.
+type GenConfig struct {
+	Flows     int      // number of flows to draw
+	Sizes     SizeDist // flow size distribution
+	WindowNS  int64    // start times are uniform over [0, WindowNS)
+	Placement []int    // optional server permutation (random placement); nil = identity
+}
+
+// GenerateFlows draws flows on fabric g according to rack-level matrix m:
+// rack pairs by weight, the endpoint host uniform within each rack, sizes
+// from cfg.Sizes, and start times uniform over the window (§5.2). A non-nil
+// Placement permutation relocates every host, producing the paper's
+// "Random Placement" variants.
+func GenerateFlows(g *topology.Graph, m *Matrix, cfg GenConfig, rng *rand.Rand) ([]Flow, error) {
+	racks := g.Racks()
+	if m.N() != len(racks) {
+		return nil, fmt.Errorf("workload: matrix has %d racks, fabric has %d", m.N(), len(racks))
+	}
+	if cfg.Placement != nil && len(cfg.Placement) != g.Servers() {
+		return nil, fmt.Errorf("workload: placement has %d entries, fabric has %d servers",
+			len(cfg.Placement), g.Servers())
+	}
+	if cfg.Sizes == nil {
+		return nil, fmt.Errorf("workload: no size distribution")
+	}
+	s, err := NewSampler(m)
+	if err != nil {
+		return nil, err
+	}
+	flows := make([]Flow, 0, cfg.Flows)
+	for i := 0; i < cfg.Flows; i++ {
+		si, di := s.Sample(rng)
+		src := hostIn(g, racks[si], rng)
+		dst := hostIn(g, racks[di], rng)
+		if cfg.Placement != nil {
+			src, dst = cfg.Placement[src], cfg.Placement[dst]
+		}
+		if src == dst {
+			continue // relocated onto itself; negligible probability
+		}
+		start := int64(0)
+		if cfg.WindowNS > 0 {
+			start = rng.Int63n(cfg.WindowNS)
+		}
+		flows = append(flows, Flow{
+			ID:        uint64(i),
+			Src:       src,
+			Dst:       dst,
+			SizeBytes: cfg.Sizes.Sample(rng),
+			StartNS:   start,
+		})
+	}
+	sort.Slice(flows, func(a, b int) bool { return flows[a].StartNS < flows[b].StartNS })
+	return flows, nil
+}
+
+func hostIn(g *topology.Graph, rack int, rng *rand.Rand) int {
+	lo, hi := g.ServersOf(rack)
+	return lo + rng.Intn(hi-lo)
+}
+
+// RandomPlacement returns a uniform permutation of the fabric's servers,
+// used for the FB skewed/uniform (RP) workloads (§5.2).
+func RandomPlacement(g *topology.Graph, rng *rand.Rand) []int {
+	return rng.Perm(g.Servers())
+}
+
+// SpineCapacityBps returns the aggregate leaf→spine capacity of a
+// leaf-spine fabric in bits/second: leaves × y × linkRate. The paper scales
+// every TM so this layer runs at 30% utilization (§6.1).
+func SpineCapacityBps(spec topology.LeafSpineSpec, linkRateBps float64) float64 {
+	return float64(spec.Leaves()) * float64(spec.Y) * linkRateBps
+}
+
+// FlowCountForLoad returns how many flows of the given mean size must
+// arrive over a window so that offered load equals util × capacityBps.
+func FlowCountForLoad(capacityBps, util, meanFlowBytes, windowSec float64) int {
+	bytesPerSec := util * capacityBps / 8
+	return int(bytesPerSec * windowSec / meanFlowBytes)
+}
+
+// ParticipationScale returns the §6.1 extra scale-down applied to patterns
+// where only a few racks send: sendingRacks / totalRacks.
+func ParticipationScale(m *Matrix) float64 {
+	return float64(m.SendingRacks()) / float64(m.N())
+}
