@@ -1,0 +1,24 @@
+GO ?= go
+
+.PHONY: check build test vet fmt race
+
+# Full verification: everything CI and the roadmap's tier-1 gate expect.
+check: build vet fmt race
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+fmt:
+	@out="$$(gofmt -l .)"; \
+	if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
+
+race:
+	$(GO) test -race ./...

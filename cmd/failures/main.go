@@ -1,17 +1,34 @@
-// Command failures runs the §7 "Impact of failures" study the paper leaves
-// as future work: it sweeps random link-failure fractions on a flat fabric
-// and reports path dilation, surviving Shortest-Union(K) path diversity,
+// Command failures runs the §7 "Impact of failures" studies the paper
+// leaves as future work, in two modes.
+//
+// Static (default): sweep random link-failure fractions on a flat fabric
+// and report path dilation, surviving Shortest-Union(K) path diversity,
 // BGP reconvergence rounds (incremental, from the pre-failure RIB), and
 // tail FCT on the degraded fabric.
+//
+// Live (-live): inject the failures *during* a packet-level run. Traffic
+// blackholes into the stale FIB until detection plus BGP reconvergence
+// completes (rounds × -round-delay), then live flows re-path onto the
+// repaired FIB. Optional flapping (-flap) and gray links (-gray) model the
+// operationally common non-clean failures. The table reports the measured
+// blackhole window, RTO victims, and FCT inflation during vs. after the
+// window.
+//
+// Failed trials (e.g. a draw that partitions the fabric) are reported and
+// skipped; the sweep continues and the command exits non-zero with a
+// summary of which fractions failed.
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"math/rand"
+	"os"
 	"strconv"
 	"strings"
+	"time"
 
 	"spineless/internal/core"
 	"spineless/internal/resilience"
@@ -28,8 +45,19 @@ func main() {
 		ports     = flag.Int("ports", 24, "switch radix")
 		k         = flag.Int("k", 2, "Shortest-Union K")
 		fractions = flag.String("fractions", "0,0.01,0.05,0.10", "comma-separated link-failure fractions")
-		flows     = flag.Int("flows", 300, "uniform-workload flows for FCT replay (0 = skip)")
+		flows     = flag.Int("flows", 300, "uniform-workload flows for FCT replay (0 = skip; live mode requires > 0)")
 		seed      = flag.Int64("seed", 1, "random seed")
+
+		live     = flag.Bool("live", false, "inject failures during a packet-level run (transient study)")
+		failAt   = flag.Duration("fail-at", 2*time.Millisecond, "live: absolute sim time of the failure")
+		detect   = flag.Duration("detect", time.Millisecond, "live: failure-detection delay before reconvergence starts")
+		roundDel = flag.Duration("round-delay", 500*time.Microsecond, "live: wall time per synchronous BGP reconvergence round")
+		window   = flag.Duration("window", 20*time.Millisecond, "live: flow-arrival window")
+		flap     = flag.Int("flap", 0, "live: number of failed trunks that flap instead of staying down")
+		gray     = flag.Int("gray", 0, "live: number of surviving trunks turned gray at the failure")
+		grayLoss = flag.Float64("gray-loss", 0.05, "live: per-packet loss probability on gray trunks")
+		grayRate = flag.Float64("gray-rate", 1.0, "live: rate factor on gray trunks (1 = undegraded)")
+		preserve = flag.Bool("preserve-connectivity", false, "live: redraw cut sets that would partition racks")
 	)
 	flag.Parse()
 
@@ -51,24 +79,69 @@ func main() {
 		log.Fatal(err)
 	}
 
-	cfg := resilience.DefaultStudyConfig()
-	cfg.K = *k
-	cfg.Flows = *flows
-	cfg.Seed = *seed
-	cfg.Fractions = nil
+	var fracs []float64
 	for _, f := range strings.Split(*fractions, ",") {
 		v, err := strconv.ParseFloat(strings.TrimSpace(f), 64)
 		if err != nil {
 			log.Fatalf("bad fraction %q", f)
 		}
-		cfg.Fractions = append(cfg.Fractions, v)
+		fracs = append(fracs, v)
 	}
+
+	if *live {
+		cfg := resilience.DefaultLiveConfig()
+		cfg.K = *k
+		cfg.Seed = *seed
+		cfg.Flows = *flows
+		cfg.FailAtNS = failAt.Nanoseconds()
+		cfg.DetectionDelayNS = detect.Nanoseconds()
+		cfg.RoundDelayNS = roundDel.Nanoseconds()
+		cfg.WindowNS = window.Nanoseconds()
+		cfg.FlapLinks = *flap
+		cfg.GrayLinks = *gray
+		cfg.GrayLoss = *grayLoss
+		cfg.GrayRateFactor = *grayRate
+		cfg.PreserveConnectivity = *preserve
+
+		fmt.Printf("fabric: %v, Shortest-Union(%d), seed=%d\n", g, *k, *seed)
+		fmt.Printf("live faults: fail at %v, detect %v, %v/round; flap=%d gray=%d (loss %.1f%%, rate ×%.2f)\n\n",
+			*failAt, *detect, *roundDel, *flap, *gray, *grayLoss*100, *grayRate)
+		rows, err := resilience.LiveSweep(g, cfg, fracs)
+		fmt.Println(resilience.LiveTable(rows))
+		fmt.Println("repair = fail-at + detect + reconv × round-delay; blackhole = measured first→last packet lost into a down link.")
+		exitSweep(err)
+		return
+	}
+
+	cfg := resilience.DefaultStudyConfig()
+	cfg.K = *k
+	cfg.Flows = *flows
+	cfg.Seed = *seed
+	cfg.Fractions = fracs
 
 	fmt.Printf("fabric: %v, Shortest-Union(%d), seed=%d\n\n", g, *k, *seed)
 	rows, err := resilience.Study(g, cfg)
-	if err != nil {
-		log.Fatal(err)
+	if rows != nil {
+		fmt.Println(resilience.Table(rows))
+		fmt.Println("reconv rounds = synchronous BGP rounds to re-settle from the pre-failure RIB.")
 	}
-	fmt.Println(resilience.Table(rows))
-	fmt.Println("reconv rounds = synchronous BGP rounds to re-settle from the pre-failure RIB.")
+	exitSweep(err)
+}
+
+// exitSweep reports a sweep's aggregated trial failures and exits non-zero
+// if any trial (or the setup itself) failed.
+func exitSweep(err error) {
+	if err == nil {
+		return
+	}
+	var terrs core.TrialErrors
+	if errors.As(err, &terrs) {
+		fmt.Fprintf(os.Stderr, "failures: %d trial(s) failed:\n", len(terrs))
+		for _, te := range terrs {
+			fmt.Fprintf(os.Stderr, "  %s\n", te.Error())
+		}
+	} else {
+		fmt.Fprintf(os.Stderr, "failures: %v\n", err)
+	}
+	os.Exit(1)
 }

@@ -1,0 +1,46 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+)
+
+// TrialError records one failed trial of a sweep.
+type TrialError struct {
+	Label string
+	Err   error
+}
+
+func (e TrialError) Error() string { return e.Label + ": " + e.Err.Error() }
+
+// Unwrap exposes the underlying cause to errors.Is/As.
+func (e TrialError) Unwrap() error { return e.Err }
+
+// TrialErrors aggregates the failures of a sweep whose surviving trials
+// still produced results.
+type TrialErrors []TrialError
+
+func (es TrialErrors) Error() string {
+	parts := make([]string, len(es))
+	for i, e := range es {
+		parts[i] = e.Error()
+	}
+	return fmt.Sprintf("%d trial(s) failed: %s", len(es), strings.Join(parts, "; "))
+}
+
+// Trial runs one experiment trial, converting panics into errors so a
+// pathological configuration (a disconnected rack pair, an infeasible
+// topology) marks that trial failed instead of aborting the whole sweep.
+// The sweep stays deterministic: a failed trial consumes exactly the same
+// inputs it would have on success.
+func Trial(label string, fn func() error) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = TrialError{Label: label, Err: fmt.Errorf("panic: %v", r)}
+		}
+	}()
+	if e := fn(); e != nil {
+		return TrialError{Label: label, Err: e}
+	}
+	return nil
+}

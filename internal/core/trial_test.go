@@ -1,0 +1,56 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+)
+
+func TestTrialPassesThroughSuccess(t *testing.T) {
+	if err := Trial("ok", func() error { return nil }); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTrialWrapsErrors(t *testing.T) {
+	cause := errors.New("disconnected pair")
+	err := Trial("f=0.5", func() error { return cause })
+	var te TrialError
+	if !errors.As(err, &te) || te.Label != "f=0.5" {
+		t.Fatalf("error not a labeled TrialError: %v", err)
+	}
+	if !errors.Is(err, cause) {
+		t.Fatal("cause not unwrappable")
+	}
+}
+
+func TestTrialRecoversPanics(t *testing.T) {
+	err := Trial("boom", func() error { panic("index out of range") })
+	if err == nil {
+		t.Fatal("panic escaped the trial")
+	}
+	if !strings.Contains(err.Error(), "index out of range") {
+		t.Fatalf("panic cause lost: %v", err)
+	}
+}
+
+func TestTrialErrorsAggregate(t *testing.T) {
+	var es TrialErrors
+	for i := 0; i < 3; i++ {
+		if err := Trial(fmt.Sprintf("t%d", i), func() error {
+			if i == 1 {
+				return errors.New("bad draw")
+			}
+			return nil
+		}); err != nil {
+			es = append(es, err.(TrialError))
+		}
+	}
+	if len(es) != 1 {
+		t.Fatalf("aggregated %d errors, want 1", len(es))
+	}
+	if !strings.Contains(es.Error(), "t1") {
+		t.Fatalf("summary lost the label: %s", es.Error())
+	}
+}

@@ -1,0 +1,52 @@
+package metrics
+
+import "math"
+
+// TransientReport splits per-flow completion times around a disruption
+// window (failure → reconvergence complete) to expose the transient cost
+// that steady-state comparisons hide: flows launched into the stale FIB
+// during the window pay blackhole + RTO penalties that flows starting after
+// the repair never see.
+type TransientReport struct {
+	// Before/During/After summarize flows by start time: before the window,
+	// inside [windowStart, windowEnd), and at or after windowEnd.
+	Before, During, After FCTStats
+
+	// InflationP50 and InflationP99 are the During/After percentile ratios
+	// (NaN when either bucket is empty) — the measured FCT cost of living
+	// through the reconvergence window.
+	InflationP50, InflationP99 float64
+}
+
+// SummarizeTransient buckets flows by their start time relative to the
+// disruption window and reports per-bucket FCT statistics plus the
+// during-vs-after inflation. startNS and fctNS are parallel slices; fctNS
+// entries of -1 mark incomplete flows (counted, excluded from percentiles).
+func SummarizeTransient(startNS, fctNS []int64, windowStartNS, windowEndNS int64) TransientReport {
+	var before, during, after []int64
+	for i, st := range startNS {
+		switch {
+		case st < windowStartNS:
+			before = append(before, fctNS[i])
+		case st < windowEndNS:
+			during = append(during, fctNS[i])
+		default:
+			after = append(after, fctNS[i])
+		}
+	}
+	rep := TransientReport{
+		Before: SummarizeFCT(before),
+		During: SummarizeFCT(during),
+		After:  SummarizeFCT(after),
+	}
+	rep.InflationP50 = inflation(rep.During.MedianMS, rep.After.MedianMS)
+	rep.InflationP99 = inflation(rep.During.P99MS, rep.After.P99MS)
+	return rep
+}
+
+func inflation(during, after float64) float64 {
+	if math.IsNaN(during) || math.IsNaN(after) || after == 0 {
+		return math.NaN()
+	}
+	return during / after
+}

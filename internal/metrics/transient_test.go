@@ -1,0 +1,38 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+)
+
+func TestSummarizeTransientBuckets(t *testing.T) {
+	// Window [100, 200): flows at 50 (before), 150 (during), 250 (after).
+	starts := []int64{50, 150, 250, 199, 200}
+	fcts := []int64{1e6, 4e6, 2e6, -1, 2e6}
+	rep := SummarizeTransient(starts, fcts, 100, 200)
+	if rep.Before.Count != 1 || rep.During.Count != 1 || rep.After.Count != 2 {
+		t.Fatalf("bucket counts: before=%d during=%d after=%d",
+			rep.Before.Count, rep.During.Count, rep.After.Count)
+	}
+	if rep.During.Incomplete != 1 {
+		t.Fatalf("incomplete during = %d, want 1", rep.During.Incomplete)
+	}
+	// During median 4 ms vs after median 2 ms → 2× inflation.
+	if math.Abs(rep.InflationP50-2) > 1e-9 {
+		t.Fatalf("p50 inflation = %v, want 2", rep.InflationP50)
+	}
+	if math.Abs(rep.InflationP99-2) > 1e-9 {
+		t.Fatalf("p99 inflation = %v, want 2", rep.InflationP99)
+	}
+}
+
+func TestSummarizeTransientEmptyBuckets(t *testing.T) {
+	rep := SummarizeTransient([]int64{10}, []int64{1e6}, 100, 200)
+	if rep.Before.Count != 1 || rep.During.Count != 0 || rep.After.Count != 0 {
+		t.Fatalf("bucket counts wrong: %+v", rep)
+	}
+	if !math.IsNaN(rep.InflationP50) || !math.IsNaN(rep.InflationP99) {
+		t.Fatalf("inflation over empty buckets should be NaN, got %v / %v",
+			rep.InflationP50, rep.InflationP99)
+	}
+}

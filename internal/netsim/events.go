@@ -6,6 +6,8 @@ const (
 	evTxDone               // a link finished serializing pkt (idx = link)
 	evDeliver              // pkt arrives after propagation
 	evRTO                  // a flow's retransmission timer fires (idx = flow)
+	evFault                // the next batch of scheduled fault events applies
+	evReroute              // a time-varying routing phase boundary is reached
 )
 
 // event is one scheduled occurrence. seq breaks time ties so the event

@@ -15,10 +15,16 @@ type packet struct {
 }
 
 // link is one directed egress port: a drop-tail FIFO feeding a transmitter.
+// Fault injection can mark a link down (packets blackhole), degrade its rate
+// (bytesPerNS drops below nominalBytesPerNS) or make it gray (random loss).
 type link struct {
-	bytesPerNS float64
-	delayNS    int64
-	capBytes   int64
+	bytesPerNS        float64
+	nominalBytesPerNS float64
+	delayNS           int64
+	capBytes          int64
+
+	down     bool
+	lossProb float64
 
 	queueBytes int64
 	queue      []*packet // FIFO; index 0 is next to transmit

@@ -3,7 +3,9 @@ package netsim
 import (
 	"fmt"
 	"math"
+	"math/rand"
 
+	"spineless/internal/faults"
 	"spineless/internal/routing"
 	"spineless/internal/topology"
 	"spineless/internal/workload"
@@ -11,16 +13,30 @@ import (
 
 // Simulator runs packet-level TCP simulations over one fabric and routing
 // scheme. It is single-goroutine and fully deterministic: the same fabric,
-// scheme, config and flow list always produce identical results.
+// scheme, config, flow list and fault schedule always produce identical
+// results (gray-failure loss draws come from the schedule's own seed).
 type Simulator struct {
 	g      *topology.Graph
 	scheme routing.Scheme
 	cfg    Config
 
+	// activeScheme is the scheme serving new path lookups right now. It
+	// starts as scheme (or a TimeScheme's phase 0) and advances at evReroute
+	// boundaries, replaying BGP reconvergence: flows keep their stale paths
+	// until the boundary, then re-resolve onto the repaired FIB.
+	activeScheme routing.Scheme
+	tv           routing.TimeScheme
+
 	links    []link
 	netLinks map[[2]int][]int32 // directed switch pair → parallel link ids
 	hostUp   []int32
 	hostDown []int32
+
+	faultEvents    []faults.Event
+	faultIdx       int
+	faultRNG       *rand.Rand
+	blackholeFirst int64
+	blackholeLast  int64
 
 	flows []flowState
 	done  int
@@ -43,6 +59,11 @@ type Stats struct {
 	Drops           uint64
 	ECNMarks        uint64
 	FlowletSwitches uint64
+
+	// Fault-injection counters (zero without an installed schedule).
+	Blackholed uint64 // packets lost into a down link (stale-FIB blackhole)
+	GrayDrops  uint64 // packets lost to gray-failure random loss
+	Reroutes   uint64 // live flows re-pathed at a routing phase boundary
 }
 
 // Results reports per-flow outcomes of a run.
@@ -53,6 +74,15 @@ type Results struct {
 	Completed int
 	EndNS     int64
 	Stats     Stats
+
+	// BlackholeFirstNS/BlackholeLastNS bracket the observed blackhole
+	// window (-1 when no packet was blackholed): the span between the first
+	// and last packet lost into a down link.
+	BlackholeFirstNS int64
+	BlackholeLastNS  int64
+	// FlowsWithRTO counts flows that hit at least one retransmission
+	// timeout — the transport-visible victims of the transient.
+	FlowsWithRTO int
 }
 
 type flowState struct {
@@ -86,6 +116,7 @@ type flowState struct {
 
 	started bool
 	done    bool
+	rtoHit  bool
 	fct     int64
 }
 
@@ -94,13 +125,20 @@ func New(g *topology.Graph, scheme routing.Scheme, cfg Config) (*Simulator, erro
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
-	s := &Simulator{g: g, scheme: scheme, cfg: cfg, netLinks: make(map[[2]int][]int32)}
+	s := &Simulator{g: g, scheme: scheme, cfg: cfg, netLinks: make(map[[2]int][]int32),
+		blackholeFirst: -1, blackholeLast: -1}
+	s.activeScheme = scheme
+	if tv, ok := scheme.(routing.TimeScheme); ok {
+		s.tv = tv
+		s.activeScheme = tv.SchemeAt(0)
+	}
 	addLink := func(rateBps float64, delayNS int64) int32 {
 		id := int32(len(s.links))
 		s.links = append(s.links, link{
-			bytesPerNS: rateBps / 8 / 1e9,
-			delayNS:    delayNS,
-			capBytes:   cfg.QueueBytes,
+			bytesPerNS:        rateBps / 8 / 1e9,
+			nominalBytesPerNS: rateBps / 8 / 1e9,
+			delayNS:           delayNS,
+			capBytes:          cfg.QueueBytes,
 		})
 		return id
 	}
@@ -146,6 +184,14 @@ func (s *Simulator) Run(flows []workload.Flow) (Results, error) {
 		s.flows[i].fct = -1
 		s.push(event{t: f.StartNS, kind: evStart, idx: int32(i)})
 	}
+	if len(s.faultEvents) > 0 {
+		s.push(event{t: s.faultEvents[0].TimeNS, kind: evFault})
+	}
+	if s.tv != nil {
+		for _, b := range s.tv.Boundaries() {
+			s.push(event{t: b, kind: evReroute})
+		}
+	}
 	maxT := int64(s.cfg.MaxSimTime)
 	for len(s.events) > 0 && s.done < len(s.flows) {
 		ev := s.pop()
@@ -163,13 +209,21 @@ func (s *Simulator) Run(flows []workload.Flow) (Results, error) {
 			s.deliver(ev.pkt)
 		case evRTO:
 			s.timeout(ev.idx, ev.epoch)
+		case evFault:
+			s.applyDueFaults()
+		case evReroute:
+			s.reroute()
 		}
 	}
-	res := Results{FCTNS: make([]int64, len(flows)), EndNS: s.now, Stats: s.stats}
+	res := Results{FCTNS: make([]int64, len(flows)), EndNS: s.now, Stats: s.stats,
+		BlackholeFirstNS: s.blackholeFirst, BlackholeLastNS: s.blackholeLast}
 	for i := range s.flows {
 		res.FCTNS[i] = s.flows[i].fct
 		if s.flows[i].done {
 			res.Completed++
+		}
+		if s.flows[i].rtoHit {
+			res.FlowsWithRTO++
 		}
 	}
 	for i := range s.links {
@@ -186,8 +240,8 @@ func (s *Simulator) startFlow(idx int32) {
 	f.started = true
 	spec := f.spec
 	srcRack, dstRack := s.g.RackOf(spec.Src), s.g.RackOf(spec.Dst)
-	fwd := s.scheme.Path(srcRack, dstRack, spec.ID)
-	rev := s.scheme.Path(dstRack, srcRack, spec.ID^0x5ca1ab1e)
+	fwd := s.activeScheme.Path(srcRack, dstRack, spec.ID)
+	rev := s.activeScheme.Path(dstRack, srcRack, spec.ID^0x5ca1ab1e)
 	if fwd == nil || rev == nil {
 		// Unreachable racks: leave the flow incomplete forever.
 		return
@@ -239,7 +293,7 @@ func (s *Simulator) sendSegment(f *flowState, idx int32, seq int64) {
 			spec := f.spec
 			srcRack, dstRack := s.g.RackOf(spec.Src), s.g.RackOf(spec.Dst)
 			h := spec.ID ^ (f.flowletID * 0x9e3779b97f4a7c15)
-			if fwd := s.scheme.Path(srcRack, dstRack, h); fwd != nil {
+			if fwd := s.activeScheme.Path(srcRack, dstRack, h); fwd != nil {
 				f.dataLinks = s.expandPath(spec.Src, spec.Dst, fwd, h)
 			}
 		}
@@ -277,6 +331,15 @@ func (s *Simulator) sendAck(f *flowState, idx int32, echo int64, ce bool) {
 
 func (s *Simulator) enterLink(p *packet) {
 	l := &s.links[p.links[p.hop]]
+	if l.down {
+		s.blackhole(p)
+		return
+	}
+	if l.lossProb > 0 && s.faultRNG.Float64() < l.lossProb {
+		s.stats.GrayDrops++
+		s.free(p)
+		return
+	}
 	if s.cfg.ECN && !p.isAck && !p.ce && l.queueBytes >= s.cfg.ECNThresholdBytes {
 		// DCTCP-style instantaneous-queue marking at enqueue.
 		p.ce = true
@@ -294,6 +357,16 @@ func (s *Simulator) enterLink(p *packet) {
 
 func (s *Simulator) txDone(linkID int32, p *packet) {
 	l := &s.links[linkID]
+	if l.down {
+		// The link was cut mid-serialization: the frame and anything still
+		// queued are lost.
+		s.blackhole(p)
+		for l.queued() > 0 {
+			s.blackhole(l.pop())
+		}
+		l.busy = false
+		return
+	}
 	l.txBytes += uint64(p.wireSize)
 	s.push(event{t: s.now + l.delayNS, kind: evDeliver, pkt: p})
 	if l.queued() > 0 {
@@ -408,6 +481,7 @@ func (s *Simulator) timeout(idx int32, epoch uint64) {
 		return
 	}
 	s.stats.Timeouts++
+	f.rtoHit = true
 	flightSegs := float64(f.sndNxt-f.sndUna) / float64(s.cfg.MSS)
 	f.ssthresh = math.Max(flightSegs/2, 2)
 	f.cwnd = 1

@@ -18,10 +18,27 @@ type Failure struct {
 	A, B int
 }
 
+// FailOptions tunes FailRandomLinksOpt.
+type FailOptions struct {
+	// PreserveConnectivity rejects (and re-draws) cut sets that disconnect
+	// any rack pair, so dilation studies can isolate path stretch from
+	// outright partition. Draws stay deterministic: each attempt consumes
+	// one shuffle from the caller's rng.
+	PreserveConnectivity bool
+	// MaxAttempts bounds the re-draws (0 picks 100). Exhausting it returns
+	// an error rather than a silently partitioned fabric.
+	MaxAttempts int
+}
+
 // FailRandomLinks returns a copy of g with a fraction of its network links
 // removed (uniformly at random, without replacement), plus the failed
 // links. Host links never fail. fraction is clamped to [0, 1].
 func FailRandomLinks(g *topology.Graph, fraction float64, rng *rand.Rand) (*topology.Graph, []Failure, error) {
+	return FailRandomLinksOpt(g, fraction, rng, FailOptions{})
+}
+
+// FailRandomLinksOpt is FailRandomLinks with explicit options.
+func FailRandomLinksOpt(g *topology.Graph, fraction float64, rng *rand.Rand, opt FailOptions) (*topology.Graph, []Failure, error) {
 	if fraction < 0 {
 		fraction = 0
 	}
@@ -41,17 +58,47 @@ func FailRandomLinks(g *topology.Graph, fraction float64, rng *rand.Rand) (*topo
 	if k > len(edges) {
 		k = len(edges)
 	}
-	rng.Shuffle(len(edges), func(i, j int) { edges[i], edges[j] = edges[j], edges[i] })
-	out := g.Clone()
-	out.Name = fmt.Sprintf("%s-f%.3f", g.Name, fraction)
-	failures := make([]Failure, 0, k)
-	for _, e := range edges[:k] {
-		if !out.RemoveLink(e.a, e.b) {
-			return nil, nil, fmt.Errorf("resilience: failed to remove link %d-%d", e.a, e.b)
-		}
-		failures = append(failures, Failure{A: e.a, B: e.b})
+	attempts := opt.MaxAttempts
+	if attempts <= 0 {
+		attempts = 100
 	}
-	return out, failures, nil
+	if !opt.PreserveConnectivity {
+		attempts = 1
+	}
+	for try := 0; try < attempts; try++ {
+		rng.Shuffle(len(edges), func(i, j int) { edges[i], edges[j] = edges[j], edges[i] })
+		out := g.Clone()
+		out.Name = fmt.Sprintf("%s-f%.3f", g.Name, fraction)
+		failures := make([]Failure, 0, k)
+		for _, e := range edges[:k] {
+			if !out.RemoveLink(e.a, e.b) {
+				return nil, nil, fmt.Errorf("resilience: failed to remove link %d-%d", e.a, e.b)
+			}
+			failures = append(failures, Failure{A: e.a, B: e.b})
+		}
+		if opt.PreserveConnectivity && !racksConnected(out) {
+			continue
+		}
+		return out, failures, nil
+	}
+	return nil, nil, fmt.Errorf("resilience: no connectivity-preserving cut of %d links found in %d attempts", k, attempts)
+}
+
+// racksConnected reports whether every rack can reach every other rack
+// (weaker than full switch connectivity: a stranded rackless switch is
+// harmless).
+func racksConnected(g *topology.Graph) bool {
+	racks := g.Racks()
+	if len(racks) < 2 {
+		return true
+	}
+	dist := topology.BFS(g, racks[0])
+	for _, r := range racks[1:] {
+		if dist[r] < 0 {
+			return false
+		}
+	}
+	return true
 }
 
 // PathReport compares rack-to-rack shortest paths before and after failures.
@@ -120,16 +167,23 @@ type PathSetCounter interface {
 	PathSet(src, dst, max int) [][]int
 }
 
+// DefaultPathSetCap bounds path-set enumeration per sampled pair when the
+// caller passes pathCap <= 0 to CompareDiversity.
+const DefaultPathSetCap = 64
+
 // CompareDiversity samples rack pairs and reports admissible path counts
-// under schemes built for the before/after fabrics.
-func CompareDiversity(before, after *topology.Graph, sBefore, sAfter PathSetCounter, samples int, rng *rand.Rand) DiversityReport {
+// under schemes built for the before/after fabrics. pathCap bounds the
+// per-pair enumeration (<= 0 selects DefaultPathSetCap).
+func CompareDiversity(before, after *topology.Graph, sBefore, sAfter PathSetCounter, samples, pathCap int, rng *rand.Rand) DiversityReport {
 	racks := before.Racks()
 	rep := DiversityReport{MinPathsAfter: int(^uint(0) >> 1)}
 	if len(racks) < 2 || samples <= 0 {
 		rep.MinPathsAfter = 0
 		return rep
 	}
-	const cap = 64
+	if pathCap <= 0 {
+		pathCap = DefaultPathSetCap
+	}
 	sb, sa := 0, 0
 	for i := 0; i < samples; i++ {
 		src := racks[rng.Intn(len(racks))]
@@ -137,8 +191,8 @@ func CompareDiversity(before, after *topology.Graph, sBefore, sAfter PathSetCoun
 		for dst == src {
 			dst = racks[rng.Intn(len(racks))]
 		}
-		nb := len(sBefore.PathSet(src, dst, cap))
-		na := len(sAfter.PathSet(src, dst, cap))
+		nb := len(sBefore.PathSet(src, dst, pathCap))
+		na := len(sAfter.PathSet(src, dst, pathCap))
 		sb += nb
 		sa += na
 		if na < rep.MinPathsAfter {

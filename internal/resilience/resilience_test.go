@@ -82,6 +82,75 @@ func TestFailRandomLinksQuick(t *testing.T) {
 	}
 }
 
+func TestFailRandomLinksPreserveConnectivity(t *testing.T) {
+	// A 4-rack ring: any single-link cut keeps it connected, but heavy
+	// fractions partition it easily without the option.
+	g := topology.New("ring4", 4, 4)
+	for _, e := range [][2]int{{0, 1}, {1, 2}, {2, 3}, {3, 0}} {
+		if err := g.AddLink(e[0], e[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for v := 0; v < 4; v++ {
+		g.SetServers(v, 1)
+	}
+	opt := FailOptions{PreserveConnectivity: true}
+	for seed := int64(0); seed < 20; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		failed, fs, err := FailRandomLinksOpt(g, 0.25, rng, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(fs) != 1 {
+			t.Fatalf("seed %d: failed %d links, want 1", seed, len(fs))
+		}
+		if !racksConnected(failed) {
+			t.Fatalf("seed %d: PreserveConnectivity returned a partitioned fabric", seed)
+		}
+	}
+	// With a chord added, some 2-link cuts partition (isolating a rack) and
+	// some don't; every accepted draw must be connected.
+	chord := g.Clone()
+	if err := chord.AddLink(0, 2); err != nil {
+		t.Fatal(err)
+	}
+	for seed := int64(0); seed < 20; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		failed, fs, err := FailRandomLinksOpt(chord, 0.4, rng, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(fs) != 2 {
+			t.Fatalf("seed %d: failed %d links, want 2", seed, len(fs))
+		}
+		if !racksConnected(failed) {
+			t.Fatalf("seed %d: partitioned despite PreserveConnectivity", seed)
+		}
+	}
+	// Impossible demand (all links) must error, not loop or partition.
+	if _, _, err := FailRandomLinksOpt(g, 1.0, testRNG(), FailOptions{PreserveConnectivity: true, MaxAttempts: 5}); err == nil {
+		t.Fatal("connectivity-preserving cut of every link accepted")
+	}
+	// Default behavior is unchanged: the same seed yields the same draw
+	// with and without the zero options.
+	a, fsA, err := FailRandomLinks(ringFabric(t), 0.25, testRNG())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, fsB, err := FailRandomLinksOpt(ringFabric(t), 0.25, testRNG(), FailOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Links() != b.Links() || len(fsA) != len(fsB) {
+		t.Fatal("zero-option draw differs from FailRandomLinks")
+	}
+	for i := range fsA {
+		if fsA[i] != fsB[i] {
+			t.Fatalf("draw diverged at %d: %+v vs %+v", i, fsA[i], fsB[i])
+		}
+	}
+}
+
 func TestComparePathsNoFailures(t *testing.T) {
 	g := ringFabric(t)
 	rep, err := ComparePaths(g, g)
@@ -147,7 +216,7 @@ func TestCompareDiversity(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	rep := CompareDiversity(g, failed, sb, sa, 40, testRNG())
+	rep := CompareDiversity(g, failed, sb, sa, 40, 0, testRNG())
 	if rep.MeanPathsBefore <= 0 || rep.MeanPathsAfter <= 0 {
 		t.Fatalf("diversity = %+v", rep)
 	}

@@ -5,6 +5,7 @@ import (
 	"math/rand"
 
 	"spineless/internal/bgp"
+	"spineless/internal/core"
 	"spineless/internal/metrics"
 	"spineless/internal/netsim"
 	"spineless/internal/routing"
@@ -52,6 +53,9 @@ type StudyRow struct {
 	P99FCTms     float64
 	MedianFCTms  float64
 	Incomplete   int
+	// Err marks a trial that failed (panic or error) while the rest of the
+	// sweep continued; its metric fields are zero.
+	Err error
 }
 
 // Study sweeps failure fractions on fabric g: for each fraction it fails
@@ -77,57 +81,78 @@ func Study(g *topology.Graph, cfg StudyConfig) ([]StudyRow, error) {
 	}
 
 	var rows []StudyRow
+	var terrs core.TrialErrors
 	for _, f := range cfg.Fractions {
-		rng := rand.New(rand.NewSource(cfg.Seed))
-		failed, failures, err := FailRandomLinks(g, f, rng)
+		row := StudyRow{Fraction: f}
+		err := core.Trial(fmt.Sprintf("fraction %.3f", f), func() error {
+			return studyFraction(g, cfg, f, baseFib, baseRib, &row)
+		})
 		if err != nil {
-			return nil, err
-		}
-		row := StudyRow{Fraction: f, FailedLinks: len(failures), Connected: failed.Connected()}
-
-		row.Paths, err = ComparePaths(g, failed)
-		if err != nil {
-			return nil, err
-		}
-		if !row.Connected {
-			// Partitioned fabric: routing state is still well-defined per
-			// component, but the FCT replay would block forever; report the
-			// structural metrics only.
-			rows = append(rows, row)
-			continue
-		}
-
-		failedFib, err := routing.NewShortestUnion(failed, cfg.K)
-		if err != nil {
-			return nil, err
-		}
-		row.Diversity = CompareDiversity(g, failed, baseFib, failedFib, cfg.Samples, rng)
-
-		failedNet, err := bgp.Build(failed, cfg.K)
-		if err != nil {
-			return nil, err
-		}
-		rib, rounds, err := failedNet.ConvergeFrom(baseRib)
-		if err != nil {
-			return nil, err
-		}
-		row.ReconvRounds = rounds
-		if err := bgp.VerifyTheorem1(failedNet, rib); err != nil {
-			return nil, fmt.Errorf("resilience: post-failure routing broken: %w", err)
-		}
-
-		if cfg.Flows > 0 {
-			st, err := replayUniform(failed, failedFib, cfg, rng)
-			if err != nil {
-				return nil, err
-			}
-			row.P99FCTms = st.P99MS
-			row.MedianFCTms = st.MedianMS
-			row.Incomplete = st.Incomplete
+			// Graceful degradation: the trial failed alone; the sweep
+			// continues on the remaining fractions.
+			row.Err = err
+			terrs = append(terrs, err.(core.TrialError))
 		}
 		rows = append(rows, row)
 	}
+	if len(terrs) > 0 {
+		return rows, terrs
+	}
 	return rows, nil
+}
+
+// studyFraction measures one failure fraction into row. It runs inside
+// core.Trial, so panics in the substrates mark the trial failed instead of
+// aborting the sweep.
+func studyFraction(g *topology.Graph, cfg StudyConfig, f float64, baseFib *routing.Fib, baseRib bgp.Rib, row *StudyRow) error {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	failed, failures, err := FailRandomLinks(g, f, rng)
+	if err != nil {
+		return err
+	}
+	row.FailedLinks = len(failures)
+	row.Connected = failed.Connected()
+
+	row.Paths, err = ComparePaths(g, failed)
+	if err != nil {
+		return err
+	}
+	if !row.Connected {
+		// Partitioned fabric: routing state is still well-defined per
+		// component, but the FCT replay would block forever; report the
+		// structural metrics only.
+		return nil
+	}
+
+	failedFib, err := routing.NewShortestUnion(failed, cfg.K)
+	if err != nil {
+		return err
+	}
+	row.Diversity = CompareDiversity(g, failed, baseFib, failedFib, cfg.Samples, 0, rng)
+
+	failedNet, err := bgp.Build(failed, cfg.K)
+	if err != nil {
+		return err
+	}
+	rib, rounds, err := failedNet.ConvergeFrom(baseRib)
+	if err != nil {
+		return err
+	}
+	row.ReconvRounds = rounds
+	if err := bgp.VerifyTheorem1(failedNet, rib); err != nil {
+		return fmt.Errorf("resilience: post-failure routing broken: %w", err)
+	}
+
+	if cfg.Flows > 0 {
+		st, err := replayUniform(failed, failedFib, cfg, rng)
+		if err != nil {
+			return err
+		}
+		row.P99FCTms = st.P99MS
+		row.MedianFCTms = st.MedianMS
+		row.Incomplete = st.Incomplete
+	}
+	return nil
 }
 
 func replayUniform(g *topology.Graph, scheme routing.Scheme, cfg StudyConfig, rng *rand.Rand) (metrics.FCTStats, error) {
@@ -150,12 +175,17 @@ func replayUniform(g *topology.Graph, scheme routing.Scheme, cfg StudyConfig, rn
 	return metrics.SummarizeFCT(res.FCTNS), nil
 }
 
-// Table renders a failure study.
+// Table renders a failure study. Failed trials render as a single-cell
+// error row so partial sweeps stay legible.
 func Table(rows []StudyRow) string {
 	var t metrics.Table
 	t.AddRow("fail%", "links", "connected", "dilation(mean)", "dilation(max)",
 		"paths before", "paths after", "min paths", "reconv rounds", "p99 FCT ms")
 	for _, r := range rows {
+		if r.Err != nil {
+			t.AddRow(fmt.Sprintf("%.1f%%", r.Fraction*100), "FAILED: "+r.Err.Error())
+			continue
+		}
 		t.AddRow(
 			fmt.Sprintf("%.1f%%", r.Fraction*100),
 			fmt.Sprintf("%d", r.FailedLinks),

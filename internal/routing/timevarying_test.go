@@ -1,0 +1,72 @@
+package routing
+
+import (
+	"testing"
+
+	"spineless/internal/topology"
+)
+
+func tvTestGraphs(t *testing.T) (*topology.Graph, *topology.Graph) {
+	t.Helper()
+	g := topology.New("tri", 3, 4)
+	for _, e := range [][2]int{{0, 1}, {1, 2}, {0, 2}} {
+		if err := g.AddLink(e[0], e[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for v := 0; v < 3; v++ {
+		g.SetServers(v, 1)
+	}
+	cut := g.Clone()
+	cut.RemoveLink(0, 2)
+	return g, cut
+}
+
+func TestTimeVaryingPhases(t *testing.T) {
+	g, cut := tvTestGraphs(t)
+	pre, post := NewECMP(g), NewECMP(cut)
+	tv, err := NewTimeVarying(Phase{0, pre}, Phase{5e6, post})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tv.SchemeAt(0) != Scheme(pre) || tv.SchemeAt(4_999_999) != Scheme(pre) {
+		t.Fatal("pre-failure phase not served before the boundary")
+	}
+	if tv.SchemeAt(5e6) != Scheme(post) || tv.SchemeAt(1e9) != Scheme(post) {
+		t.Fatal("repaired phase not served at/after the boundary")
+	}
+	bs := tv.Boundaries()
+	if len(bs) != 1 || bs[0] != 5e6 {
+		t.Fatalf("boundaries = %v", bs)
+	}
+	// Time-unaware callers see the stale (initial) path set: 0→2 direct.
+	p := tv.Path(0, 2, 1)
+	if len(p) != 2 {
+		t.Fatalf("initial-phase path = %v, want the direct link", p)
+	}
+	// The repaired phase detours.
+	p = tv.SchemeAt(5e6).Path(0, 2, 1)
+	if len(p) != 3 {
+		t.Fatalf("repaired path = %v, want the 0-1-2 detour", p)
+	}
+	if tv.Name() == "" {
+		t.Fatal("empty name")
+	}
+}
+
+func TestTimeVaryingValidation(t *testing.T) {
+	g, _ := tvTestGraphs(t)
+	e := NewECMP(g)
+	if _, err := NewTimeVarying(); err == nil {
+		t.Fatal("empty phase list accepted")
+	}
+	if _, err := NewTimeVarying(Phase{5, e}); err == nil {
+		t.Fatal("first phase not at 0 accepted")
+	}
+	if _, err := NewTimeVarying(Phase{0, e}, Phase{0, e}); err == nil {
+		t.Fatal("non-increasing starts accepted")
+	}
+	if _, err := NewTimeVarying(Phase{0, nil}); err == nil {
+		t.Fatal("nil scheme accepted")
+	}
+}
