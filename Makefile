@@ -1,9 +1,9 @@
 GO ?= go
 
-.PHONY: check build test vet fmt race
+.PHONY: check build test vet fmt lint race
 
 # Full verification: everything CI and the roadmap's tier-1 gate expect.
-check: build vet fmt race
+check: build vet fmt lint race
 
 build:
 	$(GO) build ./...
@@ -19,6 +19,11 @@ fmt:
 	if [ -n "$$out" ]; then \
 		echo "gofmt needed on:"; echo "$$out"; exit 1; \
 	fi
+
+# Custom invariant checkers (determinism, maporder, nofatal, shadowbuiltin,
+# floateq, nakedpanic) — see DESIGN.md "Invariants & static analysis".
+lint:
+	$(GO) run ./cmd/spinelint ./...
 
 race:
 	$(GO) test -race ./...

@@ -1,0 +1,87 @@
+// Command spinelint runs the reproduction's custom invariant checkers over
+// Go packages: determinism contracts for the simulator packages, stable
+// iteration order, library-safe error handling, and the bug classes this
+// tree has hit before (see internal/lint and DESIGN.md §"Invariants").
+//
+// Usage:
+//
+//	spinelint [-list] [-checks id,id,...] [packages]
+//
+// Packages default to ./... . Exit status is 1 if any finding is reported,
+// 2 on load errors. Suppress a single finding with a trailing or preceding
+// //lint:allow <check> comment.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"spineless/internal/lint"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list available checks and exit")
+	checks := flag.String("checks", "", "comma-separated check IDs to run (default: all)")
+	flag.Parse()
+
+	checkers := lint.DefaultCheckers()
+	if *list {
+		for _, c := range checkers {
+			fmt.Printf("%-14s %s\n", c.Name(), c.Doc())
+		}
+		return
+	}
+	if *checks != "" {
+		want := make(map[string]bool)
+		for _, id := range strings.Split(*checks, ",") {
+			want[strings.TrimSpace(id)] = true
+		}
+		var kept []lint.Checker
+		for _, c := range checkers {
+			if want[c.Name()] {
+				kept = append(kept, c)
+				delete(want, c.Name())
+			}
+		}
+		if len(want) > 0 {
+			unknown := make([]string, 0, len(want))
+			for id := range want {
+				unknown = append(unknown, id)
+			}
+			sort.Strings(unknown)
+			fmt.Fprintf(os.Stderr, "spinelint: unknown checks %s (see -list)\n", strings.Join(unknown, ", "))
+			os.Exit(2)
+		}
+		checkers = kept
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	fset, pkgs, err := lint.Load(".", patterns)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "spinelint:", err)
+		os.Exit(2)
+	}
+	bad := false
+	for _, p := range pkgs {
+		pass := &lint.Pass{
+			Fset:       fset,
+			ImportPath: p.ImportPath,
+			Files:      p.Files,
+			Pkg:        p.Pkg,
+			Info:       p.Info,
+		}
+		for _, f := range lint.Run(pass, checkers) {
+			fmt.Println(f)
+			bad = true
+		}
+	}
+	if bad {
+		os.Exit(1)
+	}
+}

@@ -42,7 +42,7 @@ func main() {
 			c.Label, res.Stats.MedianMS, res.Stats.P99MS, res.Flows)
 		if c.Label == "leaf-spine (ecmp)" {
 			lsP99 = res.Stats.P99MS
-		} else if bestFlat == 0 || res.Stats.P99MS < bestFlat {
+		} else if bestFlat <= 0 || res.Stats.P99MS < bestFlat {
 			bestFlat = res.Stats.P99MS
 		}
 	}

@@ -98,7 +98,7 @@ func runFCT(fs *FabricSet, combo Combo, m *workload.Matrix, placement []int, cfg
 		cfg.Sizes = workload.PaperFlowSizes()
 	}
 	capacity := cfg.CapacityBps
-	if capacity == 0 {
+	if capacity <= 0 {
 		capacity = workload.SpineCapacityBps(fs.LeafSpineSpec, cfg.Net.LinkRateBps)
 	}
 	// §6.1: patterns where only a few racks participate are scaled down by

@@ -124,7 +124,7 @@ func MaxConcurrentFlow(g *topology.Graph, demands []Demand, opt Options) (float6
 			overload = o
 		}
 	}
-	if overload == 0 {
+	if overload <= 0 {
 		return 0, fmt.Errorf("fluid: no flow routed")
 	}
 	lam := math.Inf(1)

@@ -1,0 +1,85 @@
+package lint
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// Determinism forbids wall-clock reads, globally-seeded randomness, and
+// environment-dependent logic inside the simulator packages. Every source of
+// nondeterminism there silently corrupts seeded replay: FCT distributions
+// stop being byte-identical across runs and paper comparisons (§3, §5)
+// become unreproducible. Explicitly seeded RNG construction (rand.New,
+// rand.NewSource) stays legal — the ban is on the package-global source and
+// on anything whose value changes between two runs of the same seed.
+type Determinism struct {
+	// Scope holds import-path substrings; packages matching none are skipped.
+	// An empty scope means every package is checked.
+	Scope []string
+}
+
+func (*Determinism) Name() string { return "determinism" }
+func (*Determinism) Doc() string {
+	return "forbid time.Now, package-global math/rand, and os.Getenv in simulator packages"
+}
+
+// randConstructors are math/rand package-level functions that merely build
+// explicitly-seeded generators and are therefore deterministic.
+var randConstructors = map[string]bool{
+	"New": true, "NewSource": true, "NewZipf": true,
+	// math/rand/v2 seeded constructors.
+	"NewPCG": true, "NewChaCha8": true,
+}
+
+func (d *Determinism) Run(p *Pass) {
+	if !inScope(p.ImportPath, d.Scope) {
+		return
+	}
+	for _, f := range p.Files {
+		if p.InTestFile(f.Pos()) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			name := sel.Sel.Name
+			switch p.PkgQualifier(sel.X) {
+			case "time":
+				if name == "Now" || name == "Since" || name == "Until" {
+					p.Reportf(call.Pos(), d.Name(),
+						"time.%s reads the wall clock; thread simulated time explicitly", name)
+				}
+			case "math/rand", "math/rand/v2":
+				if !randConstructors[name] {
+					p.Reportf(call.Pos(), d.Name(),
+						"rand.%s uses the package-global source; draw from an explicitly seeded *rand.Rand", name)
+				}
+			case "os":
+				switch name {
+				case "Getenv", "LookupEnv", "Environ", "ExpandEnv":
+					p.Reportf(call.Pos(), d.Name(),
+						"os.%s makes simulator behaviour depend on the environment; pass configuration explicitly", name)
+				}
+			}
+			return true
+		})
+	}
+}
+
+func inScope(importPath string, scope []string) bool {
+	if len(scope) == 0 {
+		return true
+	}
+	for _, s := range scope {
+		if strings.Contains(importPath, s) {
+			return true
+		}
+	}
+	return false
+}

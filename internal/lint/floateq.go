@@ -1,0 +1,46 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// FloatEq flags == and != between floating-point operands outside test
+// files. Accumulated rounding makes exact float comparison a latent
+// correctness bug in throughput/UDF math; compare against a tolerance or
+// restructure the guard as an inequality. Sites that genuinely need exact
+// comparison (IEEE sentinels) can carry a //lint:allow floateq pragma.
+type FloatEq struct{}
+
+func (*FloatEq) Name() string { return "floateq" }
+func (*FloatEq) Doc() string {
+	return "flag ==/!= between floating-point operands outside tests"
+}
+
+func (c *FloatEq) Run(p *Pass) {
+	for _, f := range p.Files {
+		if p.InTestFile(f.Pos()) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			be, ok := n.(*ast.BinaryExpr)
+			if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+				return true
+			}
+			if isFloat(p.Info.TypeOf(be.X)) || isFloat(p.Info.TypeOf(be.Y)) {
+				p.Reportf(be.Pos(), c.Name(),
+					"floating-point %s comparison; use a tolerance or an inequality", be.Op)
+			}
+			return true
+		})
+	}
+}
+
+func isFloat(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&(types.IsFloat|types.IsComplex) != 0
+}

@@ -1,0 +1,173 @@
+// Package lint is a stdlib-only static-analysis framework enforcing the
+// reproduction's source-level invariants: deterministic replay (no wall
+// clock, no globally-seeded RNG, no environment-dependent logic in the
+// simulator packages), stable iteration/output order, library-safe error
+// handling, and a few bug classes this tree has actually hit (builtin
+// shadowing, float equality, context-free panics).
+//
+// The framework is deliberately small: a Checker walks the type-checked AST
+// of one package at a time and reports Findings. The driver (cmd/spinelint)
+// loads packages and applies DefaultCheckers; golden-fixture tests in this
+// package pin each checker's behaviour against testdata/.
+//
+// Findings can be suppressed at a single site with an escape-hatch comment
+//
+//	//lint:allow <check> [<check>...]
+//
+// placed on the offending line or on the line directly above it.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Finding is one rule violation at one source position.
+type Finding struct {
+	Pos     token.Position
+	Check   string
+	Message string
+}
+
+// String renders a finding in the conventional file:line:col form.
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", f.Pos.Filename, f.Pos.Line, f.Pos.Column, f.Check, f.Message)
+}
+
+// Pass is the per-package unit of work handed to every checker.
+type Pass struct {
+	Fset       *token.FileSet
+	ImportPath string
+	Files      []*ast.File
+	Pkg        *types.Package
+	Info       *types.Info
+
+	findings []Finding
+}
+
+// Reportf records a finding at pos for the named check.
+func (p *Pass) Reportf(pos token.Pos, check, format string, args ...any) {
+	p.findings = append(p.findings, Finding{
+		Pos:     p.Fset.Position(pos),
+		Check:   check,
+		Message: fmt.Sprintf(format, args...),
+	})
+}
+
+// InTestFile reports whether pos lies in a _test.go file.
+func (p *Pass) InTestFile(pos token.Pos) bool {
+	return strings.HasSuffix(p.Fset.Position(pos).Filename, "_test.go")
+}
+
+// PkgQualifier resolves a selector qualifier (the x in x.Sel) to the import
+// path of the package it names, or "" if x is not a package name.
+func (p *Pass) PkgQualifier(x ast.Expr) string {
+	id, ok := x.(*ast.Ident)
+	if !ok {
+		return ""
+	}
+	pn, ok := p.Info.Uses[id].(*types.PkgName)
+	if !ok {
+		return ""
+	}
+	return pn.Imported().Path()
+}
+
+// Checker is one invariant pass over a package.
+type Checker interface {
+	// Name is the stable check ID used in findings and allow pragmas.
+	Name() string
+	// Doc is a one-line rationale shown by `spinelint -list`.
+	Doc() string
+	Run(p *Pass)
+}
+
+// Run applies every checker to the package, drops findings suppressed by
+// //lint:allow pragmas, and returns the rest sorted by position.
+func Run(p *Pass, checkers []Checker) []Finding {
+	for _, c := range checkers {
+		c.Run(p)
+	}
+	allowed := collectAllows(p)
+	var out []Finding
+	for _, f := range p.findings {
+		if allowed[allowKey{f.Pos.Filename, f.Pos.Line, f.Check}] ||
+			allowed[allowKey{f.Pos.Filename, f.Pos.Line - 1, f.Check}] {
+			continue
+		}
+		out = append(out, f)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Check < b.Check
+	})
+	return out
+}
+
+type allowKey struct {
+	file  string
+	line  int
+	check string
+}
+
+const allowPrefix = "//lint:allow"
+
+// collectAllows indexes every //lint:allow pragma by (file, line, check).
+// A pragma suppresses findings for the listed checks on its own line and on
+// the line below (so it can sit above the offending statement).
+func collectAllows(p *Pass) map[allowKey]bool {
+	allowed := make(map[allowKey]bool)
+	for _, f := range p.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, allowPrefix) {
+					continue
+				}
+				pos := p.Fset.Position(c.Pos())
+				for _, check := range strings.Fields(c.Text[len(allowPrefix):]) {
+					allowed[allowKey{pos.Filename, pos.Line, check}] = true
+				}
+			}
+		}
+	}
+	return allowed
+}
+
+// DefaultCheckers returns the full suite with the scopes used on this tree.
+func DefaultCheckers() []Checker {
+	return []Checker{
+		&Determinism{Scope: SimulatorScope},
+		&MapOrder{},
+		&NoFatal{},
+		&ShadowBuiltin{},
+		&FloatEq{},
+		&NakedPanic{},
+	}
+}
+
+// SimulatorScope lists the import-path substrings of the packages whose
+// results must replay byte-identically from a seed (§5/§6 experiments and
+// the PR-1 fault-injection replay). The lint fixtures are included so the
+// real driver reproduces the golden findings.
+var SimulatorScope = []string{
+	"internal/netsim",
+	"internal/flowsim",
+	"internal/topology",
+	"internal/faults",
+	"internal/resilience",
+	"internal/workload",
+	"lint/testdata/",
+}

@@ -1,0 +1,103 @@
+package lint
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite testdata expected.txt golden files")
+
+// fixtureCheckers returns the checkers a fixture directory exercises: the
+// checker whose ID matches the directory name, or the full default suite
+// for the allow-pragma fixture.
+func fixtureCheckers(t *testing.T, dir string) []Checker {
+	all := DefaultCheckers()
+	if dir == "allow" {
+		return all
+	}
+	for _, c := range all {
+		if c.Name() == dir {
+			return []Checker{c}
+		}
+	}
+	t.Fatalf("no checker matches fixture dir %q", dir)
+	return nil
+}
+
+// TestGolden pins every checker against its testdata fixture: the findings
+// (file:line:col, ID, message) must match expected.txt exactly, so checker
+// regressions are caught without depending on the real tree's state.
+func TestGolden(t *testing.T) {
+	entries, err := os.ReadDir("testdata")
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := make(map[string]bool)
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		seen[e.Name()] = true
+		t.Run(e.Name(), func(t *testing.T) {
+			dir := filepath.Join("testdata", e.Name())
+			fset, pkg, err := LoadDir(dir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			pass := &Pass{
+				Fset:       fset,
+				ImportPath: pkg.ImportPath,
+				Files:      pkg.Files,
+				Pkg:        pkg.Pkg,
+				Info:       pkg.Info,
+			}
+			var b strings.Builder
+			for _, f := range Run(pass, fixtureCheckers(t, e.Name())) {
+				// Render paths relative to the fixture dir so goldens are
+				// machine-independent.
+				fmt.Fprintf(&b, "%s:%d:%d: %s: %s\n",
+					filepath.Base(f.Pos.Filename), f.Pos.Line, f.Pos.Column, f.Check, f.Message)
+			}
+			got := b.String()
+			golden := filepath.Join(dir, "expected.txt")
+			if *update {
+				if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(golden)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != string(want) {
+				t.Errorf("findings mismatch (run `go test ./internal/lint -run Golden -update` after verifying):\n--- got ---\n%s--- want ---\n%s", got, want)
+			}
+		})
+	}
+	// Every checker must have a fixture: a new checker without goldens is
+	// itself a regression.
+	for _, c := range DefaultCheckers() {
+		if !seen[c.Name()] {
+			t.Errorf("checker %q has no testdata fixture", c.Name())
+		}
+	}
+}
+
+// TestAllowOnlySuppressesNamedCheck guards the pragma parser: an allow for
+// one check must not suppress another on the same line.
+func TestAllowOnlySuppressesNamedCheck(t *testing.T) {
+	fset, pkg, err := LoadDir(filepath.Join("testdata", "allow"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pass := &Pass{Fset: fset, ImportPath: pkg.ImportPath, Files: pkg.Files, Pkg: pkg.Pkg, Info: pkg.Info}
+	findings := Run(pass, DefaultCheckers())
+	if len(findings) != 1 || findings[0].Check != "floateq" {
+		t.Fatalf("want exactly one floateq finding surviving the pragmas, got %v", findings)
+	}
+}

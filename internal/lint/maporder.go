@@ -1,0 +1,177 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// MapOrder flags `range` over a map whose body leaks Go's randomized
+// iteration order into something order-sensitive: appending to a slice that
+// is never subsequently sorted, emitting output, or drawing from an RNG
+// (which desynchronizes the stream between runs). The canonical safe shape —
+// collect keys into a slice, sort, then iterate — is recognized and not
+// flagged: an append target that is later passed to a sort.* or slices.*
+// call in the same function is considered ordered.
+type MapOrder struct{}
+
+func (*MapOrder) Name() string { return "maporder" }
+func (*MapOrder) Doc() string {
+	return "flag map iteration whose order leaks into slices, output, or RNG draws"
+}
+
+func (m *MapOrder) Run(p *Pass) {
+	for _, f := range p.Files {
+		if p.InTestFile(f.Pos()) {
+			continue
+		}
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			m.checkFunc(p, fd.Body)
+		}
+	}
+}
+
+// checkFunc scans one function body (including nested literals, which share
+// the enclosing body for the "sorted later" test).
+func (m *MapOrder) checkFunc(p *Pass, body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		rs, ok := n.(*ast.RangeStmt)
+		if !ok {
+			return true
+		}
+		t := p.Info.TypeOf(rs.X)
+		if t == nil {
+			return true
+		}
+		if _, isMap := t.Underlying().(*types.Map); !isMap {
+			return true
+		}
+		m.checkRange(p, body, rs)
+		return true
+	})
+}
+
+func (m *MapOrder) checkRange(p *Pass, funcBody *ast.BlockStmt, rs *ast.RangeStmt) {
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		switch fun := call.Fun.(type) {
+		case *ast.Ident:
+			if isBuiltin(p, fun, "append") && len(call.Args) > 0 {
+				if target, obj := identObj(p, call.Args[0]); obj != nil {
+					// Slices declared inside the loop body are per-iteration
+					// scratch; only order accumulated across iterations leaks.
+					if obj.Pos() >= rs.Body.Pos() && obj.Pos() <= rs.Body.End() {
+						return true
+					}
+					if !sortedAfter(p, funcBody, rs.End(), obj) {
+						p.Reportf(call.Pos(), m.Name(),
+							"append to %q inside map iteration without a later sort; slice order follows randomized map order", target.Name)
+					}
+				}
+			}
+		case *ast.SelectorExpr:
+			name := fun.Sel.Name
+			switch p.PkgQualifier(fun.X) {
+			case "fmt":
+				if isEmit(name) {
+					p.Reportf(call.Pos(), m.Name(),
+						"fmt.%s inside map iteration emits output in randomized map order; sort keys first", name)
+				}
+				return true
+			case "math/rand", "math/rand/v2":
+				p.Reportf(call.Pos(), m.Name(),
+					"rand.%s inside map iteration consumes RNG draws in randomized map order; sort keys first", name)
+				return true
+			}
+			if isRandRandMethod(p, fun) {
+				p.Reportf(call.Pos(), m.Name(),
+					"RNG draw (%s) inside map iteration desynchronizes the seeded stream; sort keys first", name)
+			}
+		}
+		return true
+	})
+}
+
+func isEmit(name string) bool {
+	switch name {
+	case "Print", "Printf", "Println", "Fprint", "Fprintf", "Fprintln":
+		return true
+	}
+	return false
+}
+
+// isRandRandMethod reports whether sel is a method call on *math/rand.Rand.
+func isRandRandMethod(p *Pass, sel *ast.SelectorExpr) bool {
+	t := p.Info.TypeOf(sel.X)
+	if t == nil {
+		return false
+	}
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return false
+	}
+	pkg := named.Obj().Pkg().Path()
+	return (pkg == "math/rand" || pkg == "math/rand/v2") && named.Obj().Name() == "Rand"
+}
+
+func isBuiltin(p *Pass, id *ast.Ident, name string) bool {
+	if id.Name != name {
+		return false
+	}
+	_, ok := p.Info.Uses[id].(*types.Builtin)
+	return ok
+}
+
+// identObj unwraps an expression to a plain identifier and its object.
+func identObj(p *Pass, e ast.Expr) (*ast.Ident, types.Object) {
+	id, ok := e.(*ast.Ident)
+	if !ok {
+		return nil, nil
+	}
+	return id, p.Info.ObjectOf(id)
+}
+
+// sortedAfter reports whether obj is handed to a sort.* or slices.* call
+// after pos anywhere in the enclosing function body (including inside
+// conversions such as sort.Sort(byLen(s))).
+func sortedAfter(p *Pass, funcBody *ast.BlockStmt, pos token.Pos, obj types.Object) bool {
+	found := false
+	ast.Inspect(funcBody, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < pos {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		switch p.PkgQualifier(sel.X) {
+		case "sort", "slices":
+		default:
+			return true
+		}
+		for _, arg := range call.Args {
+			ast.Inspect(arg, func(an ast.Node) bool {
+				if id, ok := an.(*ast.Ident); ok && p.Info.ObjectOf(id) == obj {
+					found = true
+				}
+				return !found
+			})
+		}
+		return true
+	})
+	return found
+}

@@ -1,0 +1,71 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strconv"
+	"strings"
+)
+
+// NakedPanic flags panic calls in internal packages whose argument does not
+// carry a package-prefixed message ("<pkg>: ..."). A bare panic(err) that
+// escapes an experiment run gives no hint which subsystem's invariant broke;
+// panics are reserved for provably-unreachable states and must say whose
+// state they are. Constructors that can actually fail should return errors.
+type NakedPanic struct{}
+
+func (*NakedPanic) Name() string { return "nakedpanic" }
+func (*NakedPanic) Doc() string {
+	return "flag panics in internal/ without a package-prefixed message"
+}
+
+func (c *NakedPanic) Run(p *Pass) {
+	if !strings.Contains(p.ImportPath, "internal/") {
+		return
+	}
+	prefix := p.Pkg.Name() + ": "
+	for _, f := range p.Files {
+		if p.InTestFile(f.Pos()) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			id, ok := call.Fun.(*ast.Ident)
+			if !ok || !isBuiltinPanic(p, id) || len(call.Args) != 1 {
+				return true
+			}
+			if !hasPkgPrefix(call.Args[0], prefix) {
+				p.Reportf(call.Pos(), c.Name(),
+					"panic without a %q-prefixed message; name the failing invariant or return an error", prefix)
+			}
+			return true
+		})
+	}
+}
+
+func isBuiltinPanic(p *Pass, id *ast.Ident) bool {
+	if id.Name != "panic" {
+		return false
+	}
+	_, ok := p.Info.Uses[id].(*types.Builtin)
+	return ok
+}
+
+// hasPkgPrefix accepts a string literal starting with the package prefix, or
+// a fmt.Sprintf/fmt.Errorf call whose format string does.
+func hasPkgPrefix(e ast.Expr, prefix string) bool {
+	switch v := ast.Unparen(e).(type) {
+	case *ast.BasicLit:
+		s, err := strconv.Unquote(v.Value)
+		return err == nil && strings.HasPrefix(s, prefix)
+	case *ast.CallExpr:
+		if len(v.Args) == 0 {
+			return false
+		}
+		return hasPkgPrefix(v.Args[0], prefix)
+	}
+	return false
+}

@@ -1,0 +1,52 @@
+package lint
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// NoFatal forbids log.Fatal*/os.Exit outside package main (cmd/ tools and
+// examples). A library that exits kills the whole experiment driver,
+// skips deferred cleanup, and makes failure paths untestable; internal
+// packages must return errors instead.
+type NoFatal struct{}
+
+func (*NoFatal) Name() string { return "nofatal" }
+func (*NoFatal) Doc() string {
+	return "forbid log.Fatal* and os.Exit outside package main"
+}
+
+func (c *NoFatal) Run(p *Pass) {
+	if p.Pkg.Name() == "main" {
+		return
+	}
+	for _, f := range p.Files {
+		if p.InTestFile(f.Pos()) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			name := sel.Sel.Name
+			switch p.PkgQualifier(sel.X) {
+			case "log":
+				if strings.HasPrefix(name, "Fatal") || strings.HasPrefix(name, "Panic") {
+					p.Reportf(call.Pos(), c.Name(),
+						"log.%s in a library package; return an error instead", name)
+				}
+			case "os":
+				if name == "Exit" {
+					p.Reportf(call.Pos(), c.Name(),
+						"os.Exit in a library package; return an error instead")
+				}
+			}
+			return true
+		})
+	}
+}

@@ -1,0 +1,52 @@
+package lint
+
+import (
+	"go/token"
+	"go/types"
+)
+
+// ShadowBuiltin flags declarations that shadow the builtins cap, len, min,
+// or max. A shadowed builtin keeps compiling while silently changing
+// meaning further down the function — exactly the `cap` shadow PR 1 had to
+// fix by hand in the packet simulator.
+type ShadowBuiltin struct{}
+
+func (*ShadowBuiltin) Name() string { return "shadowbuiltin" }
+func (*ShadowBuiltin) Doc() string {
+	return "flag declarations shadowing the builtins cap, len, min, max"
+}
+
+var shadowedBuiltins = map[string]bool{"cap": true, "len": true, "min": true, "max": true}
+
+func (c *ShadowBuiltin) Run(p *Pass) {
+	reported := make(map[token.Pos]bool)
+	report := func(obj types.Object) {
+		if obj == nil || !shadowedBuiltins[obj.Name()] || reported[obj.Pos()] {
+			return
+		}
+		switch o := obj.(type) {
+		case *types.Var:
+			if o.IsField() {
+				return // struct fields are always selector-qualified
+			}
+		case *types.Func:
+			if sig, ok := o.Type().(*types.Signature); ok && sig.Recv() != nil {
+				return // methods are always selector-qualified
+			}
+		case *types.Const, *types.TypeName, *types.PkgName:
+		default:
+			return
+		}
+		reported[obj.Pos()] = true
+		p.Reportf(obj.Pos(), c.Name(), "declaration of %q shadows the builtin", obj.Name())
+	}
+	for _, obj := range p.Info.Defs {
+		report(obj)
+	}
+	// The symbolic variable of a type switch (switch t := x.(type)) is not
+	// in Defs; go/types records one implicit object per case clause, all at
+	// the header position (hence the dedupe above).
+	for _, obj := range p.Info.Implicits {
+		report(obj)
+	}
+}

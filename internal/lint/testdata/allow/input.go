@@ -1,0 +1,18 @@
+// Package fixture exercises the //lint:allow escape hatch: a pragma on the
+// offending line or the line directly above suppresses exactly the named
+// checks; everything else still fires.
+package fixture
+
+import "time"
+
+func Suppressed() (int64, int64) {
+	a := time.Now().UnixNano() //lint:allow determinism
+	//lint:allow determinism
+	b := time.Now().UnixNano()
+	return a, b
+}
+
+func StillCaught(x float64) bool {
+	//lint:allow determinism
+	return x == 0 // finding: pragma names a different check
+}

@@ -1,0 +1,19 @@
+// Package fixture exercises the floateq checker: exact float comparison is
+// a latent bug outside IEEE-sentinel checks.
+package fixture
+
+func Bad(a, b float64, c float32) bool {
+	if a == b { // finding
+		return true
+	}
+	return c != 0 // finding
+}
+
+func Good(a, b float64, i, j int) bool {
+	const eps = 1e-9
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	return d < eps && i == j // ok: int comparison
+}

@@ -1,0 +1,51 @@
+// Package fixture exercises the maporder checker: map-iteration order must
+// not leak into slices, output, or RNG draws. The collect-then-sort idiom
+// is recognized and allowed.
+package fixture
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+)
+
+func LeakySlice(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k) // finding: never sorted
+	}
+	return keys
+}
+
+func SortedSlice(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k) // ok: sorted below
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func LeakyOutput(m map[string]int) {
+	for k, v := range m {
+		fmt.Println(k, v) // finding: output in map order
+	}
+}
+
+func LeakyRNG(m map[string]int, rng *rand.Rand) int {
+	s := 0
+	for range m {
+		s += rng.Intn(10) // finding: RNG draws in map order
+	}
+	return s
+}
+
+func ScratchSlice(m map[string][]int) int {
+	n := 0
+	for _, vs := range m {
+		var local []int
+		local = append(local, vs...) // ok: per-iteration scratch
+		n += len(local)
+	}
+	return n
+}

@@ -1,0 +1,23 @@
+// Package fixture exercises the nakedpanic checker: panics in internal
+// packages must name the failing subsystem.
+package fixture
+
+import "fmt"
+
+func Bad(err error, x int) {
+	if err != nil {
+		panic(err) // finding: no context at all
+	}
+	if x < 0 {
+		panic("negative x") // finding: missing package prefix
+	}
+}
+
+func Good(x int) {
+	if x < 0 {
+		panic("fixture: negative x") // ok: package-prefixed literal
+	}
+	if x > 100 {
+		panic(fmt.Sprintf("fixture: x=%d out of range", x)) // ok: prefixed format
+	}
+}

@@ -1,0 +1,23 @@
+// Package fixture exercises the nofatal checker: library packages must
+// return errors, never exit the process.
+package fixture
+
+import (
+	"fmt"
+	"log"
+	"os"
+)
+
+func Bad(err error) {
+	if err != nil {
+		log.Fatalf("boom: %v", err) // finding: exits from a library
+	}
+	os.Exit(1) // finding: exits from a library
+}
+
+func Good(err error) error {
+	if err != nil {
+		return fmt.Errorf("fixture: %w", err) // ok
+	}
+	return nil
+}

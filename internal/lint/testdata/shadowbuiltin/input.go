@@ -1,0 +1,25 @@
+// Package fixture exercises the shadowbuiltin checker: declarations named
+// cap, len, min, or max silently change meaning downstream.
+package fixture
+
+func Bad(min int) int { // finding: param shadows min
+	cap := 10 // finding: shadows cap
+	var max = 20
+	_ = max // finding above: var shadows max
+	return min + cap
+}
+
+type row struct {
+	len int // ok: struct fields are selector-qualified
+}
+
+func (r row) Len() int { return r.len } // ok
+
+func Switch(v any) int {
+	switch len := v.(type) { // finding: type-switch var shadows len
+	case int:
+		return len
+	default:
+		return 0
+	}
+}

@@ -215,7 +215,8 @@ func glyph(v float64) string {
 
 // Ratio returns a/b, or NaN when b is zero.
 func Ratio(a, b float64) float64 {
-	if b == 0 {
+	// Exact zero is the spec here: any other b must divide through.
+	if b == 0 { //lint:allow floateq
 		return math.NaN()
 	}
 	return a / b
@@ -254,7 +255,7 @@ func (c *CDF) Points(n int) (xs, ys []float64) {
 		return nil, nil
 	}
 	lo, hi := c.sorted[0], c.sorted[len(c.sorted)-1]
-	if hi == lo {
+	if hi <= lo {
 		return []float64{lo, hi}, []float64{1, 1}
 	}
 	for i := 0; i < n; i++ {

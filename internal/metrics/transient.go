@@ -45,7 +45,7 @@ func SummarizeTransient(startNS, fctNS []int64, windowStartNS, windowEndNS int64
 }
 
 func inflation(during, after float64) float64 {
-	if math.IsNaN(during) || math.IsNaN(after) || after == 0 {
+	if math.IsNaN(during) || math.IsNaN(after) || after <= 0 {
 		return math.NaN()
 	}
 	return during / after

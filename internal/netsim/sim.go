@@ -524,7 +524,7 @@ func (s *Simulator) updateRTT(f *flowState, sample int64) {
 		sample = 1
 	}
 	sa := float64(sample)
-	if f.srtt == 0 {
+	if f.srtt <= 0 {
 		f.srtt = sa
 		f.rttvar = sa / 2
 	} else {

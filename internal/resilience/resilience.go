@@ -164,7 +164,7 @@ type DiversityReport struct {
 // PathSetCounter is the subset of routing.Scheme needed here (avoids a
 // dependency cycle and lets tests substitute fakes).
 type PathSetCounter interface {
-	PathSet(src, dst, max int) [][]int
+	PathSet(src, dst, maxPaths int) [][]int
 }
 
 // DefaultPathSetCap bounds path-set enumeration per sampled pair when the

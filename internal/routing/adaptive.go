@@ -34,11 +34,11 @@ func (a *Adaptive) Path(src, dst int, flowID uint64) []int {
 }
 
 // PathSet implements Scheme.
-func (a *Adaptive) PathSet(src, dst, max int) [][]int {
+func (a *Adaptive) PathSet(src, dst, maxPaths int) [][]int {
 	if a.useAlt(src, dst) {
-		return a.alt.PathSet(src, dst, max)
+		return a.alt.PathSet(src, dst, maxPaths)
 	}
-	return a.base.PathSet(src, dst, max)
+	return a.base.PathSet(src, dst, maxPaths)
 }
 
 var _ Scheme = (*Adaptive)(nil)

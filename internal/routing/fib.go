@@ -172,7 +172,15 @@ func (f *Fib) buildDst(dst int) {
 			order = append(order, int32(u))
 		}
 	}
-	sort.Slice(order, func(a, b int) bool { return ctg[order[a]] < ctg[order[b]] })
+	// Equal-cost vnodes are frequent; break ties on vnode id so the
+	// processing order (and any float accumulation downstream) is a total
+	// order independent of the unstable-sort permutation.
+	sort.SliceStable(order, func(a, b int) bool {
+		if ctg[order[a]] != ctg[order[b]] {
+			return ctg[order[a]] < ctg[order[b]]
+		}
+		return order[a] < order[b]
+	})
 	const saturate = int64(1) << 40
 	for _, u := range order {
 		if u == int32(target) {
@@ -250,8 +258,8 @@ func (f *Fib) Path(src, dst int, flowID uint64) []int {
 // physical paths (beyond distance K a physical path is realizable through
 // more than one VRF layer schedule — e.g. 2→1→2→1→2 and 2→1→1→1→2 both
 // cost L — which weights forwarding but must not inflate the enumeration).
-// max caps the result; 0 means unlimited.
-func (f *Fib) PathSet(src, dst, max int) [][]int {
+// maxPaths caps the result; 0 means unlimited.
+func (f *Fib) PathSet(src, dst, maxPaths int) [][]int {
 	if src == dst {
 		return [][]int{{src}}
 	}
@@ -271,7 +279,7 @@ func (f *Fib) PathSet(src, dst, max int) [][]int {
 				seen[k] = true
 				out = append(out, append([]int(nil), cur...))
 			}
-			return max == 0 || len(out) < max
+			return maxPaths == 0 || len(out) < maxPaths
 		}
 		for _, nh := range next[state] {
 			r := f.router(int(nh))

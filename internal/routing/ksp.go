@@ -44,13 +44,13 @@ func (s *KSP) Path(src, dst int, flowID uint64) []int {
 }
 
 // PathSet implements Scheme.
-func (s *KSP) PathSet(src, dst, max int) [][]int {
+func (s *KSP) PathSet(src, dst, maxPaths int) [][]int {
 	if src == dst {
 		return [][]int{{src}}
 	}
 	paths := s.paths(src, dst)
-	if max > 0 && len(paths) > max {
-		paths = paths[:max]
+	if maxPaths > 0 && len(paths) > maxPaths {
+		paths = paths[:maxPaths]
 	}
 	out := make([][]int, len(paths))
 	for i, p := range paths {

@@ -24,9 +24,9 @@ type Scheme interface {
 	// the same path.
 	Path(src, dst int, flowID uint64) []int
 
-	// PathSet enumerates the admissible paths from src to dst, up to max
+	// PathSet enumerates the admissible paths from src to dst, up to maxPaths
 	// entries (0 means no cap). Paths include both endpoints.
-	PathSet(src, dst, max int) [][]int
+	PathSet(src, dst, maxPaths int) [][]int
 }
 
 // splitmix64 is the per-hop hash used for ECMP-style flow placement.

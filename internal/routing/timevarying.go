@@ -70,8 +70,8 @@ func (tv *TimeVarying) Path(src, dst int, flowID uint64) []int {
 }
 
 // PathSet implements Scheme, serving the initial phase.
-func (tv *TimeVarying) PathSet(src, dst, max int) [][]int {
-	return tv.phases[0].Scheme.PathSet(src, dst, max)
+func (tv *TimeVarying) PathSet(src, dst, maxPaths int) [][]int {
+	return tv.phases[0].Scheme.PathSet(src, dst, maxPaths)
 }
 
 // SchemeAt implements TimeScheme.

@@ -44,7 +44,7 @@ func (s *VLB) Path(src, dst int, flowID uint64) []int {
 // PathSet implements Scheme. VLB admits, for every intermediate m, the
 // concatenation of shortest paths src→m→dst; enumerating all is exponential,
 // so PathSet samples one spliced path per intermediate.
-func (s *VLB) PathSet(src, dst, max int) [][]int {
+func (s *VLB) PathSet(src, dst, maxPaths int) [][]int {
 	if src == dst {
 		return [][]int{{src}}
 	}
@@ -59,7 +59,7 @@ func (s *VLB) PathSet(src, dst, max int) [][]int {
 			continue
 		}
 		out = append(out, SpliceLoops(append(a, b[1:]...)))
-		if max > 0 && len(out) >= max {
+		if maxPaths > 0 && len(out) >= maxPaths {
 			break
 		}
 	}

@@ -113,7 +113,7 @@ func RegularRRG(name string, n, d int, rng *rand.Rand) (*Graph, error) {
 		if err != nil {
 			return nil, err
 		}
-		return complement(name, sparse), nil
+		return complement(name, sparse)
 	}
 	degrees := make([]int, n)
 	for i := range degrees {
@@ -123,7 +123,10 @@ func RegularRRG(name string, n, d int, rng *rand.Rand) (*Graph, error) {
 }
 
 // complement returns the simple-graph complement (no servers, no radix).
-func complement(name string, g *Graph) *Graph {
+// AddLink can only fail if g is not simple, which the RRG construction
+// guarantees against; the error is propagated rather than panicking so a
+// violated invariant surfaces as a diagnosable construction failure.
+func complement(name string, g *Graph) (*Graph, error) {
 	n := g.N()
 	out := New(name, n, 0)
 	adj := make([]map[int]bool, n)
@@ -136,12 +139,11 @@ func complement(name string, g *Graph) *Graph {
 	for a := 0; a < n; a++ {
 		for b := a + 1; b < n; b++ {
 			if !adj[a][b] {
-				// Construction invariant: g is simple, so this cannot fail.
 				if err := out.AddLink(a, b); err != nil {
-					panic(err)
+					return nil, fmt.Errorf("rrg: complement of non-simple graph %q: %w", name, err)
 				}
 			}
 		}
 	}
-	return out
+	return out, nil
 }

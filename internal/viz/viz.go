@@ -82,7 +82,7 @@ func GroupedBars(title, yLabel string, series []string, groups []BarGroup) (stri
 			maxV = math.Max(maxV, v)
 		}
 	}
-	if maxV == 0 {
+	if maxV <= 0 {
 		maxV = 1
 	}
 
@@ -153,7 +153,7 @@ func Lines(title, xLabel, yLabel string, series []Series) (string, error) {
 			maxY = math.Max(maxY, s.Y[i])
 		}
 	}
-	if maxX == minX {
+	if maxX <= minX {
 		maxX = minX + 1
 	}
 	if maxY <= minY {

@@ -84,7 +84,7 @@ func (m *Matrix) Skew() float64 {
 			total += v
 		}
 	}
-	if total == 0 {
+	if total <= 0 {
 		return 0
 	}
 	ordered := append([]float64(nil), rows...)

@@ -40,16 +40,16 @@ func PaperFlowSizes() Pareto { return Pareto{MeanBytes: 100e3, Alpha: 1.05} }
 func (p Pareto) Sample(rng *rand.Rand) int64 {
 	xm := p.MeanBytes * (p.Alpha - 1) / p.Alpha
 	u := rng.Float64()
-	for u == 0 {
+	for u <= 0 {
 		u = rng.Float64()
 	}
 	v := xm / math.Pow(u, 1/p.Alpha)
-	cap := p.Cap
-	if cap == 0 {
-		cap = int64(p.MeanBytes * 1e4)
+	capBytes := p.Cap
+	if capBytes == 0 {
+		capBytes = int64(p.MeanBytes * 1e4)
 	}
-	if v > float64(cap) {
-		v = float64(cap)
+	if v > float64(capBytes) {
+		v = float64(capBytes)
 	}
 	if v < 1 {
 		v = 1
@@ -138,7 +138,14 @@ func GenerateFlows(g *topology.Graph, m *Matrix, cfg GenConfig, rng *rand.Rand) 
 			StartNS:   start,
 		})
 	}
-	sort.Slice(flows, func(a, b int) bool { return flows[a].StartNS < flows[b].StartNS })
+	// Start-time ties are common (WindowNS == 0 puts every flow at t=0);
+	// break them on flow ID so simulator admission order is a total order.
+	sort.SliceStable(flows, func(a, b int) bool {
+		if flows[a].StartNS != flows[b].StartNS {
+			return flows[a].StartNS < flows[b].StartNS
+		}
+		return flows[a].ID < flows[b].ID
+	})
 	return flows, nil
 }
 

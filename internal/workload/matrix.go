@@ -55,7 +55,7 @@ func (m *Matrix) Validate() error {
 			if v < 0 {
 				return fmt.Errorf("workload %q: negative weight at (%d,%d)", m.Name, i, j)
 			}
-			if i == j && v != 0 {
+			if i == j && v > 0 {
 				return fmt.Errorf("workload %q: nonzero diagonal at %d", m.Name, i)
 			}
 		}

@@ -323,11 +323,11 @@ func TestGenerateFlowsErrors(t *testing.T) {
 
 func TestSpineCapacityAndLoad(t *testing.T) {
 	spec := topology.LeafSpineSpec{X: 48, Y: 16}
-	cap := SpineCapacityBps(spec, 10e9)
-	if cap != 64*16*10e9 {
-		t.Fatalf("spine capacity = %v", cap)
+	capBps := SpineCapacityBps(spec, 10e9)
+	if capBps != 64*16*10e9 {
+		t.Fatalf("spine capacity = %v", capBps)
 	}
-	n := FlowCountForLoad(cap, 0.3, 100e3, 0.01)
+	n := FlowCountForLoad(capBps, 0.3, 100e3, 0.01)
 	// 30% of 10.24 Tbps = 384 GB/s; over 10ms = 3.84GB; /100KB = 38400.
 	if n != 38400 {
 		t.Fatalf("flow count = %d, want 38400", n)
