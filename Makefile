@@ -1,6 +1,13 @@
 GO ?= go
 
-.PHONY: check build test vet fmt lint race
+# PR number stamped into the committed benchmark baseline (BENCH_$(BENCH_PR).json).
+BENCH_PR ?= 3
+# The key benchmarks the baseline records: the netsim hot path, one Figure 4
+# row, the Figure 5 panel in serial and parallel variants, FIB construction,
+# and paper-scale BGP convergence.
+BENCH_RE = ^(BenchmarkNetsimEvents|BenchmarkFig4_A2A|BenchmarkFig5_SmallSU2|BenchmarkFig5_SmallSU2_Workers1|BenchmarkFig5_SmallSU2_WorkersMax|BenchmarkFibConstruction|BenchmarkBGPConvergePaperScale)$$
+
+.PHONY: check build test vet fmt lint race bench
 
 # Full verification: everything CI and the roadmap's tier-1 gate expect.
 check: build vet fmt lint race
@@ -21,9 +28,18 @@ fmt:
 	fi
 
 # Custom invariant checkers (determinism, maporder, nofatal, shadowbuiltin,
-# floateq, nakedpanic) — see DESIGN.md "Invariants & static analysis".
+# floateq, nakedpanic, sharedrand) — see DESIGN.md "Invariants & static
+# analysis".
 lint:
 	$(GO) run ./cmd/spinelint ./...
 
 race:
 	$(GO) test -race ./...
+
+# Record the benchmark baseline: run the key benchmarks with -benchmem and
+# convert the output to BENCH_$(BENCH_PR).json (name, ns/op, B/op, allocs/op,
+# host shape) via cmd/benchjson.
+bench:
+	$(GO) test -run '^$$' -bench '$(BENCH_RE)' -benchmem . | tee bench_raw.tmp
+	$(GO) run ./cmd/benchjson -pr $(BENCH_PR) -o BENCH_$(BENCH_PR).json bench_raw.tmp
+	@rm -f bench_raw.tmp

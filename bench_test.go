@@ -68,8 +68,9 @@ func BenchmarkFig4_FBUniform(b *testing.B)   { benchFig4(b, spineless.TMFBUnifor
 func BenchmarkFig4_FBSkewedRP(b *testing.B)  { benchFig4(b, spineless.TMFBSkewedRP) }
 func BenchmarkFig4_FBUniformRP(b *testing.B) { benchFig4(b, spineless.TMFBUniformRP) }
 
-// benchFig5 fills one heatmap panel.
-func benchFig5(b *testing.B, scheme string, large bool) {
+// benchFig5 fills one heatmap panel. workers < 0 keeps the config default
+// (one worker per CPU).
+func benchFig5(b *testing.B, scheme string, large bool, workers int) {
 	fs := benchFabrics(b, 1)
 	dr, err := spineless.NewCombo("DRing", fs.DRing, scheme)
 	if err != nil {
@@ -85,6 +86,9 @@ func benchFig5(b *testing.B, scheme string, large bool) {
 		ticks = []int{hosts / 8, hosts / 4, hosts / 3, hosts / 2}
 	}
 	cfg := spineless.DefaultThroughputConfig()
+	if workers >= 0 {
+		cfg.Workers = workers
+	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		h, err := spineless.CSRatioHeatmap(dr, ls, ticks, ticks, cfg)
@@ -95,10 +99,17 @@ func benchFig5(b *testing.B, scheme string, large bool) {
 	}
 }
 
-func BenchmarkFig5_SmallECMP(b *testing.B) { benchFig5(b, "ecmp", false) }
-func BenchmarkFig5_SmallSU2(b *testing.B)  { benchFig5(b, "su2", false) }
-func BenchmarkFig5_LargeECMP(b *testing.B) { benchFig5(b, "ecmp", true) }
-func BenchmarkFig5_LargeSU2(b *testing.B)  { benchFig5(b, "su2", true) }
+func BenchmarkFig5_SmallECMP(b *testing.B) { benchFig5(b, "ecmp", false, -1) }
+func BenchmarkFig5_SmallSU2(b *testing.B)  { benchFig5(b, "su2", false, -1) }
+func BenchmarkFig5_LargeECMP(b *testing.B) { benchFig5(b, "ecmp", true, -1) }
+func BenchmarkFig5_LargeSU2(b *testing.B)  { benchFig5(b, "su2", true, -1) }
+
+// Serial vs parallel variants of the same panel: the outputs are
+// bit-identical (see the equivalence tests in internal/core), so the pair
+// isolates the wall-clock effect of the worker pool. On a single-core host
+// the two are expected to tie.
+func BenchmarkFig5_SmallSU2_Workers1(b *testing.B)   { benchFig5(b, "su2", false, 1) }
+func BenchmarkFig5_SmallSU2_WorkersMax(b *testing.B) { benchFig5(b, "su2", false, 0) }
 
 // BenchmarkFig6 runs a two-point scale sweep (DRing vs matched RRG).
 func BenchmarkFig6(b *testing.B) {

@@ -47,6 +47,7 @@ func main() {
 		fractions = flag.String("fractions", "0,0.01,0.05,0.10", "comma-separated link-failure fractions")
 		flows     = flag.Int("flows", 300, "uniform-workload flows for FCT replay (0 = skip; live mode requires > 0)")
 		seed      = flag.Int64("seed", 1, "random seed")
+		workers   = flag.Int("workers", 0, "parallel workers across fractions (0 = one per CPU); results are identical at any value")
 
 		live     = flag.Bool("live", false, "inject failures during a packet-level run (transient study)")
 		failAt   = flag.Duration("fail-at", 2*time.Millisecond, "live: absolute sim time of the failure")
@@ -102,6 +103,7 @@ func main() {
 		cfg.GrayLoss = *grayLoss
 		cfg.GrayRateFactor = *grayRate
 		cfg.PreserveConnectivity = *preserve
+		cfg.Workers = *workers
 
 		fmt.Printf("fabric: %v, Shortest-Union(%d), seed=%d\n", g, *k, *seed)
 		fmt.Printf("live faults: fail at %v, detect %v, %v/round; flap=%d gray=%d (loss %.1f%%, rate ×%.2f)\n\n",
@@ -118,6 +120,7 @@ func main() {
 	cfg.Flows = *flows
 	cfg.Seed = *seed
 	cfg.Fractions = fracs
+	cfg.Workers = *workers
 
 	fmt.Printf("fabric: %v, Shortest-Union(%d), seed=%d\n\n", g, *k, *seed)
 	rows, err := resilience.Study(g, cfg)

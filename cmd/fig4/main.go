@@ -20,6 +20,7 @@ import (
 
 	"spineless/internal/core"
 	"spineless/internal/metrics"
+	"spineless/internal/prof"
 	"spineless/internal/trace"
 	"spineless/internal/viz"
 	"spineless/internal/workload"
@@ -38,12 +39,21 @@ func main() {
 		claim    = flag.Bool("claim", false, "also check the §6.1 'up to 7× lower FCT' claim on FB-skewed")
 		dump     = flag.String("dump", "", "write per-flow FCT CSVs for every cell into this directory")
 		svgOut   = flag.String("svg", "", "write fig4a.svg and fig4b.svg into this directory")
+		trials   = flag.Int("trials", 1, "independently seeded arrival windows pooled per cell")
+		workers  = flag.Int("workers", 0, "parallel workers per fan-out (0 = one per CPU); results are identical at any value")
+		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf  = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
 
+	stopProf, err := prof.Start(*cpuProf, *memProf)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer stopProf()
+
 	rng := rand.New(rand.NewSource(*seed))
 	var fs *core.FabricSet
-	var err error
 	if *paper {
 		fs, err = core.PaperFabrics(rng)
 	} else {
@@ -64,6 +74,8 @@ func main() {
 	cfg.WindowSec = *window
 	cfg.Seed = *seed
 	cfg.MaxFlows = *maxFlows
+	cfg.Trials = *trials
+	cfg.Workers = *workers
 	cfg.Sizes = workload.PaperFlowSizes()
 	cfg.KeepFlows = *dump != ""
 	if *dump != "" {
@@ -154,7 +166,7 @@ func main() {
 		fmt.Printf("§6.1 claim check (FB-skewed, p99): leaf-spine %.3fms vs best flat %.3fms → %.2f× lower\n",
 			ls.P99MS, best.P99MS, ls.P99MS/best.P99MS)
 	}
-	os.Exit(0)
+	// No os.Exit here: the deferred profile flush must run.
 }
 
 // dumpRow writes one per-flow FCT CSV per combo for a workload.

@@ -14,6 +14,7 @@ import (
 	"path/filepath"
 
 	"spineless/internal/core"
+	"spineless/internal/prof"
 	"spineless/internal/viz"
 )
 
@@ -27,8 +28,17 @@ func main() {
 		density = flag.Int("flows", 2, "long-running flows per host (sampling density)")
 		csv     = flag.Bool("csv", false, "emit CSV instead of ASCII heatmaps")
 		svgOut  = flag.String("svg", "", "write fig5a..fig5d SVG heatmaps into this directory")
+		workers = flag.Int("workers", 0, "parallel workers per heatmap (0 = one per CPU); results are identical at any value")
+		cpuProf = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
+
+	stopProf, err := prof.Start(*cpuProf, *memProf)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer stopProf()
 	if *svgOut != "" {
 		if err := os.MkdirAll(*svgOut, 0o755); err != nil {
 			log.Fatal(err)
@@ -37,7 +47,6 @@ func main() {
 
 	rng := rand.New(rand.NewSource(*seed))
 	var fs *core.FabricSet
-	var err error
 	if *paper {
 		fs, err = core.PaperFabrics(rng)
 	} else {
@@ -60,6 +69,7 @@ func main() {
 	cfg := core.DefaultThroughputConfig()
 	cfg.Seed = *seed
 	cfg.FlowsPerHost = *density
+	cfg.Workers = *workers
 
 	panels := []struct {
 		name   string

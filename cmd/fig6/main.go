@@ -18,6 +18,7 @@ import (
 
 	"spineless/internal/core"
 	"spineless/internal/metrics"
+	"spineless/internal/prof"
 	"spineless/internal/viz"
 	"spineless/internal/workload"
 )
@@ -26,17 +27,26 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("fig6: ")
 	var (
-		sweep  = flag.String("supernodes", "7,9,11,13,15", "comma-separated supernode counts (paper: 42..90 racks)")
-		tors   = flag.Int("tors", 6, "ToRs per supernode (§6.3 uses 6)")
-		ports  = flag.Int("ports", 60, "switch radix (§6.3 uses 60)")
-		scheme = flag.String("scheme", "ecmp", "routing scheme for both fabrics (ecmp, su2, ...)")
-		util   = flag.Float64("util", 0.5, "offered load per server as a fraction of half its NIC rate")
-		window = flag.Float64("window", 0.004, "flow arrival window, seconds")
-		seed   = flag.Int64("seed", 1, "random seed")
-		flows  = flag.Int("maxflows", 0, "cap on flows per point (0 = uncapped; capping skews per-server load across the sweep)")
-		svgOut = flag.String("svg", "", "write fig6.svg into this directory")
+		sweep   = flag.String("supernodes", "7,9,11,13,15", "comma-separated supernode counts (paper: 42..90 racks)")
+		tors    = flag.Int("tors", 6, "ToRs per supernode (§6.3 uses 6)")
+		ports   = flag.Int("ports", 60, "switch radix (§6.3 uses 60)")
+		scheme  = flag.String("scheme", "ecmp", "routing scheme for both fabrics (ecmp, su2, ...)")
+		util    = flag.Float64("util", 0.5, "offered load per server as a fraction of half its NIC rate")
+		window  = flag.Float64("window", 0.004, "flow arrival window, seconds")
+		seed    = flag.Int64("seed", 1, "random seed")
+		flows   = flag.Int("maxflows", 0, "cap on flows per point (0 = uncapped; capping skews per-server load across the sweep)")
+		svgOut  = flag.String("svg", "", "write fig6.svg into this directory")
+		workers = flag.Int("workers", 0, "parallel sweep-point workers (0 = one per CPU); results are identical at any value")
+		cpuProf = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
+
+	stopProf, err := prof.Start(*cpuProf, *memProf)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer stopProf()
 
 	counts, err := parseInts(*sweep)
 	if err != nil {
@@ -51,19 +61,21 @@ func main() {
 	cfg.FCT.Seed = *seed
 	cfg.FCT.MaxFlows = *flows
 	cfg.FCT.Sizes = workload.PaperFlowSizes()
+	cfg.Workers = *workers
 
 	fmt.Printf("DRing(%d ToRs/supernode, %d ports) vs equipment-matched RRG, uniform traffic, %s routing, seed=%d\n\n",
 		*tors, *ports, *scheme, *seed)
 	var t metrics.Table
 	t.AddRow("supernodes", "racks", "servers", "p99 FCT(DRing)/FCT(RRG)", "median ratio")
 	var xs, p99s, medians []float64
-	for _, m := range counts {
-		start := time.Now()
-		pts, err := core.ScaleSweep([]int{m}, cfg)
-		if err != nil {
-			log.Fatal(err)
-		}
-		p := pts[0]
+	start := time.Now()
+	// One ScaleSweep call over every count: points run in parallel across
+	// -workers, with output identical to sweeping them one at a time.
+	pts, err := core.ScaleSweep(counts, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, p := range pts {
 		t.AddRow(
 			strconv.Itoa(p.Supernodes),
 			strconv.Itoa(p.Racks),
@@ -74,8 +86,8 @@ func main() {
 		xs = append(xs, float64(p.Racks))
 		p99s = append(p99s, p.Ratio)
 		medians = append(medians, p.MedianRatio)
-		log.Printf("m=%d done in %v", m, time.Since(start).Round(time.Millisecond))
 	}
+	log.Printf("%d points done in %v", len(pts), time.Since(start).Round(time.Millisecond))
 	fmt.Println(t.String())
 	fmt.Println("ratio > 1 means the DRing's tail FCT is worse than the expander's (§6.3).")
 

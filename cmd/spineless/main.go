@@ -73,6 +73,8 @@ func cmdFCT(args []string) {
 	util := fl.Float64("util", 0.3, "offered load fraction")
 	seed := fl.Int64("seed", 1, "random seed")
 	maxFlows := fl.Int("maxflows", 0, "flow cap (0 = uncapped)")
+	trials := fl.Int("trials", 1, "independently seeded arrival windows pooled into one result")
+	workers := fl.Int("workers", 0, "parallel trial workers (0 = one per CPU); results are identical at any value")
 	dctcp := fl.Bool("dctcp", false, "use DCTCP-style ECN transport instead of plain TCP")
 	_ = fl.Parse(args)
 
@@ -107,6 +109,8 @@ func cmdFCT(args []string) {
 	cfg.Util = *util
 	cfg.Seed = *seed
 	cfg.MaxFlows = *maxFlows
+	cfg.Trials = *trials
+	cfg.Workers = *workers
 	if *dctcp {
 		cfg.Net = cfg.Net.WithDCTCP()
 	}

@@ -6,6 +6,8 @@ import (
 
 	"spineless/internal/metrics"
 	"spineless/internal/netsim"
+	"spineless/internal/parallel"
+	"spineless/internal/routing"
 	"spineless/internal/workload"
 )
 
@@ -25,6 +27,15 @@ type FCTConfig struct {
 	MaxFlows int
 	// Seed drives all sampling.
 	Seed int64
+	// Trials repeats the experiment over independently seeded arrival
+	// windows and pools the per-flow FCTs (0 or 1 = the classic single
+	// window driven directly by Seed). Trial t derives its seed as
+	// parallel.DeriveSeed(Seed, t), never by sharing a rand.Rand, so the
+	// pooled result is bit-identical at any worker count.
+	Trials int
+	// Workers bounds trial-level parallelism (0 = one per CPU). A pure
+	// throughput knob: it never affects results.
+	Workers int
 	// CapacityBps overrides the reference capacity the offered load is
 	// scaled against. 0 derives it from the fabric set's leaf-spine spec
 	// (the paper's spine-utilization rule).
@@ -46,7 +57,9 @@ func DefaultFCTConfig() FCTConfig {
 	}
 }
 
-// FCTResult is one (combo, workload) cell of Figure 4.
+// FCTResult is one (combo, workload) cell of Figure 4. With
+// FCTConfig.Trials > 1 it is the pool of all trials: Flows and SimStats sum,
+// Stats summarizes the concatenated per-flow FCTs.
 type FCTResult struct {
 	Combo    string
 	TM       TMKind
@@ -54,7 +67,8 @@ type FCTResult struct {
 	Stats    metrics.FCTStats
 	SimStats netsim.Stats
 	// RawFlows and RawFCTNS are populated only when FCTConfig.KeepFlows is
-	// set, for per-flow export via the trace package.
+	// set, for per-flow export via the trace package. Under Trials > 1 they
+	// concatenate the trials in trial order.
 	RawFlows []workload.Flow
 	RawFCTNS []int64
 }
@@ -66,13 +80,19 @@ type FCTResult struct {
 // The reference capacity comes from fs.LeafSpineSpec so every fabric in the
 // set sees the identical offered load, exactly as the paper applies one TM
 // across topologies.
+//
+// With cfg.Trials > 1 the experiment repeats over independently seeded
+// arrival windows — in parallel across cfg.Workers — and the result pools
+// every trial's flows.
 func RunFCT(fs *FabricSet, combo Combo, kind TMKind, cfg FCTConfig) (FCTResult, error) {
-	rng := rand.New(rand.NewSource(cfg.Seed))
-	m, placement, err := BuildTM(kind, combo.Fabric, rng)
-	if err != nil {
-		return FCTResult{}, err
-	}
-	res, err := runFCT(fs, combo, m, placement, cfg, rng)
+	res, err := runTrials(cfg, combo, func(seed int64) (FCTResult, error) {
+		rng := rand.New(rand.NewSource(seed))
+		m, placement, err := BuildTM(kind, combo.Fabric, rng)
+		if err != nil {
+			return FCTResult{}, err
+		}
+		return runFCT(fs, combo, m, placement, cfg, rng)
+	})
 	if err != nil {
 		return FCTResult{}, err
 	}
@@ -84,8 +104,10 @@ func RunFCT(fs *FabricSet, combo Combo, kind TMKind, cfg FCTConfig) (FCTResult, 
 // operator trace imported via the trace package) instead of a built-in
 // workload kind.
 func RunFCTMatrix(fs *FabricSet, combo Combo, m *workload.Matrix, cfg FCTConfig) (FCTResult, error) {
-	rng := rand.New(rand.NewSource(cfg.Seed))
-	res, err := runFCT(fs, combo, m, nil, cfg, rng)
+	res, err := runTrials(cfg, combo, func(seed int64) (FCTResult, error) {
+		rng := rand.New(rand.NewSource(seed))
+		return runFCT(fs, combo, m, nil, cfg, rng)
+	})
 	if err != nil {
 		return FCTResult{}, err
 	}
@@ -93,6 +115,67 @@ func RunFCTMatrix(fs *FabricSet, combo Combo, m *workload.Matrix, cfg FCTConfig)
 	return res, nil
 }
 
+// runTrials executes one seeded trial body per trial and pools the results.
+// Trials <= 1 reproduces the pre-trials engine exactly: one window seeded
+// directly by cfg.Seed. Otherwise each trial's seed is derived from its
+// index, the shared combo is pre-warmed (lazily-built scheme state would
+// serialize workers on a mutex), and trial t's result lands in slot t — so
+// the pooled output is byte-identical from workers=1 to workers=N.
+func runTrials(cfg FCTConfig, combo Combo, one func(seed int64) (FCTResult, error)) (FCTResult, error) {
+	if cfg.Trials <= 1 {
+		res, err := one(cfg.Seed)
+		if err != nil {
+			return FCTResult{}, err
+		}
+		if !cfg.KeepFlows {
+			res.RawFlows, res.RawFCTNS = nil, nil
+		}
+		return res, nil
+	}
+	if parallel.Workers(cfg.Workers) > 1 {
+		if pw, ok := combo.Scheme.(routing.Prewarmer); ok {
+			pw.Prewarm()
+		}
+	}
+	trials := make([]FCTResult, cfg.Trials)
+	err := parallel.ForEach(cfg.Workers, cfg.Trials, func(t int) error {
+		r, err := one(parallel.DeriveSeed(cfg.Seed, t))
+		if err != nil {
+			return fmt.Errorf("core: trial %d: %w", t, err)
+		}
+		trials[t] = r
+		return nil
+	})
+	if err != nil {
+		return FCTResult{}, err
+	}
+	return mergeTrials(trials, cfg.KeepFlows), nil
+}
+
+// mergeTrials pools per-trial results in trial order: counts and simulator
+// stats sum, and the FCT distribution is re-summarized over the
+// concatenation of every trial's per-flow FCTs.
+func mergeTrials(trials []FCTResult, keep bool) FCTResult {
+	out := FCTResult{Combo: trials[0].Combo}
+	var all []int64
+	for _, r := range trials {
+		out.Flows += r.Flows
+		out.SimStats.Accumulate(r.SimStats)
+		all = append(all, r.RawFCTNS...)
+		if keep {
+			out.RawFlows = append(out.RawFlows, r.RawFlows...)
+		}
+	}
+	out.Stats = metrics.SummarizeFCT(all)
+	if keep {
+		out.RawFCTNS = all
+	}
+	return out
+}
+
+// runFCT measures one arrival window. It always records the raw per-flow
+// FCTs in the result — runTrials needs them to pool trials — and the caller
+// strips them when KeepFlows is off.
 func runFCT(fs *FabricSet, combo Combo, m *workload.Matrix, placement []int, cfg FCTConfig, rng *rand.Rand) (FCTResult, error) {
 	if cfg.Sizes == nil {
 		cfg.Sizes = workload.PaperFlowSizes()
@@ -130,29 +213,33 @@ func runFCT(fs *FabricSet, combo Combo, m *workload.Matrix, placement []int, cfg
 	if err != nil {
 		return FCTResult{}, err
 	}
-	out := FCTResult{
+	return FCTResult{
 		Combo:    combo.Label,
 		Flows:    len(flows),
 		Stats:    metrics.SummarizeFCT(res.FCTNS),
 		SimStats: res.Stats,
-	}
-	if cfg.KeepFlows {
-		out.RawFlows = flows
-		out.RawFCTNS = res.FCTNS
-	}
-	return out, nil
+		RawFlows: flows,
+		RawFCTNS: res.FCTNS,
+	}, nil
 }
 
 // Fig4Row runs one workload across all combos — one group of bars in
-// Figure 4 — and returns results in combo order.
+// Figure 4 — and returns results in combo order. Combos are independent
+// (each RunFCT reseeds from cfg.Seed), so they run in parallel across
+// cfg.Workers with results written to their combo's slot; output matches
+// the serial loop bit for bit.
 func Fig4Row(fs *FabricSet, combos []Combo, kind TMKind, cfg FCTConfig) ([]FCTResult, error) {
-	out := make([]FCTResult, 0, len(combos))
-	for _, c := range combos {
-		r, err := RunFCT(fs, c, kind, cfg)
+	out := make([]FCTResult, len(combos))
+	err := parallel.ForEach(cfg.Workers, len(combos), func(i int) error {
+		r, err := RunFCT(fs, combos[i], kind, cfg)
 		if err != nil {
-			return nil, fmt.Errorf("core: %s × %s: %w", c.Label, kind, err)
+			return fmt.Errorf("core: %s × %s: %w", combos[i].Label, kind, err)
 		}
-		out = append(out, r)
+		out[i] = r
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math/rand"
 
+	"spineless/internal/parallel"
 	"spineless/internal/topology"
 )
 
@@ -27,6 +28,10 @@ type ScaleConfig struct {
 	Ports            int
 	Scheme           string // routing scheme name for both fabrics
 	FCT              FCTConfig
+	// Workers bounds sweep-point parallelism (0 = one per CPU). Points are
+	// independent — each builds its own fabrics and reseeds from FCT.Seed —
+	// so the sweep is bit-identical at any worker count.
+	Workers int
 }
 
 // DefaultScaleConfig uses the paper's §6.3 geometry (6 ToRs per supernode,
@@ -38,14 +43,20 @@ func DefaultScaleConfig() ScaleConfig {
 // ScaleSweep measures how the DRing degrades with scale (Figure 6): for
 // each supernode count it builds the DRing and an equipment-matched RRG,
 // runs the uniform workload on both, and reports the p99 FCT ratio.
+// Points run in parallel across cfg.Workers, each into its own slot.
 func ScaleSweep(supernodeCounts []int, cfg ScaleConfig) ([]ScalePoint, error) {
-	out := make([]ScalePoint, 0, len(supernodeCounts))
-	for _, m := range supernodeCounts {
+	out := make([]ScalePoint, len(supernodeCounts))
+	err := parallel.ForEach(cfg.Workers, len(supernodeCounts), func(i int) error {
+		m := supernodeCounts[i]
 		pt, err := scalePoint(m, cfg)
 		if err != nil {
-			return nil, fmt.Errorf("core: scale m=%d: %w", m, err)
+			return fmt.Errorf("core: scale m=%d: %w", m, err)
 		}
-		out = append(out, pt)
+		out[i] = pt
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }

@@ -155,6 +155,7 @@ func DefaultCheckers() []Checker {
 		&ShadowBuiltin{},
 		&FloatEq{},
 		&NakedPanic{},
+		&SharedRand{},
 	}
 }
 

@@ -1,0 +1,131 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// SharedRand flags *rand.Rand values that cross a concurrency boundary: a
+// generator captured by a `go func` literal, or captured/read (including
+// through struct fields) by a worker literal handed to the internal/parallel
+// fan-out engine. A rand.Rand is not safe for concurrent use, and even when
+// externally locked it makes draw order depend on goroutine scheduling —
+// silently breaking the repo's determinism contract that parallel output be
+// byte-identical to serial. Workers must instead derive an independent seed
+// per trial index (parallel.DeriveSeed) and build a private generator.
+type SharedRand struct{}
+
+func (*SharedRand) Name() string { return "sharedrand" }
+func (*SharedRand) Doc() string {
+	return "forbid *rand.Rand shared with goroutines or parallel fan-out workers"
+}
+
+func (c *SharedRand) Run(p *Pass) {
+	for _, f := range p.Files {
+		if p.InTestFile(f.Pos()) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.GoStmt:
+				if lit, ok := n.Call.Fun.(*ast.FuncLit); ok {
+					c.checkLit(p, lit, "goroutine")
+				}
+			case *ast.CallExpr:
+				if sel, ok := n.Fun.(*ast.SelectorExpr); ok &&
+					pkgPathContains(p.PkgQualifier(sel.X), "internal/parallel") {
+					for _, arg := range n.Args {
+						if lit, ok := arg.(*ast.FuncLit); ok {
+							c.checkLit(p, lit, "parallel worker")
+						}
+					}
+				}
+			}
+			return true
+		})
+	}
+}
+
+// checkLit reports every *rand.Rand the literal reaches from its enclosing
+// scope — captured locals and parameters, package globals, and struct fields
+// on captured receivers — once per (literal, object) at the first use.
+func (c *SharedRand) checkLit(p *Pass, lit *ast.FuncLit, boundary string) {
+	seen := make(map[types.Object]bool)
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.SelectorExpr:
+			v, ok := p.Info.Uses[n.Sel].(*types.Var)
+			if !ok || !v.IsField() || seen[v] || !isRandPtr(v.Type()) {
+				return true
+			}
+			// A field on a struct built inside the literal is worker-private.
+			if root := rootIdent(n.X); root != nil {
+				if obj := p.Info.Uses[root]; obj != nil && insideLit(obj, lit) {
+					return true
+				}
+			}
+			seen[v] = true
+			p.Reportf(n.Sel.Pos(), c.Name(),
+				"field %s (*rand.Rand) is read by a %s; derive a per-trial seed (parallel.DeriveSeed) and build a private generator", v.Name(), boundary)
+		case *ast.Ident:
+			v, ok := p.Info.Uses[n].(*types.Var)
+			if !ok || v.IsField() || seen[v] || !isRandPtr(v.Type()) || insideLit(v, lit) {
+				return true
+			}
+			seen[v] = true
+			p.Reportf(n.Pos(), c.Name(),
+				"%s captures %s (*rand.Rand) from the enclosing scope; derive a per-trial seed (parallel.DeriveSeed) and build a private generator", boundary, v.Name())
+		}
+		return true
+	})
+}
+
+// insideLit reports whether obj is declared within the literal — worker-local
+// state is fine; only values reaching in from outside are shared.
+func insideLit(obj types.Object, lit *ast.FuncLit) bool {
+	return obj.Pos() >= lit.Pos() && obj.Pos() <= lit.End()
+}
+
+// rootIdent unwraps selector/index/paren chains to the base identifier of an
+// access like h.inner.rng, or nil for non-ident bases (e.g. calls).
+func rootIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			return x
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+// isRandPtr reports whether t is *math/rand.Rand (v1 or v2).
+func isRandPtr(t types.Type) bool {
+	ptr, ok := t.(*types.Pointer)
+	if !ok {
+		return false
+	}
+	named, ok := ptr.Elem().(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil {
+		return false
+	}
+	path := obj.Pkg().Path()
+	return obj.Name() == "Rand" && (path == "math/rand" || path == "math/rand/v2")
+}
+
+func pkgPathContains(path, sub string) bool {
+	return path != "" && strings.Contains(path, sub)
+}

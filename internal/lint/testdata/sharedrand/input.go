@@ -1,0 +1,55 @@
+// Package sharedrand exercises the sharedrand checker: *rand.Rand values
+// must not cross a concurrency boundary — neither captured by a goroutine
+// literal nor captured/read through fields by an internal/parallel worker.
+package sharedrand
+
+import (
+	"math/rand"
+
+	"spineless/internal/parallel"
+)
+
+type harness struct {
+	rng *rand.Rand
+}
+
+type nested struct {
+	inner harness
+}
+
+var globalRNG = rand.New(rand.NewSource(7))
+
+func bad(h *harness, n *nested) {
+	shared := rand.New(rand.NewSource(1))
+	go func() {
+		_ = shared.Intn(10) // finding: captured by goroutine
+		_ = shared.Intn(10) // deduped: same (literal, object), no second finding
+	}()
+	_ = parallel.ForEach(0, 4, func(i int) error {
+		_ = shared.Int63()      // finding: captured by parallel worker (new literal)
+		_ = h.rng.Intn(3)       // finding: field on captured receiver
+		_ = n.inner.rng.Intn(3) // deduped: same field object as above
+		_ = globalRNG.Intn(3)   // finding: package-global generator
+		return nil
+	})
+}
+
+func good(seed int64) {
+	_ = parallel.ForEach(0, 4, func(i int) error {
+		rng := rand.New(rand.NewSource(parallel.DeriveSeed(seed, i)))
+		_ = rng.Intn(10) // worker-private generator: fine
+		w := harness{rng: rng}
+		_ = w.rng.Intn(10) // field on a worker-local struct: fine
+		return nil
+	})
+	serial := rand.New(rand.NewSource(seed))
+	_ = serial.Intn(10) // no concurrency boundary: fine
+}
+
+func allowed() {
+	legacy := rand.New(rand.NewSource(3))
+	go func() {
+		//lint:allow sharedrand
+		_ = legacy.Intn(10) // suppressed by the pragma above
+	}()
+}

@@ -25,7 +25,8 @@ func (s *Simulator) InstallFaults(sched *faults.Schedule) error {
 	}
 	events := sched.Sorted()
 	for _, e := range events {
-		if len(s.netLinks[[2]int{e.A, e.B}]) == 0 {
+		if e.A < 0 || e.B < 0 || e.A >= s.nSwitch || e.B >= s.nSwitch ||
+			len(s.pairLinks(e.A, e.B)) == 0 {
 			return fmt.Errorf("netsim: fault %s on non-existent link %d-%d", e.Kind, e.A, e.B)
 		}
 	}
@@ -49,7 +50,7 @@ func (s *Simulator) applyDueFaults() {
 
 func (s *Simulator) applyFault(e faults.Event) {
 	for _, key := range [2][2]int{{e.A, e.B}, {e.B, e.A}} {
-		for _, id := range s.netLinks[key] {
+		for _, id := range s.pairLinks(key[0], key[1]) {
 			l := &s.links[id]
 			switch e.Kind {
 			case faults.LinkDown:

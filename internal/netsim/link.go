@@ -12,11 +12,15 @@ type packet struct {
 	payload  int32 // data bytes carried (0 for ACKs)
 	echo     int64 // data: send timestamp; ack: echoed timestamp
 	links    []int32
+	qnext    *packet // intrusive link-FIFO chain; nil when not queued
 }
 
 // link is one directed egress port: a drop-tail FIFO feeding a transmitter.
 // Fault injection can mark a link down (packets blackhole), degrade its rate
 // (bytesPerNS drops below nominalBytesPerNS) or make it gray (random loss).
+// The FIFO is an intrusive list threaded through packet.qnext, so queueing
+// never allocates — the former []*packet ring was the simulator's largest
+// steady-state allocation source.
 type link struct {
 	bytesPerNS        float64
 	nominalBytesPerNS float64
@@ -27,8 +31,9 @@ type link struct {
 	lossProb float64
 
 	queueBytes int64
-	queue      []*packet // FIFO; index 0 is next to transmit
-	head       int
+	qHead      *packet // next to transmit
+	qTail      *packet
+	qCount     int
 	busy       bool
 
 	drops   uint64
@@ -46,25 +51,28 @@ func (l *link) push(p *packet) bool {
 		return false
 	}
 	l.queueBytes += int64(p.wireSize)
-	l.queue = append(l.queue, p)
+	p.qnext = nil
+	if l.qTail == nil {
+		l.qHead = p
+	} else {
+		l.qTail.qnext = p
+	}
+	l.qTail = p
+	l.qCount++
 	return true
 }
 
-// pop removes the head of the queue, compacting lazily.
+// pop removes the head of the queue.
 func (l *link) pop() *packet {
-	p := l.queue[l.head]
-	l.queue[l.head] = nil
-	l.head++
-	if l.head == len(l.queue) {
-		l.queue = l.queue[:0]
-		l.head = 0
-	} else if l.head > 64 && l.head*2 >= len(l.queue) {
-		n := copy(l.queue, l.queue[l.head:])
-		l.queue = l.queue[:n]
-		l.head = 0
+	p := l.qHead
+	l.qHead = p.qnext
+	if l.qHead == nil {
+		l.qTail = nil
 	}
+	p.qnext = nil
+	l.qCount--
 	l.queueBytes -= int64(p.wireSize)
 	return p
 }
 
-func (l *link) queued() int { return len(l.queue) - l.head }
+func (l *link) queued() int { return l.qCount }

@@ -27,8 +27,15 @@ type Simulator struct {
 	activeScheme routing.Scheme
 	tv           routing.TimeScheme
 
-	links    []link
-	netLinks map[[2]int][]int32 // directed switch pair → parallel link ids
+	links []link
+	// Dense directed-pair adjacency: the parallel link ids of switch pair
+	// (u, v) are nlLinks[nlStart[u*nSwitch+v] : nlStart[u*nSwitch+v+1]].
+	// Flat prefix-sum indexing replaces the former map[[2]int][]int32 — the
+	// lookup sits on the path-expansion hot path, and the map cost both a
+	// hash per hop and one heap allocation per directed link at construction.
+	nSwitch  int
+	nlStart  []int32
+	nlLinks  []int32
 	hostUp   []int32
 	hostDown []int32
 
@@ -45,7 +52,16 @@ type Simulator struct {
 	seqCounter uint64
 	now        int64
 
-	pool  []*packet
+	// Free packets are handed out from pool; refills come from poolChunk,
+	// a block allocation that amortizes one heap object over many packets.
+	pool      []*packet
+	poolChunk []packet
+	poolNext  int
+
+	// arena backs expandPath's per-flow link-id slices.
+	arena     []int32
+	arenaNext int
+
 	stats Stats
 }
 
@@ -64,6 +80,22 @@ type Stats struct {
 	Blackholed uint64 // packets lost into a down link (stale-FIB blackhole)
 	GrayDrops  uint64 // packets lost to gray-failure random loss
 	Reroutes   uint64 // live flows re-pathed at a routing phase boundary
+}
+
+// Accumulate adds o's counters into s — used to pool the per-trial stats of
+// a multi-window experiment into one aggregate.
+func (s *Stats) Accumulate(o Stats) {
+	s.Events += o.Events
+	s.DataPackets += o.DataPackets
+	s.AckPackets += o.AckPackets
+	s.Retransmits += o.Retransmits
+	s.Timeouts += o.Timeouts
+	s.Drops += o.Drops
+	s.ECNMarks += o.ECNMarks
+	s.FlowletSwitches += o.FlowletSwitches
+	s.Blackholed += o.Blackholed
+	s.GrayDrops += o.GrayDrops
+	s.Reroutes += o.Reroutes
 }
 
 // Results reports per-flow outcomes of a run.
@@ -125,7 +157,7 @@ func New(g *topology.Graph, scheme routing.Scheme, cfg Config) (*Simulator, erro
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
-	s := &Simulator{g: g, scheme: scheme, cfg: cfg, netLinks: make(map[[2]int][]int32),
+	s := &Simulator{g: g, scheme: scheme, cfg: cfg,
 		blackholeFirst: -1, blackholeLast: -1}
 	s.activeScheme = scheme
 	if tv, ok := scheme.(routing.TimeScheme); ok {
@@ -142,10 +174,29 @@ func New(g *topology.Graph, scheme routing.Scheme, cfg Config) (*Simulator, erro
 		})
 		return id
 	}
-	for u := 0; u < g.N(); u++ {
+	// Two passes build the prefix-sum adjacency without per-pair slices:
+	// count parallel copies per directed pair, then assign link ids in the
+	// same (u, neighbor-order) sequence the map-based construction used, so
+	// per-pair copy order — and hence flow hashing — is unchanged.
+	ns := g.N()
+	s.nSwitch = ns
+	s.nlStart = make([]int32, ns*ns+1)
+	for u := 0; u < ns; u++ {
 		for _, v := range g.Neighbors(u) {
-			key := [2]int{u, v}
-			s.netLinks[key] = append(s.netLinks[key], addLink(cfg.LinkRateBps, cfg.LinkDelayNS))
+			s.nlStart[u*ns+v+1]++
+		}
+	}
+	for i := 1; i < len(s.nlStart); i++ {
+		s.nlStart[i] += s.nlStart[i-1]
+	}
+	s.nlLinks = make([]int32, s.nlStart[len(s.nlStart)-1])
+	s.links = make([]link, 0, len(s.nlLinks)+2*g.Servers())
+	fill := make([]int32, ns*ns)
+	for u := 0; u < ns; u++ {
+		for _, v := range g.Neighbors(u) {
+			k := u*ns + v
+			s.nlLinks[s.nlStart[k]+fill[k]] = addLink(cfg.LinkRateBps, cfg.LinkDelayNS)
+			fill[k]++
 		}
 	}
 	n := g.Servers()
@@ -179,6 +230,7 @@ func (s *Simulator) Run(flows []workload.Flow) (Results, error) {
 		}
 	}
 	s.flows = make([]flowState, len(flows))
+	s.events = make(eventHeap, 0, 4*len(flows)+64)
 	for i, f := range flows {
 		s.flows[i].spec = f
 		s.flows[i].fct = -1
@@ -254,17 +306,44 @@ func (s *Simulator) startFlow(idx int32) {
 		f.ssthresh = s.cfg.InitSsthresh
 	}
 	f.rto = int64(s.cfg.MinRTO)
-	f.ooo = make(map[int64]int32)
 	s.trySend(f, idx)
 }
+
+// pairLinks returns the parallel link ids of the directed switch pair u→v
+// (empty when no link exists).
+func (s *Simulator) pairLinks(u, v int) []int32 {
+	k := u*s.nSwitch + v
+	return s.nlLinks[s.nlStart[k]:s.nlStart[k+1]]
+}
+
+// allocLinkIDs hands out a zero-length slice with capacity n carved from a
+// chunked arena, so per-flow path expansion does not hit the heap. The
+// capacity is exact: an append past n would fall back to a fresh heap slice
+// rather than trample the arena neighbor.
+func (s *Simulator) allocLinkIDs(n int) []int32 {
+	if s.arenaNext+n > len(s.arena) {
+		sz := linkIDArenaChunk
+		if n > sz {
+			sz = n
+		}
+		s.arena = make([]int32, sz)
+		s.arenaNext = 0
+	}
+	out := s.arena[s.arenaNext : s.arenaNext : s.arenaNext+n]
+	s.arenaNext += n
+	return out
+}
+
+// linkIDArenaChunk is the arena block size (int32s) for expanded paths.
+const linkIDArenaChunk = 4096
 
 // expandPath converts a switch path into the directed link sequence
 // host-uplink, network links (hashing across parallel copies), host-downlink.
 func (s *Simulator) expandPath(srcHost, dstHost int, swPath []int, flowID uint64) []int32 {
-	out := make([]int32, 0, len(swPath)+1)
+	out := s.allocLinkIDs(len(swPath) + 1)
 	out = append(out, s.hostUp[srcHost])
 	for h := 0; h+1 < len(swPath); h++ {
-		copies := s.netLinks[[2]int{swPath[h], swPath[h+1]}]
+		copies := s.pairLinks(swPath[h], swPath[h+1])
 		out = append(out, copies[int(flowID>>uint(h%32))%len(copies)])
 	}
 	out = append(out, s.hostDown[dstHost])
@@ -408,6 +487,11 @@ func (s *Simulator) deliver(p *packet) {
 			f.rcvNxt += int64(pl)
 		}
 	} else if seq > f.rcvNxt {
+		if f.ooo == nil {
+			// Allocated on first reordering only: in-order flows — the
+			// common case — never pay for the map.
+			f.ooo = make(map[int64]int32, 8)
+		}
 		f.ooo[seq] = int32(payload)
 	}
 	s.sendAck(f, idx, echo, ce)
@@ -552,8 +636,20 @@ func (s *Simulator) alloc() *packet {
 		s.pool = s.pool[:n-1]
 		return p
 	}
-	return &packet{}
+	// Pool dry: carve the next packet out of the current block. Earlier
+	// blocks stay alive through the pointers already circulating, so growth
+	// costs one allocation per poolChunkSize packets instead of one each.
+	if s.poolNext == len(s.poolChunk) {
+		s.poolChunk = make([]packet, poolChunkSize)
+		s.poolNext = 0
+	}
+	p := &s.poolChunk[s.poolNext]
+	s.poolNext++
+	return p
 }
+
+// poolChunkSize is the packet-pool block size; 256 packets ≈ 16 KiB.
+const poolChunkSize = 256
 
 func (s *Simulator) free(p *packet) {
 	p.links = nil
@@ -572,8 +668,11 @@ func (s *Simulator) LinkDrops() uint64 {
 // NetLinkTx returns the bytes transmitted on the directed switch link u→v,
 // summed over parallel copies. It reports 0 for non-existent links.
 func (s *Simulator) NetLinkTx(u, v int) uint64 {
+	if u < 0 || v < 0 || u >= s.nSwitch || v >= s.nSwitch {
+		return 0
+	}
 	var t uint64
-	for _, id := range s.netLinks[[2]int{u, v}] {
+	for _, id := range s.pairLinks(u, v) {
 		t += s.links[id].txBytes
 	}
 	return t

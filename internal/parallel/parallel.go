@@ -1,0 +1,103 @@
+// Package parallel is the deterministic trial engine behind every fan-out
+// in this tree: multi-window FCT trials, heatmap cells, scale-sweep points,
+// failure-study fractions and per-destination FIB construction.
+//
+// The contract that keeps parallel output byte-identical to serial output:
+//
+//  1. Trials are indexed. Trial i derives everything it needs — above all
+//     its RNG — from the index (seed = DeriveSeed(baseSeed, i)); a
+//     *rand.Rand is never shared between trials, so the draw sequence each
+//     trial sees is independent of scheduling.
+//  2. Results are collected by index. fn(i) writes only slot i of storage
+//     preallocated by the caller; no trial observes another's output.
+//  3. Shared inputs are immutable. Fabrics, FIBs and configs passed into
+//     the closure must be read-only for the duration of the fan-out
+//     (spinelint's sharedrand checker enforces the RNG half of this).
+//
+// Under these three rules the worker count is a pure throughput knob:
+// workers=1 reproduces the serial loop exactly, workers=N produces the
+// identical bytes faster.
+package parallel
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Workers resolves a worker-count knob: any n >= 1 is used as given, and
+// n <= 0 (the flag default) means one worker per available CPU.
+func Workers(n int) int {
+	if n <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return n
+}
+
+// DeriveSeed maps (baseSeed, trialIndex) to the trial's private seed with a
+// splitmix64 finalizer. The derivation is a pure function of its arguments —
+// never of scheduling — and successive indices land in unrelated regions of
+// the seed space, so trial RNG streams do not overlap the way baseSeed+i
+// style derivation would under math/rand's lagged-Fibonacci source.
+func DeriveSeed(baseSeed int64, trialIndex int) int64 {
+	x := uint64(baseSeed) + 0x9e3779b97f4a7c15*uint64(trialIndex+1)
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return int64(x ^ (x >> 31))
+}
+
+// ForEach runs fn(0) … fn(n-1) on min(Workers(workers), n) goroutines and
+// returns once every call has completed. Indices are claimed atomically, so
+// the assignment of index to worker is nondeterministic — fn must follow the
+// package contract (index-derived seeds, index-slot writes, immutable shared
+// state) for the combined result to be schedule-independent.
+//
+// Errors are aggregated deterministically: ForEach returns the non-nil
+// error with the lowest index, exactly the error the serial loop would have
+// stopped on. Remaining indices still run (a failing trial does not cancel
+// its siblings); callers that need per-trial errors should record them into
+// their own slot and return nil.
+//
+// workers <= 1 (after resolution, e.g. on a single-CPU machine) runs the
+// loop inline in index order with no goroutines.
+func ForEach(workers, n int, fn func(i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	w := Workers(workers)
+	if w > n {
+		w = n
+	}
+	if w <= 1 {
+		var first error
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil && first == nil {
+				first = err
+			}
+		}
+		return first
+	}
+	errs := make([]error, n)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for g := 0; g < w; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				errs[i] = fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,48 @@
+// Package prof wires the conventional -cpuprofile/-memprofile flags into
+// the figure drivers with one call, so every cmd exposes identical
+// profiling behavior without repeating pprof plumbing.
+package prof
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Start begins CPU profiling to cpuPath and schedules a heap profile to
+// memPath; either may be empty to skip that profile. The returned stop
+// function flushes both and must run before process exit — call it via
+// defer, and avoid os.Exit on the success path (it would skip the defer).
+func Start(cpuPath, memPath string) (stop func(), err error) {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		cpuFile, err = os.Create(cpuPath)
+		if err != nil {
+			return nil, fmt.Errorf("prof: %w", err)
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			return nil, fmt.Errorf("prof: %w", err)
+		}
+	}
+	return func() {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			cpuFile.Close()
+		}
+		if memPath == "" {
+			return
+		}
+		f, err := os.Create(memPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "prof:", err)
+			return
+		}
+		defer f.Close()
+		runtime.GC() // settle allocation stats before the snapshot
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "prof:", err)
+		}
+	}, nil
+}

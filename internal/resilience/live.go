@@ -9,6 +9,7 @@ import (
 	"spineless/internal/faults"
 	"spineless/internal/metrics"
 	"spineless/internal/netsim"
+	"spineless/internal/parallel"
 	"spineless/internal/routing"
 	"spineless/internal/topology"
 	"spineless/internal/workload"
@@ -62,6 +63,10 @@ type LiveConfig struct {
 	Net netsim.Config
 	// Seed drives failure selection, the workload and gray-loss draws.
 	Seed int64
+	// Workers bounds fraction-level parallelism in LiveSweep (0 = one per
+	// CPU). Fractions are fully independent runs, so the sweep is
+	// bit-identical at any worker count.
+	Workers int
 }
 
 // DefaultLiveConfig fails 5% of trunks 2 ms into a 20 ms run, with 1 ms
@@ -234,22 +239,30 @@ func RunLive(g *topology.Graph, cfg LiveConfig) (LiveResult, error) {
 // non-nil, is a core.TrialErrors listing the failed fractions; rows for
 // successful fractions are always returned.
 func LiveSweep(g *topology.Graph, cfg LiveConfig, fractions []float64) ([]LiveResult, error) {
-	var rows []LiveResult
-	var terrs core.TrialErrors
-	for _, f := range fractions {
+	// Each fraction is a self-contained RunLive (own rng, own FIBs); slots
+	// are filled by index and compacted afterwards, preserving the serial
+	// semantics exactly: failed fractions contribute a TrialError and no
+	// row, and both lists keep fraction order at any worker count.
+	results := make([]LiveResult, len(fractions))
+	errs := make([]error, len(fractions))
+	_ = parallel.ForEach(cfg.Workers, len(fractions), func(i int) error {
 		c := cfg
-		c.Fraction = f
-		var r LiveResult
-		err := core.Trial(fmt.Sprintf("fraction %.3f", f), func() error {
+		c.Fraction = fractions[i]
+		errs[i] = core.Trial(fmt.Sprintf("fraction %.3f", fractions[i]), func() error {
 			var e error
-			r, e = RunLive(g, c)
+			results[i], e = RunLive(g, c)
 			return e
 		})
+		return nil
+	})
+	var rows []LiveResult
+	var terrs core.TrialErrors
+	for i, err := range errs {
 		if err != nil {
 			terrs = append(terrs, err.(core.TrialError))
 			continue
 		}
-		rows = append(rows, r)
+		rows = append(rows, results[i])
 	}
 	if len(terrs) > 0 {
 		return rows, terrs

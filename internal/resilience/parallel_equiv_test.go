@@ -1,0 +1,59 @@
+package resilience
+
+import (
+	"reflect"
+	"testing"
+)
+
+// These tests pin the determinism-under-parallelism contract of the failure
+// sweeps: the same config at workers=1 and workers=8 must produce identical
+// rows (and identical aggregated trial errors, in fraction order).
+
+func TestStudyParallelEqualsSerial(t *testing.T) {
+	g := ringFabric(t)
+	cfg := DefaultStudyConfig()
+	cfg.Fractions = []float64{0, 0.05, 0.10}
+	cfg.Flows = 60
+	cfg.Samples = 20
+
+	cfg.Workers = 1
+	serial, err := Study(g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Workers = 8
+	par, err := Study(g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(serial, par) {
+		t.Fatalf("Study: workers=8 differs from workers=1\nserial: %+v\npar:    %+v", serial, par)
+	}
+}
+
+func TestLiveSweepParallelEqualsSerial(t *testing.T) {
+	g := ringFabric(t)
+	cfg := liveTestConfig()
+	cfg.Flows = 120
+	// Fraction 1.0 fails (cannot preserve connectivity): the parallel sweep
+	// must keep the failed-fraction semantics — error aggregated, row
+	// omitted — in the same order as the serial sweep.
+	fractions := []float64{0.05, 1.0}
+
+	cfg.Workers = 1
+	serialRows, serialErr := LiveSweep(g, cfg, fractions)
+	if serialErr == nil {
+		t.Fatal("impossible fraction did not surface an error")
+	}
+	cfg.Workers = 8
+	parRows, parErr := LiveSweep(g, cfg, fractions)
+	if parErr == nil {
+		t.Fatal("impossible fraction did not surface an error in parallel")
+	}
+	if !reflect.DeepEqual(serialRows, parRows) {
+		t.Fatalf("LiveSweep rows: workers=8 differs from workers=1\nserial: %+v\npar:    %+v", serialRows, parRows)
+	}
+	if serialErr.Error() != parErr.Error() {
+		t.Fatalf("LiveSweep errors differ:\nserial: %v\npar:    %v", serialErr, parErr)
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"spineless/internal/core"
 	"spineless/internal/metrics"
 	"spineless/internal/netsim"
+	"spineless/internal/parallel"
 	"spineless/internal/routing"
 	"spineless/internal/topology"
 	"spineless/internal/workload"
@@ -28,6 +29,10 @@ type StudyConfig struct {
 	Net netsim.Config
 	// Seed drives failure selection and workloads.
 	Seed int64
+	// Workers bounds fraction-level parallelism (0 = one per CPU). Every
+	// fraction reseeds independently from Seed and shares only immutable
+	// base state, so the sweep is bit-identical at any worker count.
+	Workers int
 }
 
 // DefaultStudyConfig sweeps 1%, 5% and 10% link failures under SU(2).
@@ -80,20 +85,32 @@ func Study(g *topology.Graph, cfg StudyConfig) ([]StudyRow, error) {
 		return nil, err
 	}
 
-	var rows []StudyRow
-	var terrs core.TrialErrors
-	for _, f := range cfg.Fractions {
-		row := StudyRow{Fraction: f}
+	// Fractions are independent trials: each reseeds from cfg.Seed and
+	// reads only the immutable baseFib/baseRib (ConvergeFrom copies RIB
+	// entries before mutating). Each writes its own row slot and error
+	// slot, so rows and the TrialErrors order match the serial sweep at
+	// any worker count.
+	rows := make([]StudyRow, len(cfg.Fractions))
+	errs := make([]error, len(cfg.Fractions))
+	_ = parallel.ForEach(cfg.Workers, len(cfg.Fractions), func(i int) error {
+		f := cfg.Fractions[i]
+		rows[i] = StudyRow{Fraction: f}
 		err := core.Trial(fmt.Sprintf("fraction %.3f", f), func() error {
-			return studyFraction(g, cfg, f, baseFib, baseRib, &row)
+			return studyFraction(g, cfg, f, baseFib, baseRib, &rows[i])
 		})
 		if err != nil {
 			// Graceful degradation: the trial failed alone; the sweep
 			// continues on the remaining fractions.
-			row.Err = err
+			rows[i].Err = err
+			errs[i] = err
+		}
+		return nil
+	})
+	var terrs core.TrialErrors
+	for _, err := range errs {
+		if err != nil {
 			terrs = append(terrs, err.(core.TrialError))
 		}
-		rows = append(rows, row)
 	}
 	if len(terrs) > 0 {
 		return rows, terrs

@@ -6,6 +6,7 @@ import (
 	"math"
 	"sort"
 
+	"spineless/internal/parallel"
 	"spineless/internal/topology"
 )
 
@@ -114,13 +115,19 @@ func (f *Fib) buildEdges() {
 	}
 }
 
+// buildAll computes per-destination forwarding state. Destinations are
+// independent — buildDst(dst) reads only the immutable virtual adjacency and
+// writes only slot dst of ctg/next/npaths — so the loop fans out across
+// CPUs. Each destination's Dijkstra is internally deterministic, which makes
+// the assembled FIB bit-identical at any worker count.
 func (f *Fib) buildAll() {
 	f.ctg = make([][]int32, f.n)
 	f.next = make([][][]int32, f.n)
 	f.npaths = make([][]int64, f.n)
-	for dst := 0; dst < f.n; dst++ {
+	_ = parallel.ForEach(0, f.n, func(dst int) error {
 		f.buildDst(dst)
-	}
+		return nil
+	})
 }
 
 // buildDst runs Dijkstra over reversed virtual arcs from the delivery node

@@ -5,6 +5,7 @@ import (
 	"sort"
 	"sync"
 
+	"spineless/internal/parallel"
 	"spineless/internal/topology"
 )
 
@@ -59,16 +60,46 @@ func (s *KSP) PathSet(src, dst, maxPaths int) [][]int {
 	return out
 }
 
+// paths returns the memoized k-shortest-path set for (src, dst). The lock
+// covers only cache access, never the Yen computation: concurrent readers of
+// a shared KSP scheme (parallel trials all route through one FIB-like
+// object) would otherwise serialize on every miss. Two workers that race on
+// the same cold pair both run YenKSP — it is deterministic, so whichever
+// insert lands is byte-identical to the other.
 func (s *KSP) paths(src, dst int) [][]int {
 	key := [2]int{src, dst}
 	s.mu.Lock()
-	defer s.mu.Unlock()
-	if p, ok := s.cache[key]; ok {
+	p, ok := s.cache[key]
+	s.mu.Unlock()
+	if ok {
 		return p
 	}
-	p := YenKSP(s.g, src, dst, s.k)
-	s.cache[key] = p
+	p = YenKSP(s.g, src, dst, s.k)
+	s.mu.Lock()
+	if prev, ok := s.cache[key]; ok {
+		p = prev // keep the first insert so callers share one backing array
+	} else {
+		s.cache[key] = p
+	}
+	s.mu.Unlock()
 	return p
+}
+
+// Prewarm fills the path cache for every ordered switch pair, in parallel.
+// Called before a fan-out shares this scheme across workers, it turns every
+// subsequent Path/PathSet into a pure cache hit, so the mutex never becomes
+// a contention point mid-experiment. Prewarming is semantically invisible:
+// cache state never affects routing output.
+func (s *KSP) Prewarm() {
+	n := s.g.N()
+	_ = parallel.ForEach(0, n, func(src int) error {
+		for dst := 0; dst < n; dst++ {
+			if dst != src {
+				s.paths(src, dst)
+			}
+		}
+		return nil
+	})
 }
 
 // YenKSP returns up to k shortest loopless switch paths from src to dst

@@ -1,0 +1,125 @@
+package routing
+
+import (
+	"math/rand"
+	"reflect"
+	"runtime"
+	"sync"
+	"testing"
+
+	"spineless/internal/topology"
+)
+
+// TestFibParallelBuildEqualsSerial pins the determinism-under-parallelism
+// contract for FIB construction: the Shortest-Union state assembled with one
+// worker must be bit-identical to the state assembled with all CPUs.
+func TestFibParallelBuildEqualsSerial(t *testing.T) {
+	g, err := topology.DRing(topology.Uniform(6, 2, 20))
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := runtime.GOMAXPROCS(1)
+	serial, err := NewShortestUnion(g, 2)
+	runtime.GOMAXPROCS(prev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := NewShortestUnion(g, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(serial, par) {
+		t.Fatal("parallel FIB construction differs from serial")
+	}
+	eSerial := func() *Fib {
+		prev := runtime.GOMAXPROCS(1)
+		defer runtime.GOMAXPROCS(prev)
+		return NewECMP(g)
+	}()
+	if !reflect.DeepEqual(eSerial, NewECMP(g)) {
+		t.Fatal("parallel ECMP construction differs from serial")
+	}
+}
+
+// TestKSPConcurrentReaders hammers a shared KSP scheme from many goroutines
+// (run under -race in make check) and cross-checks every answer against a
+// private serially-filled instance.
+func TestKSPConcurrentReaders(t *testing.T) {
+	g, err := topology.DRing(topology.Uniform(5, 2, 16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	shared, err := NewKSP(g, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := NewKSP(g, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := g.N()
+	var wg sync.WaitGroup
+	errc := make(chan string, 8)
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < 200; i++ {
+				src, dst := rng.Intn(n), rng.Intn(n)
+				if p := shared.Path(src, dst, uint64(i)); p != nil {
+					if p[0] != src || p[len(p)-1] != dst {
+						errc <- "malformed path under concurrency"
+						return
+					}
+				}
+			}
+		}(int64(w + 1))
+	}
+	wg.Wait()
+	select {
+	case msg := <-errc:
+		t.Fatal(msg)
+	default:
+	}
+	for src := 0; src < n; src++ {
+		for dst := 0; dst < n; dst++ {
+			if src == dst {
+				continue
+			}
+			for _, id := range []uint64{1, 7, 42} {
+				if got, want := shared.Path(src, dst, id), ref.Path(src, dst, id); !reflect.DeepEqual(got, want) {
+					t.Fatalf("Path(%d,%d,%d): concurrent-filled cache %v != serial %v", src, dst, id, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestKSPPrewarmInvisible verifies prewarming changes no routing output.
+func TestKSPPrewarmInvisible(t *testing.T) {
+	g, err := topology.DRing(topology.Uniform(5, 2, 16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm, err := NewKSP(g, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm.Prewarm()
+	cold, err := NewKSP(g, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var _ Prewarmer = warm
+	for src := 0; src < g.N(); src++ {
+		for dst := 0; dst < g.N(); dst++ {
+			if !reflect.DeepEqual(warm.Path(src, dst, 9), cold.Path(src, dst, 9)) {
+				t.Fatalf("prewarm changed Path(%d,%d)", src, dst)
+			}
+			if !reflect.DeepEqual(warm.PathSet(src, dst, 0), cold.PathSet(src, dst, 0)) {
+				t.Fatalf("prewarm changed PathSet(%d,%d)", src, dst)
+			}
+		}
+	}
+}

@@ -14,6 +14,23 @@ package routing
 import "fmt"
 
 // Scheme selects switch-level paths between racks.
+//
+// Concurrency contract: once constructed, a Scheme must be safe for
+// concurrent Path/PathSet calls — the parallel trial engine shares one
+// scheme instance across every worker of a fan-out. The implementations in
+// this package satisfy it as follows:
+//
+//   - Fib, Weighted, VLB: immutable after construction; lookups read only
+//     precomputed slices.
+//   - KSP: the lazily-filled path cache is mutex-guarded, with computation
+//     outside the lock; Prewarm turns parallel phases into pure cache hits.
+//   - Adaptive: immutable composition — safe iff base, alt and the useAlt
+//     predicate are.
+//   - TimeVarying: phase schedule is immutable; SchemeAt is a read.
+//
+// New implementations must either be immutable after construction or guard
+// every mutation; per-call mutable state (e.g. an embedded *rand.Rand) is
+// forbidden — it would also break seeded replay (see internal/parallel).
 type Scheme interface {
 	// Name identifies the scheme (e.g. "ecmp", "shortest-union(2)").
 	Name() string
@@ -27,6 +44,14 @@ type Scheme interface {
 	// PathSet enumerates the admissible paths from src to dst, up to maxPaths
 	// entries (0 means no cap). Paths include both endpoints.
 	PathSet(src, dst, maxPaths int) [][]int
+}
+
+// Prewarmer is implemented by schemes that can precompute lazily-built
+// state (today: KSP's path cache). Fan-out harnesses call it once before
+// sharing the scheme across workers so the parallel phase runs lock-free.
+// Prewarming must never change routing output.
+type Prewarmer interface {
+	Prewarm()
 }
 
 // splitmix64 is the per-hop hash used for ECMP-style flow placement.
