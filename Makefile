@@ -7,10 +7,20 @@ BENCH_PR ?= 3
 # and paper-scale BGP convergence.
 BENCH_RE = ^(BenchmarkNetsimEvents|BenchmarkFig4_A2A|BenchmarkFig5_SmallSU2|BenchmarkFig5_SmallSU2_Workers1|BenchmarkFig5_SmallSU2_WorkersMax|BenchmarkFibConstruction|BenchmarkBGPConvergePaperScale)$$
 
-.PHONY: check build test vet fmt lint race bench
+.PHONY: check build test vet fmt lint race bench audit
 
 # Full verification: everything CI and the roadmap's tier-1 gate expect.
-check: build vet fmt lint race
+check: build vet fmt lint race audit
+
+# Audited driver runs: every packet simulation under the runtime invariant
+# auditor (internal/audit), plus fig5's netsim/flowsim/fluid differential
+# cross-validation — small scales keep the gate fast. See DESIGN.md §9.
+audit:
+	$(GO) run ./cmd/fig4 -audit -scale 4 -window 0.002 -maxflows 120 >/dev/null
+	$(GO) run ./cmd/fig5 -audit -scale 4 >/dev/null
+	$(GO) run ./cmd/fig6 -audit -supernodes 5,6 -tors 3 -ports 20 >/dev/null
+	$(GO) run ./cmd/failures -audit -live -flows 120 -fractions 0.05 >/dev/null
+	$(GO) run ./cmd/failures -audit -flows 120 -fractions 0.05 >/dev/null
 
 build:
 	$(GO) build ./...

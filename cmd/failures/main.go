@@ -48,6 +48,7 @@ func main() {
 		flows     = flag.Int("flows", 300, "uniform-workload flows for FCT replay (0 = skip; live mode requires > 0)")
 		seed      = flag.Int64("seed", 1, "random seed")
 		workers   = flag.Int("workers", 0, "parallel workers across fractions (0 = one per CPU); results are identical at any value")
+		doAudit   = flag.Bool("audit", false, "run packet simulations under the runtime invariant auditor (violations fail the trial)")
 
 		live     = flag.Bool("live", false, "inject failures during a packet-level run (transient study)")
 		failAt   = flag.Duration("fail-at", 2*time.Millisecond, "live: absolute sim time of the failure")
@@ -104,6 +105,7 @@ func main() {
 		cfg.GrayRateFactor = *grayRate
 		cfg.PreserveConnectivity = *preserve
 		cfg.Workers = *workers
+		cfg.Audit = *doAudit
 
 		fmt.Printf("fabric: %v, Shortest-Union(%d), seed=%d\n", g, *k, *seed)
 		fmt.Printf("live faults: fail at %v, detect %v, %v/round; flap=%d gray=%d (loss %.1f%%, rate ×%.2f)\n\n",
@@ -121,6 +123,7 @@ func main() {
 	cfg.Seed = *seed
 	cfg.Fractions = fracs
 	cfg.Workers = *workers
+	cfg.Audit = *doAudit
 
 	fmt.Printf("fabric: %v, Shortest-Union(%d), seed=%d\n\n", g, *k, *seed)
 	rows, err := resilience.Study(g, cfg)

@@ -39,6 +39,7 @@ func main() {
 		claim    = flag.Bool("claim", false, "also check the §6.1 'up to 7× lower FCT' claim on FB-skewed")
 		dump     = flag.String("dump", "", "write per-flow FCT CSVs for every cell into this directory")
 		svgOut   = flag.String("svg", "", "write fig4a.svg and fig4b.svg into this directory")
+		doAudit  = flag.Bool("audit", false, "run every cell under the runtime invariant auditor (violations abort)")
 		trials   = flag.Int("trials", 1, "independently seeded arrival windows pooled per cell")
 		workers  = flag.Int("workers", 0, "parallel workers per fan-out (0 = one per CPU); results are identical at any value")
 		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file")
@@ -77,7 +78,11 @@ func main() {
 	cfg.Trials = *trials
 	cfg.Workers = *workers
 	cfg.Sizes = workload.PaperFlowSizes()
+	cfg.Audit = *doAudit
 	cfg.KeepFlows = *dump != ""
+	if *doAudit {
+		log.Printf("invariant auditing enabled: any conservation/FIFO/TCP violation aborts the run")
+	}
 	if *dump != "" {
 		if err := os.MkdirAll(*dump, 0o755); err != nil {
 			log.Fatal(err)

@@ -13,9 +13,13 @@ import (
 	"os"
 	"path/filepath"
 
+	"spineless/internal/audit"
 	"spineless/internal/core"
+	"spineless/internal/flowsim"
+	"spineless/internal/netsim"
 	"spineless/internal/prof"
 	"spineless/internal/viz"
+	"spineless/internal/workload"
 )
 
 func main() {
@@ -27,6 +31,7 @@ func main() {
 		seed    = flag.Int64("seed", 1, "random seed")
 		density = flag.Int("flows", 2, "long-running flows per host (sampling density)")
 		csv     = flag.Bool("csv", false, "emit CSV instead of ASCII heatmaps")
+		doAudit = flag.Bool("audit", false, "cross-validate the flow-level model against netsim and the fluid bound first (violations abort)")
 		svgOut  = flag.String("svg", "", "write fig5a..fig5d SVG heatmaps into this directory")
 		workers = flag.Int("workers", 0, "parallel workers per heatmap (0 = one per CPU); results are identical at any value")
 		cpuProf = flag.String("cpuprofile", "", "write a CPU profile to this file")
@@ -56,6 +61,18 @@ func main() {
 		log.Fatal(err)
 	}
 	fmt.Printf("fabrics: %v vs %v (seed=%d)\n\n", fs.DRing, fs.LeafSpine, *seed)
+
+	if *doAudit {
+		// Figure 5 is computed entirely in the flow-level model, so its
+		// audit is differential: on each fabric × scheme the heatmap uses,
+		// check netsim (under the invariant auditor), flowsim, and the
+		// fluid FPTAS bound agree on a shared workload within the declared
+		// tolerance bands.
+		if err := auditModels(fs); err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("audit: netsim/flowsim/fluid agree on every fabric × scheme combination")
+	}
 
 	// Tick grids: the paper sweeps 20..260 (small) and 200..1400 (large) at
 	// full scale; scaled runs shrink proportionally to the server count.
@@ -114,6 +131,46 @@ func main() {
 	if *svgOut != "" {
 		log.Printf("wrote fig5a..d SVGs to %s", *svgOut)
 	}
+}
+
+// auditModels runs the differential harness on every fabric × scheme
+// combination the heatmaps use, with a simultaneous-start, equal-size
+// workload spanning both host halves.
+func auditModels(fs *core.FabricSet) error {
+	combos := []struct{ label, scheme string }{
+		{"DRing", "ecmp"}, {"DRing", "su2"}, {"leaf-spine", "ecmp"},
+	}
+	for _, c := range combos {
+		fabric := fs.DRing
+		if c.label == "leaf-spine" {
+			fabric = fs.LeafSpine
+		}
+		combo, err := core.NewCombo(c.label, fabric, c.scheme)
+		if err != nil {
+			return err
+		}
+		half := fabric.Servers() / 2
+		n := min(2*half, 48)
+		flows := make([]workload.Flow, n)
+		for i := range flows {
+			flows[i] = workload.Flow{
+				ID: uint64(i), Src: i % half, Dst: half + (i+1)%half, SizeBytes: 300e3,
+			}
+		}
+		rep, err := audit.Differential(fabric, combo.Scheme, flows, audit.DiffConfig{
+			Net:  netsim.DefaultConfig(),
+			Link: flowsim.DefaultConfig(),
+		})
+		if err != nil {
+			return fmt.Errorf("audit %s × %s: %w", c.label, c.scheme, err)
+		}
+		if err := rep.Err(); err != nil {
+			return fmt.Errorf("audit %s × %s: %w", c.label, c.scheme, err)
+		}
+		log.Printf("audit %s × %s: netsim %.2f Gbps, flowsim %.2f Gbps, fluid λ %.2f Gbps/flow",
+			c.label, c.scheme, rep.NetsimBps/1e9, rep.FlowsimBps/1e9, rep.FluidLambdaBps/1e9)
+	}
+	return nil
 }
 
 // gridTicks returns n evenly spaced integers in [lo, hi].

@@ -35,6 +35,7 @@ func main() {
 		window  = flag.Float64("window", 0.004, "flow arrival window, seconds")
 		seed    = flag.Int64("seed", 1, "random seed")
 		flows   = flag.Int("maxflows", 0, "cap on flows per point (0 = uncapped; capping skews per-server load across the sweep)")
+		doAudit = flag.Bool("audit", false, "run every sweep point under the runtime invariant auditor (violations abort)")
 		svgOut  = flag.String("svg", "", "write fig6.svg into this directory")
 		workers = flag.Int("workers", 0, "parallel sweep-point workers (0 = one per CPU); results are identical at any value")
 		cpuProf = flag.String("cpuprofile", "", "write a CPU profile to this file")
@@ -61,7 +62,11 @@ func main() {
 	cfg.FCT.Seed = *seed
 	cfg.FCT.MaxFlows = *flows
 	cfg.FCT.Sizes = workload.PaperFlowSizes()
+	cfg.FCT.Audit = *doAudit
 	cfg.Workers = *workers
+	if *doAudit {
+		log.Printf("invariant auditing enabled: any conservation/FIFO/TCP violation aborts the run")
+	}
 
 	fmt.Printf("DRing(%d ToRs/supernode, %d ports) vs equipment-matched RRG, uniform traffic, %s routing, seed=%d\n\n",
 		*tors, *ports, *scheme, *seed)

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math/rand"
 
+	"spineless/internal/audit"
 	"spineless/internal/metrics"
 	"spineless/internal/netsim"
 	"spineless/internal/parallel"
@@ -43,6 +44,11 @@ type FCTConfig struct {
 	// KeepFlows retains the generated flow set and raw per-flow FCTs in the
 	// result (for CSV export); off by default to keep results small.
 	KeepFlows bool
+	// Audit runs every trial under the runtime invariant auditor
+	// (internal/audit): any violation — broken packet conservation, FIFO
+	// corruption, TCP insanity — fails the experiment instead of silently
+	// skewing the figures. Adds tracing overhead; results are unchanged.
+	Audit bool
 }
 
 // DefaultFCTConfig mirrors §5/§6: 30% spine load, Pareto(100KB, 1.05)
@@ -209,9 +215,20 @@ func runFCT(fs *FabricSet, combo Combo, m *workload.Matrix, placement []int, cfg
 	if err != nil {
 		return FCTResult{}, err
 	}
+	var aud *audit.Auditor
+	if cfg.Audit {
+		if aud, err = audit.Attach(sim, flows); err != nil {
+			return FCTResult{}, err
+		}
+	}
 	res, err := sim.Run(flows)
 	if err != nil {
 		return FCTResult{}, err
+	}
+	if aud != nil {
+		if err := aud.Finish(res); err != nil {
+			return FCTResult{}, fmt.Errorf("core: %s: %w", combo.Label, err)
+		}
 	}
 	return FCTResult{
 		Combo:    combo.Label,

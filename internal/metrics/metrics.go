@@ -9,6 +9,7 @@ import (
 	"math"
 	"sort"
 	"strings"
+	"unicode/utf8"
 )
 
 // Percentile returns the p-th percentile (0..100) of values using linear
@@ -100,8 +101,10 @@ func (t *Table) String() string {
 	widths := map[int]int{}
 	for _, r := range t.rows {
 		for i, c := range r {
-			if len(c) > widths[i] {
-				widths[i] = len(c)
+			// Rune count, not byte length: fmt's %-*s pads to a rune
+			// width, so byte-counted widths misalign non-ASCII headers.
+			if n := utf8.RuneCountInString(c); n > widths[i] {
+				widths[i] = n
 			}
 		}
 	}
@@ -154,10 +157,20 @@ func NewHeatmap(title, xlabel, ylabel string, xticks, yticks []int) *Heatmap {
 // Set assigns the cell at (xi, yi) tick indices.
 func (h *Heatmap) Set(xi, yi int, v float64) { h.Cells[yi][xi] = v }
 
+// empty reports whether the heatmap has no cells to render; String and CSV
+// degrade to a header-only rendering rather than indexing empty tick slices.
+func (h *Heatmap) empty() bool {
+	return len(h.XTicks) == 0 || len(h.YTicks) == 0
+}
+
 // CSV renders the heatmap as comma-separated values with axis headers.
 func (h *Heatmap) CSV() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "%s\\%s", h.YLabel, h.XLabel)
+	if h.empty() {
+		b.WriteString("\n")
+		return b.String()
+	}
 	for _, x := range h.XTicks {
 		fmt.Fprintf(&b, ",%d", x)
 	}
@@ -180,6 +193,10 @@ func (h *Heatmap) String() string {
 		fmt.Fprintf(&b, "%s\n", h.Title)
 	}
 	fmt.Fprintf(&b, "%s ↓ / %s →\n", h.YLabel, h.XLabel)
+	if h.empty() {
+		b.WriteString("(no cells)\n")
+		return b.String()
+	}
 	for yi := len(h.YTicks) - 1; yi >= 0; yi-- {
 		fmt.Fprintf(&b, "%6d |", h.YTicks[yi])
 		for xi := range h.XTicks {

@@ -206,3 +206,36 @@ func TestCDFQuickMonotone(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestTableUnicodeAlignment(t *testing.T) {
+	// "λ/ε" is 3 runes but 6 UTF-8 bytes: byte-counted widths would pad the
+	// column 3 cells too wide and misalign every following column.
+	var tb Table
+	tb.AddRow("λ/ε", "x")
+	tb.AddRow("abc", "y")
+	lines := strings.Split(strings.TrimRight(tb.String(), "\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("got %d lines, want 3:\n%s", len(lines), tb.String())
+	}
+	header, row := lines[0], lines[2]
+	if hx, rx := strings.IndexRune(header, 'x'), strings.IndexRune(row, 'y'); hx < 0 || rx < 0 ||
+		len([]rune(header[:hx])) != len([]rune(row[:strings.IndexRune(row, 'y')])) {
+		t.Fatalf("second column misaligned (x at %d, y at %d):\n%s", hx, rx, tb.String())
+	}
+	_ = row
+}
+
+func TestHeatmapEmptyTicksDoNotPanic(t *testing.T) {
+	for _, h := range []*Heatmap{
+		NewHeatmap("t", "x", "y", nil, nil),
+		NewHeatmap("t", "x", "y", []int{1, 2}, nil),
+		NewHeatmap("t", "x", "y", nil, []int{1, 2}),
+	} {
+		if s := h.String(); s == "" {
+			t.Fatalf("empty heatmap rendered nothing (x=%d y=%d ticks)", len(h.XTicks), len(h.YTicks))
+		}
+		if c := h.CSV(); !strings.HasPrefix(c, "y\\x") {
+			t.Fatalf("empty heatmap CSV lost its header: %q", c)
+		}
+	}
+}

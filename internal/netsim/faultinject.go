@@ -56,7 +56,7 @@ func (s *Simulator) applyFault(e faults.Event) {
 			case faults.LinkDown:
 				l.down = true
 				for l.queued() > 0 {
-					s.blackhole(l.pop())
+					s.blackhole(id, l.pop())
 				}
 			case faults.LinkUp:
 				l.down = false
@@ -67,18 +67,24 @@ func (s *Simulator) applyFault(e faults.Event) {
 				l.lossProb = 0
 				l.bytesPerNS = l.nominalBytesPerNS
 			}
+			if s.tracer != nil {
+				s.tracer.OnStateChange(s.now, id, l.down, l.lossProb, l.bytesPerNS/l.nominalBytesPerNS)
+			}
 		}
 	}
 }
 
-// blackhole discards a packet lost into a down link, tracking the observed
-// blackhole window.
-func (s *Simulator) blackhole(p *packet) {
+// blackhole discards a packet lost into down link id, tracking the
+// observed blackhole window.
+func (s *Simulator) blackhole(id int32, p *packet) {
 	s.stats.Blackholed++
 	if s.blackholeFirst < 0 {
 		s.blackholeFirst = s.now
 	}
 	s.blackholeLast = s.now
+	if s.tracer != nil {
+		s.tracer.OnDrop(s.now, id, p.flow, p.isAck, DropBlackhole)
+	}
 	s.free(p)
 }
 
@@ -87,11 +93,14 @@ func (s *Simulator) blackhole(p *packet) {
 // completes and the repaired FIB is installed fabric-wide. Flows whose
 // rack pair is unreachable under the new scheme keep their stale paths
 // (and keep blackholing), mirroring a genuinely partitioned fabric.
+// A flow that started while its racks were unreachable (nil paths) is
+// re-resolved too: once a boundary restores reachability it initializes
+// its sender and begins transmitting, instead of staying stranded forever.
 func (s *Simulator) reroute() {
 	s.activeScheme = s.tv.SchemeAt(s.now)
 	for i := range s.flows {
 		f := &s.flows[i]
-		if !f.started || f.done || f.dataLinks == nil {
+		if !f.started || f.done {
 			continue
 		}
 		spec := f.spec
@@ -102,8 +111,14 @@ func (s *Simulator) reroute() {
 		if fwd == nil || rev == nil {
 			continue
 		}
+		stranded := f.dataLinks == nil
 		f.dataLinks = s.expandPath(spec.Src, spec.Dst, fwd, h)
 		f.ackLinks = s.expandPath(spec.Dst, spec.Src, rev, spec.ID^0x5ca1ab1e)
 		s.stats.Reroutes++
+		if stranded {
+			idx := int32(i)
+			s.initSender(f, idx)
+			s.trySend(f, idx)
+		}
 	}
 }

@@ -8,6 +8,7 @@ type packet struct {
 	wireSize int32 // bytes on the wire
 	isAck    bool
 	ce       bool  // data: congestion-experienced mark; ack: echoed mark
+	pooled   bool  // in the free pool — set by free, cleared by alloc
 	seq      int64 // data: first payload byte; ack: cumulative ack
 	payload  int32 // data bytes carried (0 for ACKs)
 	echo     int64 // data: send timestamp; ack: echoed timestamp

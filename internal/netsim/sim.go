@@ -62,6 +62,17 @@ type Simulator struct {
 	arena     []int32
 	arenaNext int
 
+	// tracer, when non-nil, observes the data plane (see Tracer). Every
+	// hook sits behind a nil check so the disabled path costs nothing.
+	tracer Tracer
+	// allocCount/freeCount track pooled-packet issuance so audited runs
+	// can account for packets still in flight at the end of a run.
+	allocCount uint64
+	freeCount  uint64
+	// violations collects internal invariant breaches (double frees,
+	// non-monotone event times) observed while a tracer is installed.
+	violations []string
+
 	stats Stats
 }
 
@@ -250,6 +261,9 @@ func (s *Simulator) Run(flows []workload.Flow) (Results, error) {
 		if ev.t > maxT {
 			break
 		}
+		if s.tracer != nil && ev.t < s.now {
+			s.violate("event time moved backwards: %d after %d (kind %d)", ev.t, s.now, ev.kind)
+		}
 		s.now = ev.t
 		s.stats.Events++
 		switch ev.kind {
@@ -267,6 +281,9 @@ func (s *Simulator) Run(flows []workload.Flow) (Results, error) {
 			s.reroute()
 		}
 	}
+	// Drops are counted at the drop site (enterLink), so s.stats is already
+	// complete — no per-link summation pass that could disagree with
+	// Simulator.stats or LinkDrops().
 	res := Results{FCTNS: make([]int64, len(flows)), EndNS: s.now, Stats: s.stats,
 		BlackholeFirstNS: s.blackholeFirst, BlackholeLastNS: s.blackholeLast}
 	for i := range s.flows {
@@ -277,9 +294,6 @@ func (s *Simulator) Run(flows []workload.Flow) (Results, error) {
 		if s.flows[i].rtoHit {
 			res.FlowsWithRTO++
 		}
-	}
-	for i := range s.links {
-		res.Stats.Drops += s.links[i].drops
 	}
 	return res, nil
 }
@@ -300,13 +314,23 @@ func (s *Simulator) startFlow(idx int32) {
 	}
 	f.dataLinks = s.expandPath(spec.Src, spec.Dst, fwd, spec.ID)
 	f.ackLinks = s.expandPath(spec.Dst, spec.Src, rev, spec.ID^0x5ca1ab1e)
+	s.initSender(f, idx)
+	s.trySend(f, idx)
+}
+
+// initSender arms a flow's congestion-control state for its first send —
+// at startFlow, or at a reroute boundary for a flow whose racks were
+// unreachable when it started.
+func (s *Simulator) initSender(f *flowState, idx int32) {
 	f.cwnd = s.cfg.InitCwnd
 	f.ssthresh = math.MaxFloat64
 	if s.cfg.InitSsthresh > 0 {
 		f.ssthresh = s.cfg.InitSsthresh
 	}
 	f.rto = int64(s.cfg.MinRTO)
-	s.trySend(f, idx)
+	if s.tracer != nil {
+		s.tracer.OnCwnd(s.now, idx, f.cwnd, f.sndUna, f.sndNxt)
+	}
 }
 
 // pairLinks returns the parallel link ids of the directed switch pair u→v
@@ -344,7 +368,10 @@ func (s *Simulator) expandPath(srcHost, dstHost int, swPath []int, flowID uint64
 	out = append(out, s.hostUp[srcHost])
 	for h := 0; h+1 < len(swPath); h++ {
 		copies := s.pairLinks(swPath[h], swPath[h+1])
-		out = append(out, copies[int(flowID>>uint(h%32))%len(copies)])
+		// The modulo must stay in uint64: converting the shifted hash to
+		// int first yields a negative index whenever the top bit is set
+		// (reachable via the flowlet rehash on any trunked pair).
+		out = append(out, copies[(flowID>>uint(h%32))%uint64(len(copies))])
 	}
 	out = append(out, s.hostDown[dstHost])
 	return out
@@ -409,13 +436,17 @@ func (s *Simulator) sendAck(f *flowState, idx int32, echo int64, ce bool) {
 }
 
 func (s *Simulator) enterLink(p *packet) {
-	l := &s.links[p.links[p.hop]]
+	id := p.links[p.hop]
+	l := &s.links[id]
 	if l.down {
-		s.blackhole(p)
+		s.blackhole(id, p)
 		return
 	}
 	if l.lossProb > 0 && s.faultRNG.Float64() < l.lossProb {
 		s.stats.GrayDrops++
+		if s.tracer != nil {
+			s.tracer.OnDrop(s.now, id, p.flow, p.isAck, DropGray)
+		}
 		s.free(p)
 		return
 	}
@@ -426,11 +457,25 @@ func (s *Simulator) enterLink(p *packet) {
 	}
 	if !l.busy {
 		l.busy = true
-		s.push(event{t: s.now + l.txTimeNS(p.wireSize), kind: evTxDone, idx: p.links[p.hop], pkt: p})
+		if s.tracer != nil {
+			s.tracer.OnEnqueue(s.now, id, p.flow, int(p.hop), p.isAck, p.wireSize, l.queueBytes, l.qCount)
+			s.tracer.OnTxStart(s.now, id, p.flow, p.isAck, p.wireSize)
+		}
+		s.push(event{t: s.now + l.txTimeNS(p.wireSize), kind: evTxDone, idx: id, pkt: p})
 		return
 	}
 	if !l.push(p) {
-		s.free(p) // drop-tail
+		// Drop-tail overflow: counted here, at the drop site, so the
+		// aggregate can never disagree with the per-link counters.
+		s.stats.Drops++
+		if s.tracer != nil {
+			s.tracer.OnDrop(s.now, id, p.flow, p.isAck, DropQueue)
+		}
+		s.free(p)
+		return
+	}
+	if s.tracer != nil {
+		s.tracer.OnEnqueue(s.now, id, p.flow, int(p.hop), p.isAck, p.wireSize, l.queueBytes, l.qCount)
 	}
 }
 
@@ -439,9 +484,9 @@ func (s *Simulator) txDone(linkID int32, p *packet) {
 	if l.down {
 		// The link was cut mid-serialization: the frame and anything still
 		// queued are lost.
-		s.blackhole(p)
+		s.blackhole(linkID, p)
 		for l.queued() > 0 {
-			s.blackhole(l.pop())
+			s.blackhole(linkID, l.pop())
 		}
 		l.busy = false
 		return
@@ -450,6 +495,9 @@ func (s *Simulator) txDone(linkID int32, p *packet) {
 	s.push(event{t: s.now + l.delayNS, kind: evDeliver, pkt: p})
 	if l.queued() > 0 {
 		next := l.pop()
+		if s.tracer != nil {
+			s.tracer.OnTxStart(s.now, linkID, next.flow, next.isAck, next.wireSize)
+		}
 		s.push(event{t: s.now + l.txTimeNS(next.wireSize), kind: evTxDone, idx: linkID, pkt: next})
 	} else {
 		l.busy = false
@@ -464,6 +512,9 @@ func (s *Simulator) deliver(p *packet) {
 	}
 	idx := p.flow
 	f := &s.flows[idx]
+	if s.tracer != nil {
+		s.tracer.OnDeliver(s.now, idx, p.isAck, p.seq)
+	}
 	if p.isAck {
 		ack, echo, ce := p.seq, p.echo, p.ce
 		s.free(p)
@@ -537,6 +588,9 @@ func (s *Simulator) handleAck(f *flowState, idx int32, ack, echo int64, ce bool)
 			f.fct = s.now - f.spec.StartNS
 			f.rtoEpoch++ // cancel timer
 			s.done++
+			if s.tracer != nil {
+				s.tracer.OnCwnd(s.now, idx, f.cwnd, f.sndUna, f.sndNxt)
+			}
 			return
 		}
 		s.armRTO(f, idx)
@@ -557,6 +611,9 @@ func (s *Simulator) handleAck(f *flowState, idx int32, ack, echo int64, ce bool)
 			s.armRTO(f, idx)
 		}
 	}
+	if s.tracer != nil {
+		s.tracer.OnCwnd(s.now, idx, f.cwnd, f.sndUna, f.sndNxt)
+	}
 }
 
 func (s *Simulator) timeout(idx int32, epoch uint64) {
@@ -574,6 +631,9 @@ func (s *Simulator) timeout(idx int32, epoch uint64) {
 	f.sndNxt = f.sndUna // go-back-N from the hole
 	f.rto = min(2*f.rto, int64(s.cfg.MaxRTO))
 	s.stats.Retransmits++
+	if s.tracer != nil {
+		s.tracer.OnCwnd(s.now, idx, f.cwnd, f.sndUna, f.sndNxt)
+	}
 	s.trySend(f, idx)
 }
 
@@ -631,9 +691,11 @@ func (s *Simulator) armRTO(f *flowState, idx int32) {
 }
 
 func (s *Simulator) alloc() *packet {
+	s.allocCount++
 	if n := len(s.pool); n > 0 {
 		p := s.pool[n-1]
 		s.pool = s.pool[:n-1]
+		p.pooled = false
 		return p
 	}
 	// Pool dry: carve the next packet out of the current block. Earlier
@@ -652,6 +714,17 @@ func (s *Simulator) alloc() *packet {
 const poolChunkSize = 256
 
 func (s *Simulator) free(p *packet) {
+	if p.pooled {
+		// Double free: the packet is already in the pool. Handing it out
+		// twice would silently corrupt two flows' state; record the breach
+		// (audited runs fail on it) and drop the duplicate free.
+		if s.tracer != nil {
+			s.violate("packet double-freed (flow %d, seq %d, ack=%v)", p.flow, p.seq, p.isAck)
+		}
+		return
+	}
+	p.pooled = true
+	s.freeCount++
 	p.links = nil
 	s.pool = append(s.pool, p)
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math/rand"
 
+	"spineless/internal/audit"
 	"spineless/internal/bgp"
 	"spineless/internal/core"
 	"spineless/internal/faults"
@@ -67,6 +68,9 @@ type LiveConfig struct {
 	// CPU). Fractions are fully independent runs, so the sweep is
 	// bit-identical at any worker count.
 	Workers int
+	// Audit runs the packet simulation under the runtime invariant auditor
+	// (internal/audit); any violation fails the run. Results are unchanged.
+	Audit bool
 }
 
 // DefaultLiveConfig fails 5% of trunks 2 ms into a 20 ms run, with 1 ms
@@ -210,9 +214,20 @@ func RunLive(g *topology.Graph, cfg LiveConfig) (LiveResult, error) {
 	if err := sim.InstallFaults(sched); err != nil {
 		return LiveResult{}, err
 	}
+	var aud *audit.Auditor
+	if cfg.Audit {
+		if aud, err = audit.Attach(sim, flows); err != nil {
+			return LiveResult{}, err
+		}
+	}
 	out, err := sim.Run(flows)
 	if err != nil {
 		return LiveResult{}, err
+	}
+	if aud != nil {
+		if err := aud.Finish(out); err != nil {
+			return LiveResult{}, fmt.Errorf("resilience: live run at fraction %.3f: %w", cfg.Fraction, err)
+		}
 	}
 
 	res.Blackholed = out.Stats.Blackholed

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math/rand"
 
+	"spineless/internal/audit"
 	"spineless/internal/bgp"
 	"spineless/internal/core"
 	"spineless/internal/metrics"
@@ -33,6 +34,9 @@ type StudyConfig struct {
 	// fraction reseeds independently from Seed and shares only immutable
 	// base state, so the sweep is bit-identical at any worker count.
 	Workers int
+	// Audit runs each fraction's FCT replay under the runtime invariant
+	// auditor (internal/audit); violations fail that fraction's trial.
+	Audit bool
 }
 
 // DefaultStudyConfig sweeps 1%, 5% and 10% link failures under SU(2).
@@ -185,9 +189,20 @@ func replayUniform(g *topology.Graph, scheme routing.Scheme, cfg StudyConfig, rn
 	if err != nil {
 		return metrics.FCTStats{}, err
 	}
+	var aud *audit.Auditor
+	if cfg.Audit {
+		if aud, err = audit.Attach(sim, flows); err != nil {
+			return metrics.FCTStats{}, err
+		}
+	}
 	res, err := sim.Run(flows)
 	if err != nil {
 		return metrics.FCTStats{}, err
+	}
+	if aud != nil {
+		if err := aud.Finish(res); err != nil {
+			return metrics.FCTStats{}, err
+		}
 	}
 	return metrics.SummarizeFCT(res.FCTNS), nil
 }

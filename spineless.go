@@ -25,6 +25,7 @@ import (
 	"math/rand"
 	"time"
 
+	"spineless/internal/audit"
 	"spineless/internal/bgp"
 	"spineless/internal/core"
 	"spineless/internal/dynamic"
@@ -68,6 +69,19 @@ type (
 	NetResults = netsim.Results
 	// FlowConfig parameterizes the max-min throughput model.
 	FlowConfig = flowsim.Config
+)
+
+// Runtime verification (DESIGN.md §9).
+type (
+	// Tracer observes packet-simulator data-plane events; a nil tracer
+	// costs nothing.
+	Tracer = netsim.Tracer
+	// Auditor checks simulator invariants through the Tracer hooks.
+	Auditor = audit.Auditor
+	// DiffConfig parameterizes the netsim/flowsim/fluid cross-validation.
+	DiffConfig = audit.DiffConfig
+	// DiffReport holds the three models' throughputs and any violations.
+	DiffReport = audit.DiffReport
 )
 
 // Workloads (§5.2).
@@ -217,6 +231,18 @@ func NewSimulator(g *Graph, scheme Scheme, cfg NetConfig) (*netsim.Simulator, er
 
 // DefaultNetConfig returns the §5.3 packet-simulator defaults.
 func DefaultNetConfig() NetConfig { return netsim.DefaultConfig() }
+
+// AttachAuditor installs the runtime invariant auditor on a simulator
+// before Run; Finish(results) reports every violation (DESIGN.md §9).
+func AttachAuditor(sim *netsim.Simulator, flows []Flow) (*Auditor, error) {
+	return audit.Attach(sim, flows)
+}
+
+// Differential cross-validates the packet, flow-level and fluid models on
+// one workload and reports disagreements beyond the tolerance bands.
+func Differential(g *Graph, scheme Scheme, flows []Flow, cfg DiffConfig) (DiffReport, error) {
+	return audit.Differential(g, scheme, flows, cfg)
+}
 
 // SummarizeFCT converts per-flow nanosecond FCTs into statistics.
 func SummarizeFCT(fctNS []int64) FCTStats { return metrics.SummarizeFCT(fctNS) }
