@@ -7,10 +7,25 @@ BENCH_PR ?= 3
 # and paper-scale BGP convergence.
 BENCH_RE = ^(BenchmarkNetsimEvents|BenchmarkFig4_A2A|BenchmarkFig5_SmallSU2|BenchmarkFig5_SmallSU2_Workers1|BenchmarkFig5_SmallSU2_WorkersMax|BenchmarkFibConstruction|BenchmarkBGPConvergePaperScale)$$
 
-.PHONY: check build test vet fmt lint race bench audit
+.PHONY: check build test vet fmt lint race bench audit serve serve-smoke
 
 # Full verification: everything CI and the roadmap's tier-1 gate expect.
-check: build vet fmt lint race audit
+check: build vet fmt lint race audit serve-smoke
+
+# Run the experiment service on localhost with a persistent result cache
+# (see DESIGN.md §10 and the README curl session).
+serve:
+	$(GO) run ./cmd/spinelessd -addr 127.0.0.1:8080 -store results/store
+
+# End-to-end determinism-cache proof: build spinelessd, boot it on an
+# ephemeral port with a throwaway store, push one tiny fig4-style cell
+# through the HTTP API, and assert the second submit is a cache hit with
+# byte-identical result JSON and zero new simulator events.
+serve-smoke:
+	@tmp=$$(mktemp -d) && \
+	$(GO) build -o $$tmp/spinelessd ./cmd/spinelessd && \
+	$$tmp/spinelessd -smoke; \
+	rc=$$?; rm -rf $$tmp; exit $$rc
 
 # Audited driver runs: every packet simulation under the runtime invariant
 # auditor (internal/audit), plus fig5's netsim/flowsim/fluid differential

@@ -31,6 +31,8 @@ import (
 	"time"
 
 	"spineless/internal/core"
+	"spineless/internal/memo"
+	"spineless/internal/parallel"
 	"spineless/internal/resilience"
 	"spineless/internal/topology"
 )
@@ -49,6 +51,7 @@ func main() {
 		seed      = flag.Int64("seed", 1, "random seed")
 		workers   = flag.Int("workers", 0, "parallel workers across fractions (0 = one per CPU); results are identical at any value")
 		doAudit   = flag.Bool("audit", false, "run packet simulations under the runtime invariant auditor (violations fail the trial)")
+		storeDir  = flag.String("store", "", "content-addressed result cache directory; repeated runs reuse per-fraction rows")
 
 		live     = flag.Bool("live", false, "inject failures during a packet-level run (transient study)")
 		failAt   = flag.Duration("fail-at", 2*time.Millisecond, "live: absolute sim time of the failure")
@@ -90,6 +93,16 @@ func main() {
 		fracs = append(fracs, v)
 	}
 
+	cache, err := memo.Open(*storeDir, "failures", log.Printf)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer cache.Close()
+	base := cellSpec{
+		V: 1, Topo: *topoKind, Supernodes: *m, Tors: *n, Ports: *ports,
+		K: *k, Flows: *flows, Seed: *seed,
+	}
+
 	if *live {
 		cfg := resilience.DefaultLiveConfig()
 		cfg.K = *k
@@ -110,7 +123,17 @@ func main() {
 		fmt.Printf("fabric: %v, Shortest-Union(%d), seed=%d\n", g, *k, *seed)
 		fmt.Printf("live faults: fail at %v, detect %v, %v/round; flap=%d gray=%d (loss %.1f%%, rate ×%.2f)\n\n",
 			*failAt, *detect, *roundDel, *flap, *gray, *grayLoss*100, *grayRate)
-		rows, err := resilience.LiveSweep(g, cfg, fracs)
+		base.Mode = "live"
+		base.FailAtNS = cfg.FailAtNS
+		base.DetectNS = cfg.DetectionDelayNS
+		base.RoundNS = cfg.RoundDelayNS
+		base.WindowNS = cfg.WindowNS
+		base.Flap = cfg.FlapLinks
+		base.Gray = cfg.GrayLinks
+		base.GrayLoss = cfg.GrayLoss
+		base.GrayRate = cfg.GrayRateFactor
+		base.Preserve = cfg.PreserveConnectivity
+		rows, err := cachedLiveSweep(cache, g, cfg, fracs, base)
 		fmt.Println(resilience.LiveTable(rows))
 		fmt.Println("repair = fail-at + detect + reconv × round-delay; blackhole = measured first→last packet lost into a down link.")
 		exitSweep(err)
@@ -125,13 +148,129 @@ func main() {
 	cfg.Workers = *workers
 	cfg.Audit = *doAudit
 
+	base.Mode = "static"
 	fmt.Printf("fabric: %v, Shortest-Union(%d), seed=%d\n\n", g, *k, *seed)
-	rows, err := resilience.Study(g, cfg)
+	rows, err := cachedStudy(cache, g, cfg, base)
 	if rows != nil {
 		fmt.Println(resilience.Table(rows))
 		fmt.Println("reconv rounds = synchronous BGP rounds to re-settle from the pre-failure RIB.")
 	}
 	exitSweep(err)
+}
+
+// cellSpec is the cache key for one fraction row: the fabric geometry,
+// routing K, workload size, seed, fault schedule and the fraction itself.
+// Failed rows are never cached — a draw that partitions the fabric reruns
+// next time. Result-neutral knobs (workers, audit) are excluded.
+type cellSpec struct {
+	V          int     `json:"v"`
+	Mode       string  `json:"mode"`
+	Topo       string  `json:"topo"`
+	Supernodes int     `json:"supernodes"`
+	Tors       int     `json:"tors"`
+	Ports      int     `json:"ports"`
+	K          int     `json:"k"`
+	Flows      int     `json:"flows"`
+	Seed       int64   `json:"seed"`
+	Fraction   float64 `json:"fraction"`
+	FailAtNS   int64   `json:"fail_at_ns,omitempty"`
+	DetectNS   int64   `json:"detect_ns,omitempty"`
+	RoundNS    int64   `json:"round_ns,omitempty"`
+	WindowNS   int64   `json:"window_ns,omitempty"`
+	Flap       int     `json:"flap,omitempty"`
+	Gray       int     `json:"gray,omitempty"`
+	GrayLoss   float64 `json:"gray_loss,omitempty"`
+	GrayRate   float64 `json:"gray_rate,omitempty"`
+	Preserve   bool    `json:"preserve,omitempty"`
+}
+
+// cachedLiveSweep is resilience.LiveSweep with a per-fraction cache,
+// preserving its semantics exactly: failed fractions contribute a
+// TrialError and no row (and are never cached), rows keep fraction order.
+func cachedLiveSweep(cache *memo.Cache, g *topology.Graph, cfg resilience.LiveConfig, fracs []float64, base cellSpec) ([]resilience.LiveResult, error) {
+	results := make([]resilience.LiveResult, len(fracs))
+	errs := make([]error, len(fracs))
+	_ = parallel.ForEach(cfg.Workers, len(fracs), func(i int) error {
+		c := cfg
+		c.Fraction = fracs[i]
+		spec := base
+		spec.Fraction = fracs[i]
+		label := fmt.Sprintf("fraction %.3f", fracs[i])
+		errs[i] = core.Trial(label, func() error {
+			var e error
+			results[i], e = memo.Do(cache, label, spec, func() (resilience.LiveResult, error) {
+				return resilience.RunLive(g, c)
+			})
+			return e
+		})
+		return nil
+	})
+	var rows []resilience.LiveResult
+	var terrs core.TrialErrors
+	for i, err := range errs {
+		if err != nil {
+			terrs = append(terrs, err.(core.TrialError))
+			continue
+		}
+		rows = append(rows, results[i])
+	}
+	if len(terrs) > 0 {
+		return rows, terrs
+	}
+	return rows, nil
+}
+
+// cachedStudy is resilience.Study with a per-fraction cache. Each miss runs
+// a single-fraction Study (re-deriving the base FIB/RIB, which a hit skips
+// entirely); failed fractions keep Study's semantics — an Err-marked row, a
+// TrialError, and nothing cached.
+func cachedStudy(cache *memo.Cache, g *topology.Graph, cfg resilience.StudyConfig, base cellSpec) ([]resilience.StudyRow, error) {
+	if cache == nil {
+		return resilience.Study(g, cfg)
+	}
+	rows := make([]resilience.StudyRow, len(cfg.Fractions))
+	errs := make([]error, len(cfg.Fractions))
+	_ = parallel.ForEach(cfg.Workers, len(cfg.Fractions), func(i int) error {
+		f := cfg.Fractions[i]
+		spec := base
+		spec.Fraction = f
+		row, err := memo.Do(cache, fmt.Sprintf("fraction %.3f", f), spec, func() (resilience.StudyRow, error) {
+			single := cfg
+			single.Fractions = []float64{f}
+			rs, serr := resilience.Study(g, single)
+			if serr != nil {
+				return resilience.StudyRow{}, serr
+			}
+			return rs[0], nil
+		})
+		if err != nil {
+			rows[i] = resilience.StudyRow{Fraction: f, Err: err}
+			errs[i] = err
+			return nil
+		}
+		rows[i] = row
+		return nil
+	})
+	var terrs core.TrialErrors
+	var fatal error
+	for _, err := range errs {
+		if err == nil {
+			continue
+		}
+		var sub core.TrialErrors
+		if errors.As(err, &sub) {
+			terrs = append(terrs, sub...)
+		} else if fatal == nil {
+			fatal = err // setup failure, not a per-trial one
+		}
+	}
+	if fatal != nil {
+		return rows, fatal
+	}
+	if len(terrs) > 0 {
+		return rows, terrs
+	}
+	return rows, nil
 }
 
 // exitSweep reports a sweep's aggregated trial failures and exits non-zero

@@ -19,7 +19,9 @@ import (
 	"time"
 
 	"spineless/internal/core"
+	"spineless/internal/memo"
 	"spineless/internal/metrics"
+	"spineless/internal/parallel"
 	"spineless/internal/prof"
 	"spineless/internal/trace"
 	"spineless/internal/viz"
@@ -42,6 +44,7 @@ func main() {
 		doAudit  = flag.Bool("audit", false, "run every cell under the runtime invariant auditor (violations abort)")
 		trials   = flag.Int("trials", 1, "independently seeded arrival windows pooled per cell")
 		workers  = flag.Int("workers", 0, "parallel workers per fan-out (0 = one per CPU); results are identical at any value")
+		storeDir = flag.String("store", "", "content-addressed result cache directory; repeated runs reuse per-cell results")
 		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf  = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
@@ -89,6 +92,18 @@ func main() {
 		}
 	}
 
+	cache, err := memo.Open(*storeDir, "fig4", log.Printf)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer cache.Close()
+	if cache != nil && cfg.KeepFlows {
+		// Per-flow dumps would bloat cache entries by orders of magnitude;
+		// run fresh instead.
+		log.Printf("-dump requested: result cache bypassed for this run")
+		cache = nil
+	}
+
 	var median, p99 metrics.Table
 	header := []string{"TM"}
 	for _, c := range combos {
@@ -100,7 +115,7 @@ func main() {
 	results := map[core.TMKind][]core.FCTResult{}
 	for _, kind := range core.AllTMKinds() {
 		start := time.Now()
-		row, err := core.Fig4Row(fs, combos, kind, cfg)
+		row, err := cachedFig4Row(cache, fs, combos, kind, cfg, *paper, *scale)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -172,6 +187,50 @@ func main() {
 			ls.P99MS, best.P99MS, ls.P99MS/best.P99MS)
 	}
 	// No os.Exit here: the deferred profile flush must run.
+}
+
+// fig4Cell is the cache key for one (TM × combo) cell: every knob the
+// cell's result depends on, and nothing else (workers, audit and profiling
+// flags never change results, so they must not fragment the cache).
+type fig4Cell struct {
+	V         int     `json:"v"`
+	Paper     bool    `json:"paper,omitempty"`
+	Scale     int     `json:"scale,omitempty"`
+	Combo     string  `json:"combo"`
+	TM        string  `json:"tm"`
+	Util      float64 `json:"util"`
+	WindowSec float64 `json:"window_sec"`
+	Seed      int64   `json:"seed"`
+	Trials    int     `json:"trials,omitempty"`
+	MaxFlows  int     `json:"max_flows,omitempty"`
+}
+
+// cachedFig4Row is core.Fig4Row with a per-cell result cache: each combo's
+// cell is looked up (and on a miss computed and committed) independently,
+// preserving Fig4Row's combo-level parallelism and bit-identical output —
+// cells are independent because every RunFCT reseeds from cfg.Seed.
+func cachedFig4Row(cache *memo.Cache, fs *core.FabricSet, combos []core.Combo, kind core.TMKind, cfg core.FCTConfig, paper bool, scale int) ([]core.FCTResult, error) {
+	out := make([]core.FCTResult, len(combos))
+	err := parallel.ForEach(cfg.Workers, len(combos), func(i int) error {
+		spec := fig4Cell{
+			V: 1, Paper: paper, Scale: scale, Combo: combos[i].Label,
+			TM: string(kind), Util: cfg.Util, WindowSec: cfg.WindowSec,
+			Seed: cfg.Seed, Trials: cfg.Trials, MaxFlows: cfg.MaxFlows,
+		}
+		label := fmt.Sprintf("%s × %s", combos[i].Label, kind)
+		r, err := memo.Do(cache, label, spec, func() (core.FCTResult, error) {
+			return core.RunFCT(fs, combos[i], kind, cfg)
+		})
+		if err != nil {
+			return fmt.Errorf("%s: %w", label, err)
+		}
+		out[i] = r
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
 }
 
 // dumpRow writes one per-flow FCT CSV per combo for a workload.

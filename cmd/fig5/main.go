@@ -16,6 +16,8 @@ import (
 	"spineless/internal/audit"
 	"spineless/internal/core"
 	"spineless/internal/flowsim"
+	"spineless/internal/memo"
+	"spineless/internal/metrics"
 	"spineless/internal/netsim"
 	"spineless/internal/prof"
 	"spineless/internal/viz"
@@ -26,16 +28,17 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("fig5: ")
 	var (
-		paper   = flag.Bool("paper", false, "full-scale §5.1 fabrics (C,S up to 1400 as in the paper)")
-		scale   = flag.Int("scale", 4, "scale-down factor for the default run")
-		seed    = flag.Int64("seed", 1, "random seed")
-		density = flag.Int("flows", 2, "long-running flows per host (sampling density)")
-		csv     = flag.Bool("csv", false, "emit CSV instead of ASCII heatmaps")
-		doAudit = flag.Bool("audit", false, "cross-validate the flow-level model against netsim and the fluid bound first (violations abort)")
-		svgOut  = flag.String("svg", "", "write fig5a..fig5d SVG heatmaps into this directory")
-		workers = flag.Int("workers", 0, "parallel workers per heatmap (0 = one per CPU); results are identical at any value")
-		cpuProf = flag.String("cpuprofile", "", "write a CPU profile to this file")
-		memProf = flag.String("memprofile", "", "write a heap profile to this file on exit")
+		paper    = flag.Bool("paper", false, "full-scale §5.1 fabrics (C,S up to 1400 as in the paper)")
+		scale    = flag.Int("scale", 4, "scale-down factor for the default run")
+		seed     = flag.Int64("seed", 1, "random seed")
+		density  = flag.Int("flows", 2, "long-running flows per host (sampling density)")
+		csv      = flag.Bool("csv", false, "emit CSV instead of ASCII heatmaps")
+		doAudit  = flag.Bool("audit", false, "cross-validate the flow-level model against netsim and the fluid bound first (violations abort)")
+		svgOut   = flag.String("svg", "", "write fig5a..fig5d SVG heatmaps into this directory")
+		workers  = flag.Int("workers", 0, "parallel workers per heatmap (0 = one per CPU); results are identical at any value")
+		storeDir = flag.String("store", "", "content-addressed result cache directory; repeated runs reuse per-panel heatmaps")
+		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf  = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
 
@@ -88,6 +91,12 @@ func main() {
 	cfg.FlowsPerHost = *density
 	cfg.Workers = *workers
 
+	cache, err := memo.Open(*storeDir, "fig5", log.Printf)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer cache.Close()
+
 	panels := []struct {
 		name   string
 		file   string
@@ -108,7 +117,13 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		h, err := core.CSRatioHeatmap(dr, ls, p.ticks, p.ticks, cfg)
+		spec := fig5Panel{
+			V: 1, Paper: *paper, Scale: *scale, Scheme: p.scheme,
+			Ticks: p.ticks, Seed: *seed, FlowsPerHost: *density,
+		}
+		h, err := memo.Do(cache, p.name, spec, func() (*metrics.Heatmap, error) {
+			return core.CSRatioHeatmap(dr, ls, p.ticks, p.ticks, cfg)
+		})
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -171,6 +186,19 @@ func auditModels(fs *core.FabricSet) error {
 			c.label, c.scheme, rep.NetsimBps/1e9, rep.FlowsimBps/1e9, rep.FluidLambdaBps/1e9)
 	}
 	return nil
+}
+
+// fig5Panel is the cache key for one heatmap panel: everything the panel
+// depends on (fabric scale, routing scheme, tick grid, seed, sampling
+// density) and nothing result-neutral (workers, audit, output format).
+type fig5Panel struct {
+	V            int    `json:"v"`
+	Paper        bool   `json:"paper,omitempty"`
+	Scale        int    `json:"scale,omitempty"`
+	Scheme       string `json:"scheme"`
+	Ticks        []int  `json:"ticks"`
+	Seed         int64  `json:"seed"`
+	FlowsPerHost int    `json:"flows_per_host"`
 }
 
 // gridTicks returns n evenly spaced integers in [lo, hi].

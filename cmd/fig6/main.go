@@ -17,7 +17,9 @@ import (
 	"time"
 
 	"spineless/internal/core"
+	"spineless/internal/memo"
 	"spineless/internal/metrics"
+	"spineless/internal/parallel"
 	"spineless/internal/prof"
 	"spineless/internal/viz"
 	"spineless/internal/workload"
@@ -27,19 +29,20 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("fig6: ")
 	var (
-		sweep   = flag.String("supernodes", "7,9,11,13,15", "comma-separated supernode counts (paper: 42..90 racks)")
-		tors    = flag.Int("tors", 6, "ToRs per supernode (§6.3 uses 6)")
-		ports   = flag.Int("ports", 60, "switch radix (§6.3 uses 60)")
-		scheme  = flag.String("scheme", "ecmp", "routing scheme for both fabrics (ecmp, su2, ...)")
-		util    = flag.Float64("util", 0.5, "offered load per server as a fraction of half its NIC rate")
-		window  = flag.Float64("window", 0.004, "flow arrival window, seconds")
-		seed    = flag.Int64("seed", 1, "random seed")
-		flows   = flag.Int("maxflows", 0, "cap on flows per point (0 = uncapped; capping skews per-server load across the sweep)")
-		doAudit = flag.Bool("audit", false, "run every sweep point under the runtime invariant auditor (violations abort)")
-		svgOut  = flag.String("svg", "", "write fig6.svg into this directory")
-		workers = flag.Int("workers", 0, "parallel sweep-point workers (0 = one per CPU); results are identical at any value")
-		cpuProf = flag.String("cpuprofile", "", "write a CPU profile to this file")
-		memProf = flag.String("memprofile", "", "write a heap profile to this file on exit")
+		sweep    = flag.String("supernodes", "7,9,11,13,15", "comma-separated supernode counts (paper: 42..90 racks)")
+		tors     = flag.Int("tors", 6, "ToRs per supernode (§6.3 uses 6)")
+		ports    = flag.Int("ports", 60, "switch radix (§6.3 uses 60)")
+		scheme   = flag.String("scheme", "ecmp", "routing scheme for both fabrics (ecmp, su2, ...)")
+		util     = flag.Float64("util", 0.5, "offered load per server as a fraction of half its NIC rate")
+		window   = flag.Float64("window", 0.004, "flow arrival window, seconds")
+		seed     = flag.Int64("seed", 1, "random seed")
+		flows    = flag.Int("maxflows", 0, "cap on flows per point (0 = uncapped; capping skews per-server load across the sweep)")
+		doAudit  = flag.Bool("audit", false, "run every sweep point under the runtime invariant auditor (violations abort)")
+		svgOut   = flag.String("svg", "", "write fig6.svg into this directory")
+		workers  = flag.Int("workers", 0, "parallel sweep-point workers (0 = one per CPU); results are identical at any value")
+		storeDir = flag.String("store", "", "content-addressed result cache directory; repeated runs reuse per-point results")
+		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf  = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
 
@@ -74,9 +77,35 @@ func main() {
 	t.AddRow("supernodes", "racks", "servers", "p99 FCT(DRing)/FCT(RRG)", "median ratio")
 	var xs, p99s, medians []float64
 	start := time.Now()
-	// One ScaleSweep call over every count: points run in parallel across
-	// -workers, with output identical to sweeping them one at a time.
-	pts, err := core.ScaleSweep(counts, cfg)
+	cache, err := memo.Open(*storeDir, "fig6", log.Printf)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer cache.Close()
+	// Sweep points run in parallel across -workers and are cached one at a
+	// time: each is independent and reseeds from the config, so a per-point
+	// sweep is bit-identical to one ScaleSweep call over every count.
+	pts := make([]core.ScalePoint, len(counts))
+	err = parallel.ForEach(cfg.Workers, len(counts), func(i int) error {
+		spec := fig6Point{
+			V: 1, Supernodes: counts[i], Tors: *tors, Ports: *ports,
+			Scheme: *scheme, Util: *util, WindowSec: *window,
+			Seed: *seed, MaxFlows: *flows,
+		}
+		label := fmt.Sprintf("%d supernodes", counts[i])
+		p, err := memo.Do(cache, label, spec, func() (core.ScalePoint, error) {
+			one, err := core.ScaleSweep(counts[i:i+1], cfg)
+			if err != nil {
+				return core.ScalePoint{}, err
+			}
+			return one[0], nil
+		})
+		if err != nil {
+			return err
+		}
+		pts[i] = p
+		return nil
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -114,6 +143,20 @@ func main() {
 		}
 		log.Printf("wrote %s", path)
 	}
+}
+
+// fig6Point is the cache key for one sweep point: the DRing geometry,
+// routing scheme, workload knobs and seed; nothing result-neutral.
+type fig6Point struct {
+	V          int     `json:"v"`
+	Supernodes int     `json:"supernodes"`
+	Tors       int     `json:"tors"`
+	Ports      int     `json:"ports"`
+	Scheme     string  `json:"scheme"`
+	Util       float64 `json:"util"`
+	WindowSec  float64 `json:"window_sec"`
+	Seed       int64   `json:"seed"`
+	MaxFlows   int     `json:"max_flows,omitempty"`
 }
 
 func parseInts(s string) ([]int, error) {

@@ -1,0 +1,113 @@
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"spineless/internal/jobs"
+	"spineless/internal/serve"
+)
+
+// smokeClient is the minimal HTTP client the -smoke self-check drives the
+// API with; keeping it in-process avoids a curl dependency in CI.
+type smokeClient struct {
+	base string
+}
+
+func (c smokeClient) submit(spec string) (serve.SubmitResponse, error) {
+	var sr serve.SubmitResponse
+	resp, err := http.Post(c.base+"/v1/jobs", "application/json", strings.NewReader(spec))
+	if err != nil {
+		return sr, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return sr, err
+	}
+	if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusAccepted {
+		return sr, fmt.Errorf("status %d: %s", resp.StatusCode, body)
+	}
+	if err := json.Unmarshal(body, &sr); err != nil {
+		return sr, err
+	}
+	return sr, nil
+}
+
+// waitDone follows the job's NDJSON event stream until the terminal event
+// and fails unless the job ended done.
+func (c smokeClient) waitDone(id string) error {
+	client := &http.Client{Timeout: 5 * time.Minute}
+	resp, err := client.Get(c.base + "/v1/jobs/" + id + "/events")
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("events: status %d", resp.StatusCode)
+	}
+	var last jobs.Event
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		if err := json.Unmarshal(sc.Bytes(), &last); err != nil {
+			return fmt.Errorf("bad event line %q: %v", sc.Text(), err)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	if last.State != jobs.StateDone {
+		return fmt.Errorf("job %s ended %s (error %q)", id, last.State, last.Error)
+	}
+	return nil
+}
+
+func (c smokeClient) result(hash string) ([]byte, error) {
+	resp, err := http.Get(c.base + "/v1/results/" + hash)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("status %d: %s", resp.StatusCode, body)
+	}
+	return body, nil
+}
+
+// metric scrapes /metrics and returns the value of an unlabelled series.
+func (c smokeClient) metric(name string) (float64, error) {
+	resp, err := http.Get(c.base + "/metrics")
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		line := sc.Text()
+		if rest, ok := strings.CutPrefix(line, name+" "); ok {
+			return strconv.ParseFloat(strings.TrimSpace(rest), 64)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return 0, err
+	}
+	return 0, fmt.Errorf("metric %s not found", name)
+}
+
+func (c smokeClient) simEvents() (uint64, error) {
+	v, err := c.metric("spinelessd_sim_events_total")
+	if err != nil {
+		return 0, err
+	}
+	return uint64(v), nil
+}

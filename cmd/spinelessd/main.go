@@ -1,0 +1,208 @@
+// Command spinelessd serves the spineless experiment engine over HTTP: a
+// bounded job queue with singleflight deduplication, NDJSON progress
+// streaming, a content-addressed on-disk result cache, and Prometheus text
+// metrics. See internal/serve for the API and DESIGN.md §10 for the
+// protocol.
+//
+// SIGINT/SIGTERM trigger a graceful drain: the listener stops accepting,
+// queued and running jobs finish (bounded by -drain-timeout, after which
+// they are cancelled), the store index is flushed, and the process exits.
+//
+// -smoke runs a self-contained end-to-end check instead of serving: it
+// boots the server on an ephemeral port, submits a tiny experiment twice
+// through the real HTTP API, and verifies the second submission is a cache
+// hit whose result bytes are identical to the first run's — with no new
+// simulator work.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"spineless/internal/jobs"
+	"spineless/internal/serve"
+	"spineless/internal/store"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("spinelessd: ")
+	var (
+		addr         = flag.String("addr", "127.0.0.1:8080", "listen address")
+		storeDir     = flag.String("store", "", "result store directory (empty = no cache, every job runs fresh)")
+		storeMax     = flag.Int64("store-max-bytes", 1<<30, "result store size cap in bytes (0 = uncapped)")
+		queueDepth   = flag.Int("queue", 64, "bounded queue depth; submissions beyond it get 503")
+		executors    = flag.Int("jobs", 1, "jobs run concurrently")
+		workers      = flag.Int("workers", 0, "trial-level workers per job (0 = one per CPU); never affects results")
+		auditEvery   = flag.Int("audit-every", 16, "re-execute every Nth cache hit and verify it matches the stored result (0 = off)")
+		drainTimeout = flag.Duration("drain-timeout", 2*time.Minute, "max wait for in-flight jobs on shutdown")
+		smoke        = flag.Bool("smoke", false, "run the end-to-end self-check and exit")
+	)
+	flag.Parse()
+
+	if *smoke {
+		if err := runSmoke(*workers); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println("smoke: OK")
+		return
+	}
+
+	m, err := newManager(*storeDir, *storeMax, jobs.Config{
+		QueueDepth:   *queueDepth,
+		Executors:    *executors,
+		TrialWorkers: *workers,
+		AuditEvery:   *auditEvery,
+		Logf:         log.Printf,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	srv := &http.Server{Handler: serve.New(m, log.Printf)}
+	log.Printf("listening on http://%s (store=%q queue=%d jobs=%d)", ln.Addr(), *storeDir, *queueDepth, *executors)
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(ln) }()
+
+	select {
+	case err := <-serveErr:
+		log.Fatal(err)
+	case <-ctx.Done():
+	}
+	log.Printf("shutting down: draining jobs (up to %v)", *drainTimeout)
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := srv.Shutdown(shutdownCtx); err != nil {
+		log.Printf("http shutdown: %v", err)
+	}
+	if err := m.Drain(shutdownCtx); err != nil {
+		log.Printf("drain: %v", err)
+		os.Exit(1)
+	}
+	log.Printf("drained cleanly")
+}
+
+func newManager(dir string, maxBytes int64, cfg jobs.Config) (*jobs.Manager, error) {
+	var st *store.Store
+	if dir != "" {
+		var err error
+		st, err = store.Open(dir, store.Options{MaxBytes: maxBytes})
+		if err != nil {
+			return nil, err
+		}
+	}
+	return jobs.New(st, cfg), nil
+}
+
+// smokeSpec is the tiny experiment the self-check runs: a scaled-down
+// Figure 4 cell small enough to finish in about a second.
+const smokeSpec = `{"kind":"fct","topo":{"scale":8},"fabric":"rrg","scheme":"ecmp","tm":"A2A","util":0.2,"window_sec":0.002,"seed":1,"max_flows":40,"trials":2}`
+
+// runSmoke boots a server on an ephemeral port backed by a temp store and
+// drives the real HTTP API: submit, wait via the event stream, fetch the
+// result, resubmit, and prove the cache hit — same hash, byte-identical
+// result, hit counter incremented, zero new simulator events.
+func runSmoke(workers int) error {
+	dir, err := os.MkdirTemp("", "spinelessd-smoke-*")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+
+	m, err := newManager(dir, 0, jobs.Config{
+		QueueDepth:   4,
+		Executors:    1,
+		TrialWorkers: workers,
+		Logf:         log.Printf,
+	})
+	if err != nil {
+		return err
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	srv := &http.Server{Handler: serve.New(m, nil)}
+	go srv.Serve(ln)
+	base := "http://" + ln.Addr().String()
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		srv.Shutdown(ctx)
+		m.Drain(ctx)
+	}()
+
+	c := smokeClient{base: base}
+	sub1, err := c.submit(smokeSpec)
+	if err != nil {
+		return fmt.Errorf("first submit: %w", err)
+	}
+	if sub1.Cached {
+		return errors.New("first submission claims to be cached")
+	}
+	log.Printf("smoke: submitted %s (hash %.12s), streaming events", sub1.Job, sub1.Hash)
+	if err := c.waitDone(sub1.Job); err != nil {
+		return err
+	}
+	res1, err := c.result(sub1.Hash)
+	if err != nil {
+		return fmt.Errorf("first result: %w", err)
+	}
+	events1, err := c.simEvents()
+	if err != nil {
+		return err
+	}
+	if events1 == 0 {
+		return errors.New("first run reports zero simulator events")
+	}
+
+	sub2, err := c.submit(smokeSpec)
+	if err != nil {
+		return fmt.Errorf("resubmit: %w", err)
+	}
+	if !sub2.Cached {
+		return errors.New("resubmission was not served from the cache")
+	}
+	if sub2.Hash != sub1.Hash {
+		return fmt.Errorf("hash changed across identical submissions: %s vs %s", sub1.Hash, sub2.Hash)
+	}
+	res2, err := c.result(sub2.Hash)
+	if err != nil {
+		return fmt.Errorf("second result: %w", err)
+	}
+	if string(res1) != string(res2) {
+		return errors.New("cache hit returned different bytes than the original run")
+	}
+	events2, err := c.simEvents()
+	if err != nil {
+		return err
+	}
+	if events2 != events1 {
+		return fmt.Errorf("cache hit ran the simulator: events %d → %d", events1, events2)
+	}
+	hits, err := c.metric("spinelessd_cache_hits_total")
+	if err != nil {
+		return err
+	}
+	if int(hits) != 1 {
+		return fmt.Errorf("cache hit counter = %v, want 1", hits)
+	}
+	log.Printf("smoke: cache hit verified — byte-identical result, %d sim events saved", events1)
+	return nil
+}

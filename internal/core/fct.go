@@ -1,8 +1,10 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
+	"sync/atomic"
 
 	"spineless/internal/audit"
 	"spineless/internal/metrics"
@@ -49,6 +51,21 @@ type FCTConfig struct {
 	// corruption, TCP insanity — fails the experiment instead of silently
 	// skewing the figures. Adds tracing overhead; results are unchanged.
 	Audit bool
+	// Ctx, when non-nil, cancels the experiment between trials: no new
+	// trial window starts after Ctx is done and RunFCT returns Ctx's error
+	// (unless an earlier trial already failed — the lowest-index error
+	// still wins). Trials already in flight run to completion, so a
+	// cancelled experiment never returns a partial pool. Nil means never
+	// cancel. Like Workers, Ctx never affects the results of a run that
+	// completes.
+	Ctx context.Context
+	// OnTrial, when non-nil, is called after each trial completes with the
+	// monotonically increasing number of finished trials and the total —
+	// the progress feed consumed by the spinelessd job layer. It may be
+	// called concurrently from trial workers (the done counter itself is
+	// monotone); it must not block for long and must not mutate experiment
+	// state. Single-window runs report (1, 1) on completion.
+	OnTrial func(done, total int)
 }
 
 // DefaultFCTConfig mirrors §5/§6: 30% spine load, Pareto(100KB, 1.05)
@@ -128,13 +145,23 @@ func RunFCTMatrix(fs *FabricSet, combo Combo, m *workload.Matrix, cfg FCTConfig)
 // serialize workers on a mutex), and trial t's result lands in slot t — so
 // the pooled output is byte-identical from workers=1 to workers=N.
 func runTrials(cfg FCTConfig, combo Combo, one func(seed int64) (FCTResult, error)) (FCTResult, error) {
+	ctx := cfg.Ctx
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if cfg.Trials <= 1 {
+		if err := ctx.Err(); err != nil {
+			return FCTResult{}, err
+		}
 		res, err := one(cfg.Seed)
 		if err != nil {
 			return FCTResult{}, err
 		}
 		if !cfg.KeepFlows {
 			res.RawFlows, res.RawFCTNS = nil, nil
+		}
+		if cfg.OnTrial != nil {
+			cfg.OnTrial(1, 1)
 		}
 		return res, nil
 	}
@@ -144,12 +171,16 @@ func runTrials(cfg FCTConfig, combo Combo, one func(seed int64) (FCTResult, erro
 		}
 	}
 	trials := make([]FCTResult, cfg.Trials)
-	err := parallel.ForEach(cfg.Workers, cfg.Trials, func(t int) error {
+	var done atomic.Int64
+	err := parallel.ForEachCtx(ctx, cfg.Workers, cfg.Trials, func(t int) error {
 		r, err := one(parallel.DeriveSeed(cfg.Seed, t))
 		if err != nil {
 			return fmt.Errorf("core: trial %d: %w", t, err)
 		}
 		trials[t] = r
+		if cfg.OnTrial != nil {
+			cfg.OnTrial(int(done.Add(1)), cfg.Trials)
+		}
 		return nil
 	})
 	if err != nil {
@@ -246,8 +277,12 @@ func runFCT(fs *FabricSet, combo Combo, m *workload.Matrix, placement []int, cfg
 // cfg.Workers with results written to their combo's slot; output matches
 // the serial loop bit for bit.
 func Fig4Row(fs *FabricSet, combos []Combo, kind TMKind, cfg FCTConfig) ([]FCTResult, error) {
+	ctx := cfg.Ctx
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	out := make([]FCTResult, len(combos))
-	err := parallel.ForEach(cfg.Workers, len(combos), func(i int) error {
+	err := parallel.ForEachCtx(ctx, cfg.Workers, len(combos), func(i int) error {
 		r, err := RunFCT(fs, combos[i], kind, cfg)
 		if err != nil {
 			return fmt.Errorf("core: %s × %s: %w", combos[i].Label, kind, err)

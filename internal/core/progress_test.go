@@ -1,0 +1,132 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+)
+
+// TestRunFCTOnTrialProgress checks the progress feed contract: OnTrial fires
+// once per trial with a monotone done counter reaching Trials, and the
+// progress hook never changes the pooled result.
+func TestRunFCTOnTrialProgress(t *testing.T) {
+	fs := tinyFabrics(t)
+	combo, err := NewCombo("dring", fs.DRing, "su2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := fastFCTConfig()
+	cfg.MaxFlows = 40
+	cfg.Trials = 3
+	cfg.Workers = 2
+
+	var mu sync.Mutex
+	var dones []int
+	cfg.OnTrial = func(done, total int) {
+		if total != 3 {
+			t.Errorf("OnTrial total = %d, want 3", total)
+		}
+		mu.Lock()
+		dones = append(dones, done)
+		mu.Unlock()
+	}
+	withHook, err := RunFCT(fs, combo, TMA2A, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dones) != 3 {
+		t.Fatalf("OnTrial fired %d times, want 3 (%v)", len(dones), dones)
+	}
+	seen := map[int]bool{}
+	for _, d := range dones {
+		if d < 1 || d > 3 || seen[d] {
+			t.Fatalf("OnTrial done counter not a permutation of 1..3: %v", dones)
+		}
+		seen[d] = true
+	}
+
+	cfg.OnTrial = nil
+	plain, err := RunFCT(fs, combo, TMA2A, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if withHook.Stats != plain.Stats || withHook.SimStats != plain.SimStats {
+		t.Fatalf("progress hook changed the result: %+v vs %+v", withHook.Stats, plain.Stats)
+	}
+}
+
+// TestRunFCTSingleWindowProgress: Trials <= 1 reports exactly (1, 1).
+func TestRunFCTSingleWindowProgress(t *testing.T) {
+	fs := tinyFabrics(t)
+	combo, err := NewCombo("rrg", fs.RRG, "ecmp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := fastFCTConfig()
+	cfg.MaxFlows = 30
+	var calls [][2]int
+	cfg.OnTrial = func(done, total int) { calls = append(calls, [2]int{done, total}) }
+	if _, err := RunFCT(fs, combo, TMA2A, cfg); err != nil {
+		t.Fatal(err)
+	}
+	if len(calls) != 1 || calls[0] != [2]int{1, 1} {
+		t.Fatalf("single-window progress = %v, want [[1 1]]", calls)
+	}
+}
+
+// TestRunFCTCancelled: a context cancelled before the run starts surfaces
+// the context error instead of a partial pool.
+func TestRunFCTCancelled(t *testing.T) {
+	fs := tinyFabrics(t)
+	combo, err := NewCombo("dring", fs.DRing, "su2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, trials := range []int{1, 4} {
+		cfg := fastFCTConfig()
+		cfg.MaxFlows = 30
+		cfg.Trials = trials
+		cfg.Ctx = ctx
+		if _, err := RunFCT(fs, combo, TMA2A, cfg); !errors.Is(err, context.Canceled) {
+			t.Fatalf("trials=%d: got %v, want context.Canceled", trials, err)
+		}
+	}
+}
+
+// TestRunFCTCancelMidTrials cancels from inside the progress hook: no new
+// trial may start after the cancel, and the error is the cancellation.
+func TestRunFCTCancelMidTrials(t *testing.T) {
+	fs := tinyFabrics(t)
+	combo, err := NewCombo("rrg", fs.RRG, "ecmp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	cfg := fastFCTConfig()
+	cfg.MaxFlows = 20
+	cfg.Trials = 64
+	cfg.Workers = 2
+	cfg.Ctx = ctx
+	var fired int
+	var mu sync.Mutex
+	cfg.OnTrial = func(done, total int) {
+		mu.Lock()
+		fired++
+		if fired == 2 {
+			cancel()
+		}
+		mu.Unlock()
+	}
+	if _, err := RunFCT(fs, combo, TMA2A, cfg); !errors.Is(err, context.Canceled) {
+		t.Fatalf("got %v, want context.Canceled", err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if fired >= 64 {
+		t.Fatalf("all %d trials ran despite mid-sweep cancel", fired)
+	}
+}

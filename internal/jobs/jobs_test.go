@@ -1,0 +1,366 @@
+package jobs
+
+import (
+	"context"
+	"encoding/json"
+	"testing"
+	"time"
+
+	"spineless/internal/store"
+)
+
+// tinySpec is a spec small enough to run in well under a second.
+func tinySpec() Spec {
+	return Spec{
+		Kind:      "fct",
+		Topo:      TopoSpec{Scale: 8},
+		Fabric:    "rrg",
+		Scheme:    "ecmp",
+		TM:        "A2A",
+		Util:      0.2,
+		WindowSec: 0.002,
+		Seed:      1,
+		MaxFlows:  40,
+	}
+}
+
+func newTestManager(t *testing.T, cfg Config) *Manager {
+	t.Helper()
+	st, err := store.Open(t.TempDir(), store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := New(st, cfg)
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		m.Drain(ctx)
+	})
+	return m
+}
+
+func waitTerminal(t *testing.T, j *Job) {
+	t.Helper()
+	select {
+	case <-j.Terminal():
+	case <-time.After(60 * time.Second):
+		t.Fatalf("job %s never settled (state %s)", j.ID, j.State())
+	}
+}
+
+func TestSpecNormalizeHashStable(t *testing.T) {
+	a := Spec{Kind: "fct", Topo: TopoSpec{Scale: 4}, Fabric: "dring", Scheme: "su2", TM: "A2A", Util: 0.30, WindowSec: 0.01, Seed: 5}
+	b := Spec{Seed: 5} // all defaults
+	ha, err := a.Hash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	hb, err := b.Hash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ha != hb {
+		t.Fatalf("explicit defaults hash differently: %s vs %s", ha, hb)
+	}
+	c := a
+	c.Seed = 6
+	hc, err := c.Hash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hc == ha {
+		t.Fatal("different seeds share a hash")
+	}
+}
+
+func TestSpecValidate(t *testing.T) {
+	bad := []Spec{
+		{Kind: "nope"},
+		{Kind: "fct", Fabric: "mesh"},
+		{Kind: "fct", Topo: TopoSpec{Scale: 5}},
+		{Kind: "fct", Util: -1},
+		{Kind: "live"}, // no fault schedule
+		{Kind: "live", Fabric: "leafspine", Faults: &FaultSpec{Fraction: 0.05}},
+	}
+	for i, sp := range bad {
+		if err := sp.Normalized().Validate(); err == nil {
+			t.Errorf("bad spec %d validated: %+v", i, sp)
+		}
+	}
+	if err := tinySpec().Normalized().Validate(); err != nil {
+		t.Fatalf("tiny spec rejected: %v", err)
+	}
+	live := Spec{Kind: "live", Faults: &FaultSpec{Fraction: 0.05, Flows: 50, WindowNS: 5e6}}
+	if err := live.Normalized().Validate(); err != nil {
+		t.Fatalf("live spec rejected: %v", err)
+	}
+}
+
+// TestSubmitRunHitDedup is the core lifecycle test: first submission runs,
+// second is a cache hit with byte-identical result, and a concurrent
+// identical submission shares the in-flight job.
+func TestSubmitRunHitDedup(t *testing.T) {
+	m := newTestManager(t, Config{QueueDepth: 4, Executors: 1})
+
+	j1, cached, err := m.Submit(tinySpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cached {
+		t.Fatal("first submission reported cached")
+	}
+	// An identical spec submitted while j1 is pending/running dedups onto
+	// the same job (singleflight), not a new one.
+	j1b, _, err := m.Submit(tinySpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j1b.ID != j1.ID {
+		t.Fatalf("in-flight dedup failed: %s vs %s", j1b.ID, j1.ID)
+	}
+
+	waitTerminal(t, j1)
+	if st := j1.State(); st != StateDone {
+		t.Fatalf("job state %s: %+v", st, j1.Status())
+	}
+	res1, ok := j1.Result()
+	if !ok || len(res1) == 0 {
+		t.Fatal("done job has no result")
+	}
+
+	j2, cached, err := m.Submit(tinySpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cached {
+		t.Fatal("second submission missed the cache")
+	}
+	res2, ok := j2.Result()
+	if !ok {
+		t.Fatal("cached job has no result")
+	}
+	if string(res1) != string(res2) {
+		t.Fatal("cached result is not byte-identical to the computed one")
+	}
+	var decoded Result
+	if err := json.Unmarshal(res2, &decoded); err != nil {
+		t.Fatalf("result not decodable: %v", err)
+	}
+	if decoded.FCT == nil || decoded.FCT.Flows == 0 {
+		t.Fatalf("degenerate result: %+v", decoded)
+	}
+
+	snap := m.Snapshot()
+	if snap.CacheHits != 1 || snap.CacheMisses != 1 {
+		t.Fatalf("cache counters: %+v", snap)
+	}
+	if snap.Deduped != 1 {
+		t.Fatalf("dedup counter = %d, want 1", snap.Deduped)
+	}
+}
+
+func TestQueueBounded(t *testing.T) {
+	// Executor 1, depth 1: with one slow job running and one queued, a
+	// third distinct submission must be rejected with ErrQueueFull.
+	m := newTestManager(t, Config{QueueDepth: 1, Executors: 1})
+	specN := func(seed int64) Spec {
+		sp := tinySpec()
+		sp.Seed = seed
+		// Slow enough that j1 is still running when the third submit
+		// lands, whatever the scheduler does.
+		sp.Trials = 500
+		return sp
+	}
+	j1, _, err := m.Submit(specN(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Wait for the executor to claim j1 so the queue slot frees.
+	deadline := time.Now().Add(10 * time.Second)
+	for j1.State() == StatePending && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	j2, _, err := m.Submit(specN(2))
+	if err != nil {
+		t.Fatalf("second submit should queue: %v", err)
+	}
+	if _, _, err := m.Submit(specN(3)); err != ErrQueueFull {
+		t.Fatalf("third submit: err = %v, want ErrQueueFull", err)
+	}
+	snap := m.Snapshot()
+	if snap.Rejected != 1 {
+		t.Fatalf("rejected counter = %d", snap.Rejected)
+	}
+	// Cancel the slow jobs so the cleanup Drain returns promptly.
+	m.Cancel(j1.ID)
+	m.Cancel(j2.ID)
+}
+
+func TestCancelPendingAndRunning(t *testing.T) {
+	m := newTestManager(t, Config{QueueDepth: 4, Executors: 1})
+	slow := tinySpec()
+	slow.Trials = 500
+	slow.Seed = 10
+
+	j1, _, err := m.Submit(slow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pend := tinySpec()
+	pend.Seed = 11
+	j2, _, err := m.Submit(pend)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// j2 sits behind j1 on the single executor: cancel it while pending.
+	if !m.Cancel(j2.ID) {
+		t.Fatal("cancel pending failed")
+	}
+	waitTerminal(t, j2)
+	if st := j2.State(); st != StateCancelled {
+		t.Fatalf("pending cancel: state %s", st)
+	}
+
+	// Cancel j1 mid-run.
+	deadline := time.Now().Add(10 * time.Second)
+	for j1.State() == StatePending && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if !m.Cancel(j1.ID) {
+		t.Fatal("cancel running failed")
+	}
+	waitTerminal(t, j1)
+	if st := j1.State(); st != StateCancelled {
+		t.Fatalf("running cancel: state %s", st)
+	}
+	if _, ok := j1.Result(); ok {
+		t.Fatal("cancelled job has a result")
+	}
+	// A cancelled spec must not have been cached: resubmission runs fresh.
+	j3, cached, err := m.Submit(pend)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cached {
+		t.Fatal("cancelled job's spec was served from cache")
+	}
+	waitTerminal(t, j3)
+	if j3.State() != StateDone {
+		t.Fatalf("resubmission state %s", j3.State())
+	}
+}
+
+func TestProgressEvents(t *testing.T) {
+	m := newTestManager(t, Config{QueueDepth: 4, Executors: 1, TrialWorkers: 1})
+	sp := tinySpec()
+	sp.Trials = 3
+	sp.Seed = 20
+	j, _, err := m.Submit(sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ch, stop := j.Subscribe()
+	defer stop()
+	var last Event
+	sawProgress := false
+	for ev := range ch {
+		if ev.Done > 0 && !ev.State.Terminal() {
+			sawProgress = true
+		}
+		if ev.Done < last.Done {
+			t.Fatalf("progress went backwards: %d after %d", ev.Done, last.Done)
+		}
+		last = ev
+	}
+	waitTerminal(t, j)
+	if !sawProgress {
+		t.Error("no intermediate progress event observed")
+	}
+	st := j.Status()
+	if st.Done != 3 || st.Total != 3 {
+		t.Fatalf("final progress %d/%d, want 3/3", st.Done, st.Total)
+	}
+}
+
+// TestAuditHookDetectsTamperedEntry proves the sampled re-execution audit:
+// a cache entry whose stored result was tampered with (simulating silent
+// corruption or a determinism regression) is detected on the audited hit
+// and invalidated.
+func TestAuditHookDetectsTamperedEntry(t *testing.T) {
+	st, err := store.Open(t.TempDir(), store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := New(st, Config{QueueDepth: 4, Executors: 1, AuditEvery: 1})
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		m.Drain(ctx)
+	}()
+
+	sp := tinySpec()
+	sp.Seed = 30
+	j, _, err := m.Submit(sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitTerminal(t, j)
+	if j.State() != StateDone {
+		t.Fatalf("state %s", j.State())
+	}
+
+	// Tamper: overwrite the stored result with different (valid) JSON.
+	hash := j.Hash
+	specRaw, err := store.Canonical(sp.Normalized())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Put(hash, specRaw, json.RawMessage(`{"kind":"fct","fct":null}`)); err != nil {
+		t.Fatal(err)
+	}
+
+	// The next hit serves the tampered bytes but triggers the audit, which
+	// must flag the mismatch and invalidate the entry.
+	if _, cached, err := m.Submit(sp); err != nil || !cached {
+		t.Fatalf("expected cache hit: cached=%v err=%v", cached, err)
+	}
+	deadline := time.Now().Add(60 * time.Second)
+	for time.Now().Before(deadline) {
+		if snap := m.Snapshot(); snap.AuditMismatch == 1 {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	snap := m.Snapshot()
+	if snap.AuditMismatch != 1 {
+		t.Fatalf("audit mismatch not detected: %+v", snap)
+	}
+	if st.Len() != 0 {
+		t.Fatal("tampered entry not invalidated")
+	}
+}
+
+func TestDrainRejectsNewWork(t *testing.T) {
+	st, err := store.Open(t.TempDir(), store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := New(st, Config{QueueDepth: 4, Executors: 1})
+	sp := tinySpec()
+	sp.Seed = 40
+	j, _, err := m.Submit(sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	if err := m.Drain(ctx); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	if j.State() != StateDone {
+		t.Fatalf("queued job not finished by drain: %s", j.State())
+	}
+	if _, _, err := m.Submit(tinySpec()); err != ErrDraining {
+		t.Fatalf("submit after drain: %v, want ErrDraining", err)
+	}
+}

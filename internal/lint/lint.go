@@ -14,7 +14,15 @@
 //
 //	//lint:allow <check> [<check>...]
 //
-// placed on the offending line or on the line directly above it.
+// placed on the offending line or on the line directly above it. A whole
+// package can opt out of named checks with
+//
+//	//lint:allowpkg <check> [<check>...]
+//
+// in any file comment (conventionally the package doc, next to the written
+// justification). Package-scope exemptions are refused — ignored, and
+// themselves reported — inside the packages listed in AllowPkgDeny: the
+// simulator's determinism is not exemptable.
 package lint
 
 import (
@@ -87,14 +95,19 @@ type Checker interface {
 }
 
 // Run applies every checker to the package, drops findings suppressed by
-// //lint:allow pragmas, and returns the rest sorted by position.
+// //lint:allow and //lint:allowpkg pragmas, and returns the rest sorted by
+// position.
 func Run(p *Pass, checkers []Checker) []Finding {
 	for _, c := range checkers {
 		c.Run(p)
 	}
 	allowed := collectAllows(p)
+	pkgAllowed := collectPkgAllows(p) // may report allowpkg findings
 	var out []Finding
 	for _, f := range p.findings {
+		if f.Check != allowPkgCheck && pkgAllowed[f.Check] {
+			continue
+		}
 		if allowed[allowKey{f.Pos.Filename, f.Pos.Line, f.Check}] ||
 			allowed[allowKey{f.Pos.Filename, f.Pos.Line - 1, f.Check}] {
 			continue
@@ -123,7 +136,13 @@ type allowKey struct {
 	check string
 }
 
-const allowPrefix = "//lint:allow"
+const (
+	allowPrefix    = "//lint:allow"
+	allowPkgPrefix = "//lint:allowpkg"
+	// allowPkgCheck is the ID under which refused //lint:allowpkg pragmas
+	// are themselves reported.
+	allowPkgCheck = "allowpkg"
+)
 
 // collectAllows indexes every //lint:allow pragma by (file, line, check).
 // A pragma suppresses findings for the listed checks on its own line and on
@@ -133,12 +152,57 @@ func collectAllows(p *Pass) map[allowKey]bool {
 	for _, f := range p.Files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
-				if !strings.HasPrefix(c.Text, allowPrefix) {
-					continue
+				rest, ok := strings.CutPrefix(c.Text, allowPrefix)
+				if !ok || strings.HasPrefix(rest, "pkg") {
+					continue // not a pragma, or the package-scope form
 				}
 				pos := p.Fset.Position(c.Pos())
-				for _, check := range strings.Fields(c.Text[len(allowPrefix):]) {
+				for _, check := range strings.Fields(rest) {
 					allowed[allowKey{pos.Filename, pos.Line, check}] = true
+				}
+			}
+		}
+	}
+	return allowed
+}
+
+// AllowPkgDeny lists import-path substrings where //lint:allowpkg is
+// refused: the packages whose seeded replay the whole reproduction rests
+// on, plus the result store (a cache that is not byte-deterministic is a
+// correctness bug, not an inconvenience). The fixture directory pins the
+// refusal behaviour in the golden tests.
+var AllowPkgDeny = []string{
+	"internal/netsim",
+	"internal/flowsim",
+	"internal/topology",
+	"internal/faults",
+	"internal/resilience",
+	"internal/workload",
+	"internal/core",
+	"internal/store",
+	"lint/testdata/allowpkgdeny",
+}
+
+// collectPkgAllows gathers //lint:allowpkg pragmas. In a deny-listed
+// package the pragma is ignored and reported as a finding; elsewhere the
+// named checks are suppressed for the whole package.
+func collectPkgAllows(p *Pass) map[string]bool {
+	denied := inScope(p.ImportPath, AllowPkgDeny)
+	allowed := make(map[string]bool)
+	for _, f := range p.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				rest, ok := strings.CutPrefix(c.Text, allowPkgPrefix)
+				if !ok || (rest != "" && rest[0] != ' ' && rest[0] != '\t') {
+					continue
+				}
+				if denied {
+					p.Reportf(c.Pos(), allowPkgCheck,
+						"package-scope lint exemption is not permitted in %s; use a per-line //lint:allow with justification", p.ImportPath)
+					continue
+				}
+				for _, check := range strings.Fields(rest) {
+					allowed[check] = true
 				}
 			}
 		}
@@ -170,5 +234,11 @@ var SimulatorScope = []string{
 	"internal/faults",
 	"internal/resilience",
 	"internal/workload",
+	// The spinelessd layers: the store must be determinism-clean (its
+	// logical clock exists precisely so it can be), while jobs and serve
+	// carry an audited package-scope exemption for wall-clock telemetry.
+	"internal/store",
+	"internal/jobs",
+	"internal/serve",
 	"lint/testdata/",
 }

@@ -13,10 +13,10 @@ var update = flag.Bool("update", false, "rewrite testdata expected.txt golden fi
 
 // fixtureCheckers returns the checkers a fixture directory exercises: the
 // checker whose ID matches the directory name, or the full default suite
-// for the allow-pragma fixture.
+// for the allow- and allowpkg-pragma fixtures.
 func fixtureCheckers(t *testing.T, dir string) []Checker {
 	all := DefaultCheckers()
-	if dir == "allow" {
+	if dir == "allow" || strings.HasPrefix(dir, "allowpkg") {
 		return all
 	}
 	for _, c := range all {
@@ -85,6 +85,35 @@ func TestGolden(t *testing.T) {
 		if !seen[c.Name()] {
 			t.Errorf("checker %q has no testdata fixture", c.Name())
 		}
+	}
+}
+
+// TestAllowPkgScopeAndDenial guards the package-scope pragma: in an
+// ordinary package it suppresses exactly the named checks (no leak to
+// others), while in a deny-listed package it is both ignored and reported.
+func TestAllowPkgScopeAndDenial(t *testing.T) {
+	run := func(dir string) []Finding {
+		t.Helper()
+		fset, pkg, err := LoadDir(filepath.Join("testdata", dir))
+		if err != nil {
+			t.Fatal(err)
+		}
+		pass := &Pass{Fset: fset, ImportPath: pkg.ImportPath, Files: pkg.Files, Pkg: pkg.Pkg, Info: pkg.Info}
+		return Run(pass, DefaultCheckers())
+	}
+
+	findings := run("allowpkg")
+	if len(findings) != 1 || findings[0].Check != "floateq" {
+		t.Fatalf("allowpkg: want exactly one floateq finding surviving, got %v", findings)
+	}
+
+	findings = run("allowpkgdeny")
+	got := map[string]int{}
+	for _, f := range findings {
+		got[f.Check]++
+	}
+	if got["allowpkg"] != 1 || got["determinism"] != 1 || len(findings) != 2 {
+		t.Fatalf("allowpkgdeny: want one refused-pragma and one determinism finding, got %v", findings)
 	}
 }
 

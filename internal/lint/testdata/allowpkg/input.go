@@ -1,0 +1,19 @@
+// Package fixture exercises the //lint:allowpkg escape hatch: a
+// package-scope pragma suppresses exactly the named checks everywhere in
+// the package; every other check still fires, proving the exemption does
+// not leak.
+//
+//lint:allowpkg determinism
+package fixture
+
+import "time"
+
+func Suppressed() (int64, int64) {
+	a := time.Now().UnixNano() // suppressed package-wide, no line pragma
+	b := time.Now().UnixNano()
+	return a, b
+}
+
+func StillCaught(x float64) bool {
+	return x == 0 // finding: the pragma names a different check
+}

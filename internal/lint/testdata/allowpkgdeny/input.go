@@ -1,0 +1,12 @@
+// Package fixture sits on the AllowPkgDeny list, standing in for the
+// simulator packages: its //lint:allowpkg pragma must be refused — both
+// ignored (the determinism finding below still fires) and itself reported.
+//
+//lint:allowpkg determinism
+package fixture
+
+import "time"
+
+func NotSuppressed() int64 {
+	return time.Now().UnixNano() // finding: the package pragma was refused
+}

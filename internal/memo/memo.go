@@ -1,0 +1,60 @@
+// Package memo gives the command-line drivers (fig4, fig5, fig6,
+// failures) a shared -store cache: each driver describes a cell of its
+// figure as a small JSON spec, and memo wraps store.Memoize with per-cell
+// hit/miss logging and a tool tag so different drivers' cells can share
+// one store directory without key collisions.
+package memo
+
+import (
+	"spineless/internal/store"
+)
+
+// Cache is an optional content-addressed result cache for one driver.
+// The zero value (and any nil *Cache) is disabled: every cell computes.
+type Cache struct {
+	st   *store.Store
+	tool string
+	logf func(format string, args ...any)
+}
+
+// Open opens (or creates) the store at dir for the named tool. An empty
+// dir returns a disabled cache; logf may be nil.
+func Open(dir, tool string, logf func(format string, args ...any)) (*Cache, error) {
+	if dir == "" {
+		return nil, nil
+	}
+	st, err := store.Open(dir, store.Options{})
+	if err != nil {
+		return nil, err
+	}
+	return &Cache{st: st, tool: tool, logf: logf}, nil
+}
+
+// Close flushes the store index. Safe on a disabled cache.
+func (c *Cache) Close() error {
+	if c == nil || c.st == nil {
+		return nil
+	}
+	return c.st.Close()
+}
+
+// envelope namespaces a driver's cell spec under its tool tag, so fig4 and
+// fig6 cells with coincidentally equal specs never share a hash.
+type envelope struct {
+	Tool string `json:"tool"`
+	Spec any    `json:"spec"`
+}
+
+// Do memoizes one cell: on a hit the value is decoded from the committed
+// bytes, on a miss compute runs and its result is committed. label is only
+// for the hit/miss log line.
+func Do[T any](c *Cache, label string, spec any, compute func() (T, error)) (T, error) {
+	if c == nil || c.st == nil {
+		return compute()
+	}
+	v, outcome, err := store.Memoize(c.st, envelope{Tool: c.tool, Spec: spec}, compute)
+	if err == nil && c.logf != nil {
+		c.logf("cache %-4s %s", outcome, label)
+	}
+	return v, err
+}

@@ -20,6 +20,7 @@
 package parallel
 
 import (
+	"context"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -61,6 +62,20 @@ func DeriveSeed(baseSeed int64, trialIndex int) int64 {
 // workers <= 1 (after resolution, e.g. on a single-CPU machine) runs the
 // loop inline in index order with no goroutines.
 func ForEach(workers, n int, fn func(i int) error) error {
+	return ForEachCtx(context.Background(), workers, n, fn)
+}
+
+// ForEachCtx is ForEach with a cancellation path: once ctx is cancelled no
+// further index is started (indices already inside fn run to completion) and
+// the sweep returns early instead of grinding through the remainder.
+//
+// Cancellation preserves the lowest-index-error semantics exactly: the first
+// index that would have started after the cancel records ctx.Err() in its
+// slot, so the aggregated return is still the non-nil error with the lowest
+// index — a genuine fn error from before the cancel wins over the
+// cancellation error, and a cancelled sweep with no fn errors returns
+// ctx.Err().
+func ForEachCtx(ctx context.Context, workers, n int, fn func(i int) error) error {
 	if n <= 0 {
 		return nil
 	}
@@ -71,6 +86,12 @@ func ForEach(workers, n int, fn func(i int) error) error {
 	if w <= 1 {
 		var first error
 		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				if first == nil {
+					first = err
+				}
+				break
+			}
 			if err := fn(i); err != nil && first == nil {
 				first = err
 			}
@@ -87,6 +108,13 @@ func ForEach(workers, n int, fn func(i int) error) error {
 			for {
 				i := int(next.Add(1)) - 1
 				if i >= n {
+					return
+				}
+				// The claim order is monotone, so the first post-cancel
+				// claim is the lowest unstarted index: recording ctx.Err()
+				// there keeps error aggregation schedule-independent.
+				if err := ctx.Err(); err != nil {
+					errs[i] = err
 					return
 				}
 				errs[i] = fn(i)

@@ -1,10 +1,13 @@
 package parallel
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"math/rand"
 	"reflect"
 	"runtime"
+	"sync/atomic"
 	"testing"
 )
 
@@ -92,6 +95,68 @@ func TestForEachFirstError(t *testing.T) {
 			if !r {
 				t.Fatalf("workers=%d: index %d never ran", w, i)
 			}
+		}
+	}
+}
+
+// TestForEachCtxCancelMidSweep is the cancellation regression test: a sweep
+// cancelled partway through must stop starting new indices, return
+// context.Canceled, and still report a genuine lower-index error in
+// preference to the cancellation.
+func TestForEachCtxCancelMidSweep(t *testing.T) {
+	for _, w := range []int{1, 4} {
+		ctx, cancel := context.WithCancel(context.Background())
+		var started atomic.Int64
+		const n = 1000
+		err := ForEachCtx(ctx, w, n, func(i int) error {
+			if started.Add(1) == 8 {
+				cancel()
+			}
+			return nil
+		})
+		cancel()
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("workers=%d: got %v, want context.Canceled", w, err)
+		}
+		// The cancel must actually cut the sweep short, not merely change
+		// the return value after all n indices ran. Allow the in-flight
+		// window: every worker may start at most one index post-cancel.
+		if got := started.Load(); got >= n {
+			t.Fatalf("workers=%d: all %d indices started despite cancellation", w, got)
+		}
+	}
+}
+
+// TestForEachCtxErrorBeatsCancel pins the aggregation order: an fn error at
+// a lower index wins over the cancellation recorded at a higher one.
+func TestForEachCtxErrorBeatsCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	boom := fmt.Errorf("trial 2 failed")
+	err := ForEachCtx(ctx, 1, 16, func(i int) error {
+		if i == 2 {
+			cancel()
+			return boom
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("got %v, want the index-2 error", err)
+	}
+}
+
+// TestForEachCtxNilSafe: a background context must reproduce ForEach exactly.
+func TestForEachCtxBackground(t *testing.T) {
+	out := make([]int, 8)
+	if err := ForEachCtx(context.Background(), 4, 8, func(i int) error {
+		out[i] = i * i
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range out {
+		if v != i*i {
+			t.Fatalf("slot %d = %d", i, v)
 		}
 	}
 }

@@ -1,0 +1,274 @@
+// Package serve is spinelessd's HTTP surface: a small, stdlib-only JSON
+// API over internal/jobs for submitting experiment specs, watching their
+// progress as an NDJSON event stream, fetching content-addressed results,
+// and scraping operational metrics in Prometheus text format.
+//
+//	POST   /v1/jobs              submit a spec (200 cached / 202 accepted)
+//	GET    /v1/jobs/{id}         job status
+//	DELETE /v1/jobs/{id}         cancel
+//	GET    /v1/jobs/{id}/events  NDJSON progress stream until terminal
+//	GET    /v1/results/{hash}    raw result JSON from the store
+//	GET    /metrics              text metrics
+//	GET    /healthz              liveness probe
+//
+// The package-scope determinism exemption covers operational telemetry
+// only (request timing and metrics formatting); no simulation state passes
+// through this package — results are opaque bytes from the store.
+//
+//lint:allowpkg determinism
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strings"
+
+	"spineless/internal/jobs"
+	"spineless/internal/store"
+)
+
+// maxSpecBytes bounds a POST /v1/jobs body; specs are small.
+const maxSpecBytes = 1 << 20
+
+// Server routes HTTP requests to a jobs.Manager.
+type Server struct {
+	m    *jobs.Manager
+	mux  *http.ServeMux
+	logf func(format string, args ...any)
+}
+
+// SubmitResponse is the POST /v1/jobs body.
+type SubmitResponse struct {
+	Job    string      `json:"job"`
+	Hash   string      `json:"hash"`
+	Cached bool        `json:"cached"`
+	Status jobs.Status `json:"status"`
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+// New builds a Server over m. logf may be nil.
+func New(m *jobs.Manager, logf func(format string, args ...any)) *Server {
+	s := &Server{m: m, logf: logf}
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs", s.submit)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.status)
+	mux.HandleFunc("DELETE /v1/jobs/{id}", s.cancel)
+	mux.HandleFunc("GET /v1/jobs/{id}/events", s.events)
+	mux.HandleFunc("GET /v1/results/{hash}", s.result)
+	mux.HandleFunc("GET /metrics", s.metrics)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	s.mux = mux
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	_ = enc.Encode(v) // response writer errors are the client's problem
+}
+
+func writeError(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSON(w, code, errorResponse{Error: fmt.Sprintf(format, args...)})
+}
+
+// submit decodes a spec and hands it to the manager. Cache hits return 200
+// with the terminal status; fresh submissions return 202 Accepted. A full
+// queue maps to 503 + Retry-After so clients back off instead of piling on.
+func (s *Server) submit(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(io.LimitReader(r.Body, maxSpecBytes+1))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "reading body: %v", err)
+		return
+	}
+	if len(body) > maxSpecBytes {
+		writeError(w, http.StatusRequestEntityTooLarge, "spec exceeds %d bytes", maxSpecBytes)
+		return
+	}
+	var sp jobs.Spec
+	dec := json.NewDecoder(strings.NewReader(string(body)))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&sp); err != nil {
+		writeError(w, http.StatusBadRequest, "decoding spec: %v", err)
+		return
+	}
+	j, cached, err := s.m.Submit(sp)
+	switch {
+	case err == jobs.ErrQueueFull:
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusServiceUnavailable, "%v", err)
+		return
+	case err == jobs.ErrDraining:
+		writeError(w, http.StatusServiceUnavailable, "%v", err)
+		return
+	case err != nil:
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	code := http.StatusAccepted
+	if cached {
+		code = http.StatusOK
+	}
+	writeJSON(w, code, SubmitResponse{Job: j.ID, Hash: j.Hash, Cached: cached, Status: j.Status()})
+}
+
+func (s *Server) lookup(w http.ResponseWriter, r *http.Request) (*jobs.Job, bool) {
+	id := r.PathValue("id")
+	j, ok := s.m.Get(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, "no job %q", id)
+		return nil, false
+	}
+	return j, true
+}
+
+func (s *Server) status(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.lookup(w, r)
+	if !ok {
+		return
+	}
+	writeJSON(w, http.StatusOK, j.Status())
+}
+
+func (s *Server) cancel(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.lookup(w, r)
+	if !ok {
+		return
+	}
+	if !s.m.Cancel(j.ID) {
+		writeError(w, http.StatusConflict, "job %s already %s", j.ID, j.State())
+		return
+	}
+	writeJSON(w, http.StatusOK, j.Status())
+}
+
+// events streams the job's lifecycle as NDJSON: one event per line, the
+// current state first, closing after the terminal event (or when the
+// client goes away). Progress events a slow reader misses are dropped, but
+// the terminal event is always delivered.
+func (s *Server) events(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.lookup(w, r)
+	if !ok {
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.Header().Set("Cache-Control", "no-store")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+
+	ch, stop := j.Subscribe()
+	defer stop()
+	enc := json.NewEncoder(w)
+	for {
+		select {
+		case ev, open := <-ch:
+			if !open {
+				return
+			}
+			if err := enc.Encode(ev); err != nil {
+				return
+			}
+			if flusher != nil {
+				flusher.Flush()
+			}
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
+
+// result serves the raw result document for a content hash, straight from
+// the store. The bytes are exactly what the producing job committed, so
+// repeated fetches of the same hash are byte-identical.
+func (s *Server) result(w http.ResponseWriter, r *http.Request) {
+	hash := r.PathValue("hash")
+	if !store.ValidKey(hash) {
+		writeError(w, http.StatusBadRequest, "malformed hash %q", hash)
+		return
+	}
+	st := s.m.Store()
+	if st == nil {
+		writeError(w, http.StatusNotFound, "no result store configured")
+		return
+	}
+	e, ok := st.Get(hash)
+	if !ok {
+		writeError(w, http.StatusNotFound, "no result for %s", hash)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(e.Result)
+}
+
+// metrics renders manager and store counters in Prometheus text format.
+func (s *Server) metrics(w http.ResponseWriter, r *http.Request) {
+	snap := s.m.Snapshot()
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	w.WriteHeader(http.StatusOK)
+
+	gauge := func(name, help string, v float64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %g\n", name, help, name, name, v)
+	}
+	counter := func(name, help string, v float64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %g\n", name, help, name, name, v)
+	}
+
+	gauge("spinelessd_queue_depth", "Jobs waiting in the bounded queue.", float64(snap.QueueDepth))
+	gauge("spinelessd_queue_capacity", "Capacity of the bounded queue.", float64(snap.QueueCapacity))
+	counter("spinelessd_jobs_submitted_total", "Jobs accepted onto the queue.", float64(snap.Submitted))
+	counter("spinelessd_jobs_deduped_total", "Submissions coalesced onto an in-flight identical spec.", float64(snap.Deduped))
+	counter("spinelessd_jobs_rejected_total", "Submissions rejected because the queue was full.", float64(snap.Rejected))
+
+	states := make([]string, 0, len(snap.ByState))
+	for st := range snap.ByState {
+		states = append(states, string(st))
+	}
+	sort.Strings(states)
+	fmt.Fprintf(w, "# HELP spinelessd_jobs Jobs by lifecycle state.\n# TYPE spinelessd_jobs gauge\n")
+	for _, st := range states {
+		fmt.Fprintf(w, "spinelessd_jobs{state=%q} %d\n", st, snap.ByState[jobs.State(st)])
+	}
+
+	counter("spinelessd_cache_hits_total", "Submissions served from the result store.", float64(snap.CacheHits))
+	counter("spinelessd_cache_misses_total", "Submissions that had to run.", float64(snap.CacheMisses))
+	counter("spinelessd_audit_runs_total", "Sampled cache-hit re-executions completed.", float64(snap.Audits))
+	counter("spinelessd_audit_skipped_total", "Audits skipped because one was already running.", float64(snap.AuditSkipped))
+	counter("spinelessd_audit_mismatch_total", "Audits whose re-execution differed from the stored result.", float64(snap.AuditMismatch))
+	counter("spinelessd_sim_events_total", "Packet-simulator events processed by completed jobs.", float64(snap.SimEvents))
+	counter("spinelessd_busy_seconds_total", "Wall-clock seconds executors spent running jobs.", snap.BusySeconds)
+
+	fmt.Fprintf(w, "# HELP spinelessd_job_latency_ms Job run latency in milliseconds.\n# TYPE spinelessd_job_latency_ms histogram\n")
+	for i, b := range snap.LatencyBoundsMS {
+		fmt.Fprintf(w, "spinelessd_job_latency_ms_bucket{le=\"%g\"} %d\n", b, snap.LatencyBuckets[i])
+	}
+	fmt.Fprintf(w, "spinelessd_job_latency_ms_bucket{le=\"+Inf\"} %d\n", snap.LatencyBuckets[len(snap.LatencyBuckets)-1])
+	fmt.Fprintf(w, "spinelessd_job_latency_ms_sum %g\n", snap.LatencySumMS)
+	fmt.Fprintf(w, "spinelessd_job_latency_ms_count %d\n", snap.LatencyCount)
+
+	if st := s.m.Store(); st != nil {
+		c := st.Snapshot()
+		counter("spinelessd_store_hits_total", "Result-store lookups that found a valid entry.", float64(c.Hits))
+		counter("spinelessd_store_misses_total", "Result-store lookups that missed.", float64(c.Misses))
+		counter("spinelessd_store_puts_total", "Entries committed to the result store.", float64(c.Puts))
+		counter("spinelessd_store_evictions_total", "Entries evicted to respect the size cap.", float64(c.Evictions))
+		counter("spinelessd_store_corrupt_total", "Entries dropped as torn or tampered.", float64(c.Corrupt))
+		gauge("spinelessd_store_entries", "Entries currently in the result store.", float64(c.Entries))
+		gauge("spinelessd_store_bytes", "Bytes currently in the result store.", float64(c.Bytes))
+	}
+}

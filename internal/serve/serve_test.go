@@ -1,0 +1,303 @@
+package serve
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"spineless/internal/jobs"
+	"spineless/internal/store"
+)
+
+func testServer(t *testing.T, cfg jobs.Config) (*httptest.Server, *jobs.Manager) {
+	t.Helper()
+	st, err := store.Open(t.TempDir(), store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := jobs.New(st, cfg)
+	ts := httptest.NewServer(New(m, nil))
+	t.Cleanup(func() {
+		ts.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+		defer cancel()
+		m.Drain(ctx)
+	})
+	return ts, m
+}
+
+const tinySpecJSON = `{"kind":"fct","topo":{"scale":8},"fabric":"rrg","scheme":"ecmp","tm":"A2A","util":0.2,"window_sec":0.002,"seed":1,"max_flows":40,"trials":2}`
+
+func postSpec(t *testing.T, ts *httptest.Server, spec string) (int, SubmitResponse) {
+	t.Helper()
+	resp, err := http.Post(ts.URL+"/v1/jobs", "application/json", strings.NewReader(spec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var sr SubmitResponse
+	if resp.StatusCode == http.StatusOK || resp.StatusCode == http.StatusAccepted {
+		if err := json.NewDecoder(resp.Body).Decode(&sr); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return resp.StatusCode, sr
+}
+
+func get(t *testing.T, url string) (int, []byte) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, body
+}
+
+// TestEndToEndSubmitStreamFetchResubmit is the serve-layer smoke: submit a
+// spec, stream its events to the terminal state, fetch the result by hash,
+// resubmit the identical spec and verify it is a cache hit whose result
+// bytes are identical to the first run's.
+func TestEndToEndSubmitStreamFetchResubmit(t *testing.T) {
+	ts, _ := testServer(t, jobs.Config{QueueDepth: 4, Executors: 1, TrialWorkers: 1})
+
+	code, sub := postSpec(t, ts, tinySpecJSON)
+	if code != http.StatusAccepted {
+		t.Fatalf("first submit: status %d", code)
+	}
+	if sub.Cached {
+		t.Fatal("first submit reported cached")
+	}
+
+	// Stream events until the job settles; the last line must be terminal.
+	resp, err := http.Get(ts.URL + "/v1/jobs/" + sub.Job + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Fatalf("events content type %q", ct)
+	}
+	var last jobs.Event
+	lines := 0
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		if err := json.Unmarshal(sc.Bytes(), &last); err != nil {
+			t.Fatalf("bad NDJSON line %q: %v", sc.Text(), err)
+		}
+		lines++
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if lines == 0 {
+		t.Fatal("no events streamed")
+	}
+	if !last.State.Terminal() {
+		t.Fatalf("stream ended on non-terminal state %s", last.State)
+	}
+	if last.State != jobs.StateDone {
+		t.Fatalf("job ended %s (error %q)", last.State, last.Error)
+	}
+	if last.Done != last.Total || last.Done == 0 {
+		t.Fatalf("terminal progress %d/%d", last.Done, last.Total)
+	}
+
+	// Status agrees.
+	code, body := get(t, ts.URL+"/v1/jobs/"+sub.Job)
+	if code != http.StatusOK {
+		t.Fatalf("status: %d %s", code, body)
+	}
+	var st jobs.Status
+	if err := json.Unmarshal(body, &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.State != jobs.StateDone || st.Hash != sub.Hash {
+		t.Fatalf("status %+v", st)
+	}
+
+	// Fetch the result by content hash.
+	code, res1 := get(t, ts.URL+"/v1/results/"+sub.Hash)
+	if code != http.StatusOK {
+		t.Fatalf("result fetch: %d %s", code, res1)
+	}
+	var decoded jobs.Result
+	if err := json.Unmarshal(res1, &decoded); err != nil {
+		t.Fatal(err)
+	}
+	if decoded.FCT == nil || decoded.FCT.Flows == 0 {
+		t.Fatalf("degenerate result: %s", res1)
+	}
+
+	// Resubmit: must be a cache hit with byte-identical result.
+	code, sub2 := postSpec(t, ts, tinySpecJSON)
+	if code != http.StatusOK {
+		t.Fatalf("resubmit: status %d", code)
+	}
+	if !sub2.Cached {
+		t.Fatal("resubmit missed the cache")
+	}
+	if sub2.Hash != sub.Hash {
+		t.Fatalf("resubmit hash %s != %s", sub2.Hash, sub.Hash)
+	}
+	code, res2 := get(t, ts.URL+"/v1/results/"+sub2.Hash)
+	if code != http.StatusOK {
+		t.Fatalf("second result fetch: %d", code)
+	}
+	if !bytes.Equal(res1, res2) {
+		t.Fatal("result bytes differ between first run and cache hit")
+	}
+
+	// A cached job's event stream still delivers a terminal event.
+	code, body = get(t, ts.URL+"/v1/jobs/"+sub2.Job+"/events")
+	if code != http.StatusOK {
+		t.Fatalf("cached events: %d", code)
+	}
+	var ev jobs.Event
+	if err := json.Unmarshal(bytes.TrimSpace(body), &ev); err != nil {
+		t.Fatalf("cached events body %q: %v", body, err)
+	}
+	if ev.State != jobs.StateDone || !ev.FromCache {
+		t.Fatalf("cached event %+v", ev)
+	}
+
+	// Metrics reflect the session: one miss, one hit.
+	code, body = get(t, ts.URL+"/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("metrics: %d", code)
+	}
+	for _, want := range []string{
+		"spinelessd_cache_hits_total 1",
+		"spinelessd_cache_misses_total 1",
+		"spinelessd_jobs_submitted_total 1",
+		"spinelessd_job_latency_ms_count 1",
+		"spinelessd_store_entries 1",
+		`spinelessd_jobs{state="done"} 2`,
+	} {
+		if !strings.Contains(string(body), want) {
+			t.Errorf("metrics missing %q", want)
+		}
+	}
+	if !strings.Contains(string(body), "spinelessd_sim_events_total") {
+		t.Error("metrics missing sim event throughput")
+	}
+}
+
+func TestSubmitErrors(t *testing.T) {
+	ts, _ := testServer(t, jobs.Config{QueueDepth: 4, Executors: 1})
+
+	code, _ := postSpec(t, ts, `{"kind":"warp"}`)
+	if code != http.StatusBadRequest {
+		t.Errorf("unknown kind: status %d", code)
+	}
+	code, _ = postSpec(t, ts, `{"kind":"fct","bogus":1}`)
+	if code != http.StatusBadRequest {
+		t.Errorf("unknown field: status %d", code)
+	}
+	code, _ = postSpec(t, ts, `not json`)
+	if code != http.StatusBadRequest {
+		t.Errorf("malformed body: status %d", code)
+	}
+
+	if code, body := get(t, ts.URL+"/v1/jobs/j999999"); code != http.StatusNotFound {
+		t.Errorf("missing job: %d %s", code, body)
+	}
+	if code, _ := get(t, ts.URL+"/v1/results/nothex"); code != http.StatusBadRequest {
+		t.Errorf("malformed hash: %d", code)
+	}
+	if code, _ := get(t, ts.URL+"/v1/results/"+strings.Repeat("ab", 32)); code != http.StatusNotFound {
+		t.Errorf("absent hash: %d", code)
+	}
+}
+
+func TestQueueFullMapsTo503(t *testing.T) {
+	ts, m := testServer(t, jobs.Config{QueueDepth: 1, Executors: 1})
+	// Slow specs (many trials) so neither job finishes during the test.
+	spec := func(seed int) string {
+		s := strings.Replace(tinySpecJSON, `"trials":2`, `"trials":500`, 1)
+		return strings.Replace(s, `"seed":1`, `"seed":1`+strings.Repeat("0", seed), 1)
+	}
+	// Fill the executor and the queue with distinct specs.
+	code, sub1 := postSpec(t, ts, spec(1))
+	if code != http.StatusAccepted {
+		t.Fatalf("submit 1: %d", code)
+	}
+	// Wait for the executor to claim job 1 so the queue slot is free.
+	j1, _ := m.Get(sub1.Job)
+	deadline := time.Now().Add(10 * time.Second)
+	for j1.State() == jobs.StatePending && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	code, sub2 := postSpec(t, ts, spec(2))
+	if code != http.StatusAccepted {
+		t.Fatalf("submit 2: %d", code)
+	}
+	// With one running and one queued, a third distinct spec must bounce.
+	resp, err := http.Post(ts.URL+"/v1/jobs", "application/json", strings.NewReader(spec(3)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("overflow submit: %d", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("503 without Retry-After")
+	}
+	// Cancel the slow jobs so cleanup's Drain returns promptly.
+	m.Cancel(sub1.Job)
+	m.Cancel(sub2.Job)
+}
+
+func TestCancelOverHTTP(t *testing.T) {
+	ts, m := testServer(t, jobs.Config{QueueDepth: 4, Executors: 1})
+	slow := strings.Replace(tinySpecJSON, `"trials":2`, `"trials":500`, 1)
+	code, sub := postSpec(t, ts, slow)
+	if code != http.StatusAccepted {
+		t.Fatalf("submit: %d", code)
+	}
+	req, err := http.NewRequest(http.MethodDelete, ts.URL+"/v1/jobs/"+sub.Job, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("cancel: %d", resp.StatusCode)
+	}
+	j, ok := m.Get(sub.Job)
+	if !ok {
+		t.Fatal("job vanished")
+	}
+	select {
+	case <-j.Terminal():
+	case <-time.After(60 * time.Second):
+		t.Fatal("cancelled job never settled")
+	}
+	if st := j.State(); st != jobs.StateCancelled {
+		t.Fatalf("state after cancel: %s", st)
+	}
+	// Cancelling again conflicts.
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("double cancel: %d", resp.StatusCode)
+	}
+}

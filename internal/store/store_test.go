@@ -1,0 +1,390 @@
+package store
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"sync"
+	"testing"
+)
+
+func TestCanonicalKeyStability(t *testing.T) {
+	// Field order and map order must not matter.
+	a := map[string]any{"seed": int64(1), "util": 0.3, "tm": "A2A"}
+	b := map[string]any{"tm": "A2A", "util": 0.3, "seed": int64(1)}
+	ka, err := Key(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kb, err := Key(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ka != kb {
+		t.Fatalf("map order changed the key: %s vs %s", ka, kb)
+	}
+	if !ValidKey(ka) {
+		t.Fatalf("key %q not 64 hex bytes", ka)
+	}
+
+	type s1 struct {
+		Seed int64   `json:"seed"`
+		Util float64 `json:"util"`
+		TM   string  `json:"tm"`
+	}
+	type s2 struct {
+		TM   string  `json:"tm"`
+		Seed int64   `json:"seed"`
+		Util float64 `json:"util"`
+	}
+	k1, err := Key(s1{1, 0.3, "A2A"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	k2, err := Key(s2{"A2A", 1, 0.3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k1 != k2 || k1 != ka {
+		t.Fatalf("struct field order changed the key: %s %s %s", k1, k2, ka)
+	}
+}
+
+func TestCanonicalPreservesBigInt64(t *testing.T) {
+	// Seeds above 2^53 must survive canonicalization exactly (a float64
+	// round-trip would corrupt them).
+	seed := int64(1<<62 + 12345)
+	c, err := Canonical(map[string]any{"seed": seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := fmt.Sprintf(`{"seed":%d}`, seed)
+	if string(c) != want {
+		t.Fatalf("canonical = %s, want %s", c, want)
+	}
+}
+
+func TestCanonicalRejectsTrailingGarbage(t *testing.T) {
+	if _, err := CanonicalBytes([]byte(`{"a":1} extra`)); err == nil {
+		t.Fatal("trailing garbage accepted")
+	}
+}
+
+func mustKey(t *testing.T, spec any) (string, json.RawMessage) {
+	t.Helper()
+	h, err := Key(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := Canonical(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return h, raw
+}
+
+func TestPutGetRoundTrip(t *testing.T) {
+	st, err := Open(t.TempDir(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := map[string]any{"exp": "fct", "seed": int64(7)}
+	hash, specRaw := mustKey(t, spec)
+	result := json.RawMessage(`{"p99":1.25,"flows":120}`)
+
+	if _, ok := st.Get(hash); ok {
+		t.Fatal("hit before put")
+	}
+	if err := st.Put(hash, specRaw, result); err != nil {
+		t.Fatal(err)
+	}
+	e, ok := st.Get(hash)
+	if !ok {
+		t.Fatal("miss after put")
+	}
+	if string(e.Result) != string(result) {
+		t.Fatalf("result = %s, want %s", e.Result, result)
+	}
+	c := st.Snapshot()
+	if c.Hits != 1 || c.Misses != 1 || c.Puts != 1 || c.Entries != 1 {
+		t.Fatalf("counters = %+v", c)
+	}
+}
+
+func TestPutRejectsMismatchedSpec(t *testing.T) {
+	st, err := Open(t.TempDir(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hash, _ := mustKey(t, map[string]any{"a": 1})
+	if err := st.Put(hash, json.RawMessage(`{"a":2}`), json.RawMessage(`{}`)); err == nil {
+		t.Fatal("mismatched spec accepted")
+	}
+	if err := st.Put("nothex", json.RawMessage(`{}`), json.RawMessage(`{}`)); err == nil {
+		t.Fatal("invalid key accepted")
+	}
+}
+
+func TestCorruptEntryDemotesToMiss(t *testing.T) {
+	dir := t.TempDir()
+	st, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hash, specRaw := mustKey(t, map[string]any{"x": 1})
+	if err := st.Put(hash, specRaw, json.RawMessage(`{"v":42}`)); err != nil {
+		t.Fatal(err)
+	}
+	// Truncate the committed file mid-document.
+	path := filepath.Join(dir, "objects", hash[:2], hash+".json")
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, raw[:len(raw)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := st.Get(hash); ok {
+		t.Fatal("torn entry served as a hit")
+	}
+	if st.Len() != 0 {
+		t.Fatalf("broken entry not dropped: len=%d", st.Len())
+	}
+	if c := st.Snapshot(); c.Corrupt != 1 {
+		t.Fatalf("corrupt counter = %d, want 1", c.Corrupt)
+	}
+	// The store heals: a fresh Put works again.
+	if err := st.Put(hash, specRaw, json.RawMessage(`{"v":42}`)); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := st.Get(hash); !ok {
+		t.Fatal("miss after re-put")
+	}
+}
+
+func TestTamperedSpecDemotesToMiss(t *testing.T) {
+	dir := t.TempDir()
+	st, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hash, specRaw := mustKey(t, map[string]any{"x": 1})
+	if err := st.Put(hash, specRaw, json.RawMessage(`{"v":1}`)); err != nil {
+		t.Fatal(err)
+	}
+	// Hand-edit the spec so it no longer hashes to its address.
+	path := filepath.Join(dir, "objects", hash[:2], hash+".json")
+	edited := []byte(fmt.Sprintf(`{"hash":%q,"spec":{"x":2},"result":{"v":1}}`, hash))
+	if err := os.WriteFile(path, edited, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := st.Get(hash); ok {
+		t.Fatal("tampered entry served as a hit")
+	}
+}
+
+func TestReopenRestoresEntries(t *testing.T) {
+	dir := t.TempDir()
+	st, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hash, specRaw := mustKey(t, map[string]any{"k": "v"})
+	if err := st.Put(hash, specRaw, json.RawMessage(`{"r":1}`)); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	st2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := st2.Get(hash); !ok {
+		t.Fatal("entry lost across reopen")
+	}
+
+	// A deleted index must rebuild from the objects scan.
+	if err := os.Remove(filepath.Join(dir, "index.json")); err != nil {
+		t.Fatal(err)
+	}
+	st3, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := st3.Get(hash); !ok {
+		t.Fatal("entry lost after index rebuild")
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	dir := t.TempDir()
+	// Size one entry, then cap the store at roughly three of them.
+	st, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	put := func(st *Store, i int) string {
+		t.Helper()
+		spec := map[string]any{"i": i}
+		hash, specRaw := mustKey(t, spec)
+		if err := st.Put(hash, specRaw, json.RawMessage(`{"v":"0123456789"}`)); err != nil {
+			t.Fatal(err)
+		}
+		return hash
+	}
+	h0 := put(st, 0)
+	sz := st.Snapshot().Bytes
+	st.Close()
+
+	st, err = Open(dir, Options{MaxBytes: 3*sz + sz/2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h1, h2 := put(st, 1), put(st, 2) // 3 entries: fits the 3.5-entry cap
+	// Touch h1 so h2 is the LRU candidate once h0 (oldest, recency restored
+	// from the index) is gone.
+	if _, ok := st.Get(h1); !ok {
+		t.Fatal("h1 missing")
+	}
+	h3 := put(st, 3) // exceeds cap → evict h0
+	if _, ok := st.Get(h0); ok {
+		t.Fatal("h0 survived eviction")
+	}
+	put(st, 4) // exceeds cap again → evict h2 (h1 was touched)
+	if _, ok := st.Get(h2); ok {
+		t.Fatal("h2 survived eviction despite being LRU")
+	}
+	if _, ok := st.Get(h1); !ok {
+		t.Fatal("recently-used h1 evicted")
+	}
+	if _, ok := st.Get(h3); !ok {
+		t.Fatal("h3 evicted out of order")
+	}
+	if c := st.Snapshot(); c.Evictions != 2 {
+		t.Fatalf("evictions = %d, want 2", c.Evictions)
+	}
+}
+
+// TestConcurrentSameHashWriters is the satellite regression test: parallel
+// writers of the same hash must produce exactly one committed entry, and
+// concurrent readers must never observe a torn file — every read is either
+// a miss or the complete, valid entry.
+func TestConcurrentSameHashWriters(t *testing.T) {
+	dir := t.TempDir()
+	st, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := map[string]any{"exp": "race", "seed": int64(1)}
+	hash, specRaw := mustKey(t, spec)
+	result := json.RawMessage(`{"payload":"` + string(make([]byte, 0)) + `0123456789abcdef"}`)
+
+	const writers, readers, rounds = 8, 8, 50
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				if err := st.Put(hash, specRaw, result); err != nil {
+					t.Errorf("put: %v", err)
+					return
+				}
+			}
+		}()
+	}
+	for rd := 0; rd < readers; rd++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for r := 0; r < rounds*4; r++ {
+				e, ok := st.Get(hash)
+				if !ok {
+					continue // miss is legal before the first commit
+				}
+				if string(e.Result) != string(result) {
+					t.Errorf("torn/wrong read: %q", e.Result)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	if st.Len() != 1 {
+		t.Fatalf("entries = %d, want exactly 1", st.Len())
+	}
+	// Exactly one file on disk, no leaked temp files.
+	var files []string
+	filepath.Walk(filepath.Join(dir, "objects"), func(p string, info os.FileInfo, err error) error {
+		if err == nil && !info.IsDir() {
+			files = append(files, p)
+		}
+		return nil
+	})
+	if len(files) != 1 {
+		t.Fatalf("object files = %v, want exactly one", files)
+	}
+	tmps, _ := os.ReadDir(filepath.Join(dir, "tmp"))
+	if len(tmps) != 0 {
+		t.Fatalf("%d temp files leaked", len(tmps))
+	}
+	if c := st.Snapshot(); c.Corrupt != 0 {
+		t.Fatalf("corrupt reads observed: %+v", c)
+	}
+}
+
+func TestMemoize(t *testing.T) {
+	st, err := Open(t.TempDir(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	type res struct {
+		P99   float64 `json:"p99"`
+		Flows int     `json:"flows"`
+	}
+	spec := map[string]any{"exp": "memo", "seed": int64(3)}
+	calls := 0
+	compute := func() (res, error) {
+		calls++
+		return res{P99: 1.5, Flows: 10}, nil
+	}
+
+	v1, o1, err := Memoize(st, spec, compute)
+	if err != nil || o1 != OutcomeMiss || calls != 1 {
+		t.Fatalf("first call: %v %v calls=%d", v1, o1, calls)
+	}
+	v2, o2, err := Memoize(st, spec, compute)
+	if err != nil || o2 != OutcomeHit || calls != 1 {
+		t.Fatalf("second call: %v %v calls=%d err=%v", v2, o2, calls, err)
+	}
+	if !reflect.DeepEqual(v1, v2) {
+		t.Fatalf("hit differs from miss: %+v vs %+v", v1, v2)
+	}
+
+	// nil store bypasses.
+	_, o3, err := Memoize(nil, spec, compute)
+	if err != nil || o3 != OutcomeBypass || calls != 2 {
+		t.Fatalf("bypass: %v calls=%d", o3, calls)
+	}
+
+	// NaN results are uncacheable but still returned.
+	nan := func() (map[string]float64, error) {
+		return map[string]float64{"v": nanValue()}, nil
+	}
+	_, o4, err := Memoize(st, map[string]any{"exp": "nan"}, nan)
+	if err != nil || o4 != OutcomeUncacheable {
+		t.Fatalf("nan outcome = %v err=%v", o4, err)
+	}
+}
+
+// nanValue builds a NaN without a float-literal division the floateq
+// checker might one day frown at.
+func nanValue() float64 {
+	zero := 0.0
+	return zero / zero //lint:allow floateq
+}
