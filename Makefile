@@ -7,10 +7,10 @@ BENCH_PR ?= 3
 # and paper-scale BGP convergence.
 BENCH_RE = ^(BenchmarkNetsimEvents|BenchmarkFig4_A2A|BenchmarkFig5_SmallSU2|BenchmarkFig5_SmallSU2_Workers1|BenchmarkFig5_SmallSU2_WorkersMax|BenchmarkFibConstruction|BenchmarkBGPConvergePaperScale)$$
 
-.PHONY: check build test vet fmt lint race bench audit serve serve-smoke
+.PHONY: check build test vet fmt lint race bench audit serve serve-smoke fleet-smoke
 
 # Full verification: everything CI and the roadmap's tier-1 gate expect.
-check: build vet fmt lint race audit serve-smoke
+check: build vet fmt lint race audit serve-smoke fleet-smoke
 
 # Run the experiment service on localhost with a persistent result cache
 # (see DESIGN.md §10 and the README curl session).
@@ -26,6 +26,14 @@ serve-smoke:
 	$(GO) build -o $$tmp/spinelessd ./cmd/spinelessd && \
 	$$tmp/spinelessd -smoke; \
 	rc=$$?; rm -rf $$tmp; exit $$rc
+
+# Fleet fault-tolerance proof under the race detector: a multi-process
+# worker fleet driven through kill/restart/partition/slow chaos while a
+# coordinator places jobs; every job must land with byte-identical results,
+# audits must cross workers cleanly, and overload must shed 429s before any
+# queue-full 503. See DESIGN.md §11 and cmd/fleetsmoke.
+fleet-smoke:
+	$(GO) run -race ./cmd/fleetsmoke
 
 # Audited driver runs: every packet simulation under the runtime invariant
 # auditor (internal/audit), plus fig5's netsim/flowsim/fluid differential

@@ -55,8 +55,12 @@ func (c smokeClient) waitDone(id string) error {
 	var last jobs.Event
 	sc := bufio.NewScanner(resp.Body)
 	for sc.Scan() {
-		if err := json.Unmarshal(sc.Bytes(), &last); err != nil {
-			return fmt.Errorf("bad event line %q: %v", sc.Text(), err)
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, ":") {
+			continue // keepalive heartbeat comment, not an event
+		}
+		if err := json.Unmarshal([]byte(line), &last); err != nil {
+			return fmt.Errorf("bad event line %q: %v", line, err)
 		}
 	}
 	if err := sc.Err(); err != nil {

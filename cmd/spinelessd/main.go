@@ -41,16 +41,19 @@ func main() {
 		storeDir     = flag.String("store", "", "result store directory (empty = no cache, every job runs fresh)")
 		storeMax     = flag.Int64("store-max-bytes", 1<<30, "result store size cap in bytes (0 = uncapped)")
 		queueDepth   = flag.Int("queue", 64, "bounded queue depth; submissions beyond it get 503")
+		shedDepth    = flag.Int("shed-depth", 48, "admission-control watermark: shed new submissions with 429 once the queue holds this many (0 = off; keep below -queue)")
+		maxInflight  = flag.Int("max-inflight", 0, "cap on pending+running distinct specs; beyond it new specs get 429 (0 = uncapped)")
 		executors    = flag.Int("jobs", 1, "jobs run concurrently")
 		workers      = flag.Int("workers", 0, "trial-level workers per job (0 = one per CPU); never affects results")
 		auditEvery   = flag.Int("audit-every", 16, "re-execute every Nth cache hit and verify it matches the stored result (0 = off)")
+		heartbeat    = flag.Duration("heartbeat", serve.DefaultHeartbeat, "NDJSON event-stream keepalive comment period")
 		drainTimeout = flag.Duration("drain-timeout", 2*time.Minute, "max wait for in-flight jobs on shutdown")
 		smoke        = flag.Bool("smoke", false, "run the end-to-end self-check and exit")
 	)
 	flag.Parse()
 
 	if *smoke {
-		if err := runSmoke(*workers); err != nil {
+		if err := runSmoke(*workers, nil); err != nil {
 			log.Fatal(err)
 		}
 		fmt.Println("smoke: OK")
@@ -59,6 +62,8 @@ func main() {
 
 	m, err := newManager(*storeDir, *storeMax, jobs.Config{
 		QueueDepth:   *queueDepth,
+		ShedDepth:    *shedDepth,
+		MaxInflight:  *maxInflight,
 		Executors:    *executors,
 		TrialWorkers: *workers,
 		AuditEvery:   *auditEvery,
@@ -72,7 +77,9 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	srv := &http.Server{Handler: serve.New(m, log.Printf)}
+	h := serve.New(m, log.Printf)
+	h.Heartbeat = *heartbeat
+	srv := &http.Server{Handler: h}
 	log.Printf("listening on http://%s (store=%q queue=%d jobs=%d)", ln.Addr(), *storeDir, *queueDepth, *executors)
 
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
@@ -115,30 +122,46 @@ func newManager(dir string, maxBytes int64, cfg jobs.Config) (*jobs.Manager, err
 const smokeSpec = `{"kind":"fct","topo":{"scale":8},"fabric":"rrg","scheme":"ecmp","tm":"A2A","util":0.2,"window_sec":0.002,"seed":1,"max_flows":40,"trials":2}`
 
 // runSmoke boots a server on an ephemeral port backed by a temp store and
-// drives the real HTTP API: submit, wait via the event stream, fetch the
-// result, resubmit, and prove the cache hit — same hash, byte-identical
-// result, hit counter incremented, zero new simulator events.
-func runSmoke(workers int) error {
+// drives the real HTTP API: submit, wait via the event stream (which runs a
+// fast heartbeat so the keepalive protocol is exercised too), fetch the
+// result, resubmit twice, and prove the cache is both fast and *honest* —
+// same hash, byte-identical result, hit counters incremented, zero new
+// simulator events on the first hit, and a sampled re-execution audit on
+// the second hit that must report zero mismatches. An audit mismatch is the
+// one failure that means the store is lying, so it exits non-zero ahead of
+// every other check.
+//
+// tamper, when non-nil, is called with the store and result hash between
+// the first run and the resubmissions — the test hook that proves a
+// corrupted entry actually trips the audit exit path.
+func runSmoke(workers int, tamper func(st *store.Store, hash string) error) error {
 	dir, err := os.MkdirTemp("", "spinelessd-smoke-*")
 	if err != nil {
 		return err
 	}
 	defer os.RemoveAll(dir)
 
-	m, err := newManager(dir, 0, jobs.Config{
-		QueueDepth:   4,
-		Executors:    1,
-		TrialWorkers: workers,
-		Logf:         log.Printf,
-	})
+	st, err := store.Open(dir, store.Options{})
 	if err != nil {
 		return err
 	}
+	// AuditEvery 2: the first cache hit stays audit-free (so the
+	// hits-are-free check below sees unchanged sim-event counts), the
+	// second takes the sampled re-execution.
+	m := jobs.New(st, jobs.Config{
+		QueueDepth:   4,
+		Executors:    1,
+		TrialWorkers: workers,
+		AuditEvery:   2,
+		Logf:         log.Printf,
+	})
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		return err
 	}
-	srv := &http.Server{Handler: serve.New(m, nil)}
+	h := serve.New(m, nil)
+	h.Heartbeat = 500 * time.Millisecond
+	srv := &http.Server{Handler: h}
 	go srv.Serve(ln)
 	base := "http://" + ln.Addr().String()
 	defer func() {
@@ -172,6 +195,13 @@ func runSmoke(workers int) error {
 		return errors.New("first run reports zero simulator events")
 	}
 
+	if tamper != nil {
+		if err := tamper(st, sub1.Hash); err != nil {
+			return fmt.Errorf("tamper hook: %w", err)
+		}
+	}
+
+	// First resubmission: a cache hit must cost zero simulator work.
 	sub2, err := c.submit(smokeSpec)
 	if err != nil {
 		return fmt.Errorf("resubmit: %w", err)
@@ -182,13 +212,6 @@ func runSmoke(workers int) error {
 	if sub2.Hash != sub1.Hash {
 		return fmt.Errorf("hash changed across identical submissions: %s vs %s", sub1.Hash, sub2.Hash)
 	}
-	res2, err := c.result(sub2.Hash)
-	if err != nil {
-		return fmt.Errorf("second result: %w", err)
-	}
-	if string(res1) != string(res2) {
-		return errors.New("cache hit returned different bytes than the original run")
-	}
 	events2, err := c.simEvents()
 	if err != nil {
 		return err
@@ -196,13 +219,46 @@ func runSmoke(workers int) error {
 	if events2 != events1 {
 		return fmt.Errorf("cache hit ran the simulator: events %d → %d", events1, events2)
 	}
+
+	// Second resubmission draws the sampled audit: a background
+	// re-execution of the spec compared byte-for-byte against the store.
+	if _, err := c.submit(smokeSpec); err != nil {
+		return fmt.Errorf("audited resubmit: %w", err)
+	}
+	deadline := time.Now().Add(2 * time.Minute)
+	for {
+		audits, err := c.metric("spinelessd_audit_runs_total")
+		if err != nil {
+			return err
+		}
+		if audits >= 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			return errors.New("sampled audit never completed")
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	if bad, err := c.metric("spinelessd_audit_mismatch_total"); err != nil {
+		return err
+	} else if bad > 0 {
+		return fmt.Errorf("audit mismatch: %v cached result(s) differ from re-execution — the result store is not to be trusted", bad)
+	}
+
+	res2, err := c.result(sub2.Hash)
+	if err != nil {
+		return fmt.Errorf("second result: %w", err)
+	}
+	if string(res1) != string(res2) {
+		return errors.New("cache hit returned different bytes than the original run")
+	}
 	hits, err := c.metric("spinelessd_cache_hits_total")
 	if err != nil {
 		return err
 	}
-	if int(hits) != 1 {
-		return fmt.Errorf("cache hit counter = %v, want 1", hits)
+	if int(hits) != 2 {
+		return fmt.Errorf("cache hit counter = %v, want 2", hits)
 	}
-	log.Printf("smoke: cache hit verified — byte-identical result, %d sim events saved", events1)
+	log.Printf("smoke: cache verified — byte-identical result, audit clean, %d sim events saved per hit", events1)
 	return nil
 }

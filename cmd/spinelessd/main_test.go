@@ -1,0 +1,40 @@
+package main
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"spineless/internal/store"
+)
+
+// TestSmokeClean runs the -smoke self-check as CI does and expects it to
+// pass end to end: run, cache hit, clean audit.
+func TestSmokeClean(t *testing.T) {
+	if err := runSmoke(2, nil); err != nil {
+		t.Fatalf("clean smoke failed: %v", err)
+	}
+}
+
+// TestSmokeFailsOnTamperedStore is the audit exit-path regression test: a
+// corrupted store entry must make the smoke fail via the audit-mismatch
+// check, not sneak through as a "verified" cache hit. This is the contract
+// behind `spinelessd -smoke`'s non-zero exit on audit mismatch.
+func TestSmokeFailsOnTamperedStore(t *testing.T) {
+	err := runSmoke(2, func(st *store.Store, hash string) error {
+		ent, ok := st.Get(hash)
+		if !ok {
+			return fmt.Errorf("store lost %s before tampering", hash)
+		}
+		tampered := append([]byte(nil), ent.Result...)
+		tampered[len(tampered)/2] ^= 0x20
+		st.Invalidate(hash)
+		return st.Put(hash, ent.Spec, tampered)
+	})
+	if err == nil {
+		t.Fatal("smoke passed over a tampered store entry")
+	}
+	if !strings.Contains(err.Error(), "audit mismatch") {
+		t.Fatalf("smoke failed for the wrong reason: %v", err)
+	}
+}

@@ -1,0 +1,283 @@
+// Package chaos injects worker-level faults into a running fleet, reusing
+// the internal/faults schedule machinery that the packet simulator uses for
+// link failures. The mapping treats each worker's connection to the
+// coordinator as a link to a pseudo-node:
+//
+//	Kill(t, w)      = LinkDown  (w, Coordinator)  — SIGKILL the process
+//	Restart(t, w)   = LinkUp    (w, Coordinator)  — relaunch it
+//	Partition(t, w) = GraySet   loss ≈ 1          — process alive, unreachable
+//	Heal(t, w)      = GrayClear                   — reachable again
+//	Slow(t, w, f)   = GraySet   rate factor f     — every RPC delayed
+//
+// Times are wall-clock nanosecond offsets from Play's start (the simulator
+// reads the same field as sim time; the schedule is pure data either way).
+// A Schedule is seeded and sorted exactly like a simulator fault plan, so a
+// chaos run is as reproducible as the wall clock allows: the *decisions*
+// (who dies when, which request a gray link eats) are deterministic even
+// though process scheduling is not.
+//
+// Process control stays outside: Play calls the Actions callbacks; the
+// Transport wrapper enforces partitions/slowness on the coordinator's own
+// HTTP client, so no iptables (or privileges) are needed.
+//
+//lint:allowpkg determinism
+package chaos
+
+import (
+	"fmt"
+	"net/http"
+	"net/url"
+	"sync"
+	"time"
+
+	"spineless/internal/faults"
+)
+
+// Coordinator is the pseudo-node every worker "links" to. Large enough to
+// never collide with a worker index, small enough to survive Validate.
+const Coordinator = 1 << 30
+
+// PartitionLoss is the gray-loss probability that means "total partition".
+// faults.Validate requires LossProb < 1; the transport treats anything at
+// or above this as a full cut rather than flipping coins.
+const PartitionLoss = 0.999
+
+// Schedule is a fleet fault plan: a faults.Schedule whose links are
+// (worker, Coordinator) pairs, with fleet-flavoured builders on top. The
+// embedded Sorted/Validate/Seed behave exactly as for simulator schedules.
+type Schedule struct {
+	faults.Schedule
+}
+
+// Kill schedules worker w's process to be killed at wall offset t.
+func (s *Schedule) Kill(t time.Duration, w int) {
+	s.Cut(int64(t), w, Coordinator)
+}
+
+// Restart schedules worker w's process to be relaunched at wall offset t.
+func (s *Schedule) Restart(t time.Duration, w int) {
+	s.Restore(int64(t), w, Coordinator)
+}
+
+// Partition makes worker w unreachable from the coordinator at t: the
+// process keeps running (and keeps its jobs) — only the network dies.
+func (s *Schedule) Partition(t time.Duration, w int) {
+	s.Gray(int64(t), w, Coordinator, PartitionLoss, 1)
+}
+
+// Heal reconnects a partitioned or slowed worker at t.
+func (s *Schedule) Heal(t time.Duration, w int) {
+	s.ClearGray(int64(t), w, Coordinator)
+}
+
+// Slow degrades worker w's RPC path from t: every request is delayed in
+// proportion to 1/factor - 1 (factor in (0,1]; smaller = slower).
+func (s *Schedule) Slow(t time.Duration, w int, factor float64) {
+	s.Gray(int64(t), w, Coordinator, 0, factor)
+}
+
+// Lossy drops each request to worker w independently with probability p
+// (p < PartitionLoss), using coin flips derived from the schedule seed.
+func (s *Schedule) Lossy(t time.Duration, w int, p float64) {
+	s.Gray(int64(t), w, Coordinator, p, 1)
+}
+
+// workerOf extracts the worker endpoint of a chaos event.
+func workerOf(e faults.Event) int {
+	if e.A == Coordinator {
+		return e.B
+	}
+	return e.A
+}
+
+// Actions are the process-control callbacks Play drives. Kill must not
+// return until the process is dead; Restart must not return until the
+// worker is relaunched (it need not be healthy yet — the fleet's failure
+// detector owns that question).
+type Actions struct {
+	Kill    func(w int) error
+	Restart func(w int) error
+}
+
+// Controller plays a Schedule against a fleet and enforces its network
+// faults on the coordinator's HTTP transport.
+type Controller struct {
+	sched   *Schedule
+	acts    Actions
+	workers map[string]int // URL host → worker index
+	logf    func(format string, args ...any)
+
+	// slowUnit is the injected delay per unit of (1/factor - 1); the
+	// default 25ms makes factor 0.5 add 25ms and factor 0.1 add 225ms.
+	slowUnit time.Duration
+
+	mu   sync.Mutex
+	cut  map[int]bool    // partitioned workers
+	loss map[int]float64 // probabilistic drop
+	slow map[int]float64 // rate factor < 1
+	rng  uint64          // deterministic coin state, from Schedule.Seed
+}
+
+// NewController validates the schedule against the worker set and builds a
+// controller. workerURLs are the fleet's base URLs, indexed by worker ID —
+// the same slice handed to fleet.Config.
+func NewController(s *Schedule, workerURLs []string, acts Actions, logf func(string, ...any)) (*Controller, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	hosts := map[string]int{}
+	for i, raw := range workerURLs {
+		u, err := url.Parse(raw)
+		if err != nil {
+			return nil, fmt.Errorf("chaos: worker %d URL %q: %v", i, raw, err)
+		}
+		hosts[u.Host] = i
+	}
+	for i, e := range s.Events {
+		w := workerOf(e)
+		if w < 0 || w >= len(workerURLs) {
+			return nil, fmt.Errorf("chaos: event %d (%s) targets worker %d of %d", i, e.Kind, w, len(workerURLs))
+		}
+	}
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	return &Controller{
+		sched:    s,
+		acts:     acts,
+		workers:  hosts,
+		logf:     logf,
+		slowUnit: 25 * time.Millisecond,
+		cut:      map[int]bool{},
+		loss:     map[int]float64{},
+		slow:     map[int]float64{},
+		rng:      splitmix64(uint64(s.Seed)),
+	}, nil
+}
+
+// Play applies the schedule's events at their wall-clock offsets from now,
+// returning when the schedule is exhausted or done is closed. Run it in its
+// own goroutine alongside the load.
+func (c *Controller) Play(done <-chan struct{}) {
+	start := time.Now()
+	for _, e := range c.sched.Sorted() {
+		at := start.Add(time.Duration(e.TimeNS))
+		if d := time.Until(at); d > 0 {
+			select {
+			case <-time.After(d):
+			case <-done:
+				return
+			}
+		}
+		c.apply(e)
+	}
+}
+
+func (c *Controller) apply(e faults.Event) {
+	w := workerOf(e)
+	switch e.Kind {
+	case faults.LinkDown:
+		c.logf("chaos: t=%v kill worker %d", time.Duration(e.TimeNS), w)
+		if c.acts.Kill != nil {
+			if err := c.acts.Kill(w); err != nil {
+				c.logf("chaos: kill worker %d: %v", w, err)
+			}
+		}
+	case faults.LinkUp:
+		c.logf("chaos: t=%v restart worker %d", time.Duration(e.TimeNS), w)
+		if c.acts.Restart != nil {
+			if err := c.acts.Restart(w); err != nil {
+				c.logf("chaos: restart worker %d: %v", w, err)
+			}
+		}
+	case faults.GraySet:
+		c.mu.Lock()
+		switch {
+		case e.LossProb >= PartitionLoss:
+			c.cut[w] = true
+			c.logf("chaos: t=%v partition worker %d", time.Duration(e.TimeNS), w)
+		case e.LossProb > 0:
+			c.loss[w] = e.LossProb
+			c.logf("chaos: t=%v worker %d lossy p=%.2f", time.Duration(e.TimeNS), w, e.LossProb)
+		}
+		if e.RateFactor > 0 && e.RateFactor < 1 {
+			c.slow[w] = e.RateFactor
+			c.logf("chaos: t=%v worker %d slowed x%.2f", time.Duration(e.TimeNS), w, e.RateFactor)
+		}
+		c.mu.Unlock()
+	case faults.GrayClear:
+		c.mu.Lock()
+		delete(c.cut, w)
+		delete(c.loss, w)
+		delete(c.slow, w)
+		c.mu.Unlock()
+		c.logf("chaos: t=%v heal worker %d", time.Duration(e.TimeNS), w)
+	}
+}
+
+// Partitioned reports whether w is currently network-partitioned (tests).
+func (c *Controller) Partitioned(w int) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.cut[w]
+}
+
+// errPartitioned is returned for requests into a partition — a transport
+// error, exactly what a real unreachable host produces.
+type errPartitioned struct{ w int }
+
+func (e errPartitioned) Error() string {
+	return fmt.Sprintf("chaos: worker %d is partitioned", e.w)
+}
+
+type transport struct {
+	c    *Controller
+	next http.RoundTripper
+}
+
+// Transport wraps next so requests to faulted workers fail or stall
+// according to the live schedule state. Hand the result to the fleet
+// coordinator's http.Client.
+func (c *Controller) Transport(next http.RoundTripper) http.RoundTripper {
+	if next == nil {
+		next = http.DefaultTransport
+	}
+	return transport{c: c, next: next}
+}
+
+func (t transport) RoundTrip(req *http.Request) (*http.Response, error) {
+	c := t.c
+	w, tracked := c.workers[req.URL.Host]
+	if !tracked {
+		return t.next.RoundTrip(req)
+	}
+	c.mu.Lock()
+	cut := c.cut[w]
+	p := c.loss[w]
+	factor := c.slow[w]
+	drop := false
+	if !cut && p > 0 {
+		c.rng = splitmix64(c.rng)
+		drop = float64(c.rng>>11)/float64(1<<53) < p
+	}
+	c.mu.Unlock()
+	if cut || drop {
+		return nil, errPartitioned{w}
+	}
+	if factor > 0 && factor < 1 {
+		delay := time.Duration(float64(c.slowUnit) * (1/factor - 1))
+		select {
+		case <-time.After(delay):
+		case <-req.Context().Done():
+			return nil, req.Context().Err()
+		}
+	}
+	return t.next.RoundTrip(req)
+}
+
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}

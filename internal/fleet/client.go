@@ -1,0 +1,150 @@
+package fleet
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+
+	"spineless/internal/jobs"
+	"spineless/internal/retry"
+	"spineless/internal/serve"
+)
+
+// submitResp mirrors serve.SubmitResponse — aliased so the wire contract
+// lives in one place.
+type submitResp = serve.SubmitResponse
+
+// submit POSTs the spec to a worker under the retry policy, jittered
+// deterministically on the spec hash. 429/503 are retryable (the worker is
+// shedding or full — exactly what backoff is for); 4xx spec rejections are
+// permanent.
+func (c *Coordinator) submit(ctx context.Context, base, hash string, sp jobs.Spec) (submitResp, error) {
+	body, err := json.Marshal(sp)
+	if err != nil {
+		return submitResp{}, retry.Permanent(err)
+	}
+	var out submitResp
+	err = c.cfg.RPC.Do(ctx, hash, func(ctx context.Context) error {
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost, base+"/v1/jobs", bytes.NewReader(body))
+		if err != nil {
+			return retry.Permanent(err)
+		}
+		req.Header.Set("Content-Type", "application/json")
+		resp, err := c.cfg.Client.Do(req)
+		if err != nil {
+			return err
+		}
+		defer resp.Body.Close()
+		raw, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+		if err != nil {
+			return err
+		}
+		switch {
+		case resp.StatusCode == http.StatusOK || resp.StatusCode == http.StatusAccepted:
+			return json.Unmarshal(raw, &out)
+		case resp.StatusCode == http.StatusTooManyRequests ||
+			resp.StatusCode == http.StatusServiceUnavailable ||
+			resp.StatusCode >= 500:
+			return fmt.Errorf("fleet: submit to %s: %s: %s", base, resp.Status, strings.TrimSpace(string(raw)))
+		default:
+			return retry.Permanent(fmt.Errorf("fleet: submit to %s: %s: %s", base, resp.Status, strings.TrimSpace(string(raw))))
+		}
+	})
+	return out, err
+}
+
+// watch follows a job's NDJSON event stream until a terminal event. A
+// watchdog abandons the stream after StreamSilence with no line at all —
+// the worker's heartbeat comments keep a healthy-but-slow stream alive, so
+// silence means the worker (or the path to it) is gone.
+func (c *Coordinator) watch(ctx context.Context, base, jobID string) (jobs.Event, error) {
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet,
+		fmt.Sprintf("%s/v1/jobs/%s/events", base, jobID), nil)
+	if err != nil {
+		return jobs.Event{}, retry.Permanent(err)
+	}
+	resp, err := c.cfg.Client.Do(req)
+	if err != nil {
+		return jobs.Event{}, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		raw, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<12))
+		return jobs.Event{}, fmt.Errorf("fleet: watch %s job %s: %s: %s", base, jobID, resp.Status, strings.TrimSpace(string(raw)))
+	}
+
+	// Watchdog: every line (event or heartbeat) rearms it; silence past
+	// StreamSilence cancels the request, failing the read below.
+	dog := time.AfterFunc(c.cfg.StreamSilence, cancel)
+	defer dog.Stop()
+
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
+	for sc.Scan() {
+		dog.Reset(c.cfg.StreamSilence)
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, ":") {
+			continue // heartbeat comment
+		}
+		var ev jobs.Event
+		if err := json.Unmarshal([]byte(line), &ev); err != nil {
+			return jobs.Event{}, fmt.Errorf("fleet: watch %s job %s: bad event %q: %v", base, jobID, line, err)
+		}
+		if ev.State.Terminal() {
+			return ev, nil
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return jobs.Event{}, fmt.Errorf("fleet: watch %s job %s: stream broke: %w", base, jobID, err)
+	}
+	return jobs.Event{}, fmt.Errorf("fleet: watch %s job %s: stream ended before a terminal event", base, jobID)
+}
+
+// result fetches committed result bytes under the retry policy.
+func (c *Coordinator) result(ctx context.Context, base, hash string) ([]byte, error) {
+	var out []byte
+	err := c.cfg.RPC.Do(ctx, hash, func(ctx context.Context) error {
+		raw, err := c.resultOnce(ctx, base, hash)
+		if err != nil {
+			return err
+		}
+		out = raw
+		return nil
+	})
+	return out, err
+}
+
+// resultOnce is one GET /v1/results/{hash}; 404 is permanent (the worker
+// answered authoritatively: not in my store) so federated reads fall
+// through to the next peer instead of hammering one.
+func (c *Coordinator) resultOnce(ctx context.Context, base, hash string) ([]byte, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, base+"/v1/results/"+hash, nil)
+	if err != nil {
+		return nil, retry.Permanent(err)
+	}
+	resp, err := c.cfg.Client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
+	if err != nil {
+		return nil, err
+	}
+	switch resp.StatusCode {
+	case http.StatusOK:
+		return raw, nil
+	case http.StatusNotFound:
+		return nil, retry.Permanent(fmt.Errorf("fleet: %s does not hold %.12s", base, hash))
+	default:
+		return nil, fmt.Errorf("fleet: result %.12s from %s: %s", hash, base, resp.Status)
+	}
+}

@@ -1,0 +1,494 @@
+// Package fleet turns N spinelessd worker processes into one fault-tolerant
+// experiment service. A Coordinator places each job spec onto a worker by
+// rendezvous hashing of the spec's content hash, watches worker health with
+// a suspect/dead failure detector, re-places jobs off dead workers, reads
+// results federatedly (owner store → peer read-through → recompute), and
+// keeps the single-process guarantees alive across the fleet:
+//
+//   - Singleflight dedup survives distribution: concurrent submissions of
+//     one spec hash coalesce onto one placement, whichever worker it lands
+//     on.
+//   - The sampled re-execution audit survives distribution — and gets
+//     stronger: a cache hit served by its owner is re-executed on a
+//     *different* worker, so a worker whose store (or simulator build) has
+//     drifted cannot vouch for itself.
+//
+// Everything rides on the determinism contract: any worker, given a spec,
+// produces byte-identical result JSON, so placement, re-placement and
+// recompute are all interchangeable and the coordinator can check rather
+// than trust.
+//
+// The package-scope determinism exemption matches internal/jobs and
+// internal/serve: the coordinator is operational machinery (wall-clock
+// probes, backoff timers); no simulation state flows through it — results
+// are opaque bytes produced and verified elsewhere.
+//
+//lint:allowpkg determinism
+package fleet
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"spineless/internal/jobs"
+	"spineless/internal/retry"
+	"spineless/internal/store"
+)
+
+// Config tunes a Coordinator.
+type Config struct {
+	// Workers are the worker base URLs ("http://host:port"); the index is
+	// the worker ID everywhere (placement, health, metrics, chaos).
+	Workers []string
+	// ProbeEvery is the health-probe period per worker (default 500ms).
+	ProbeEvery time.Duration
+	// ProbeTimeout bounds one health probe (default 1s).
+	ProbeTimeout time.Duration
+	// SuspectAfter is the consecutive probe failures before a worker is
+	// suspected (default 1); DeadAfter before it is declared dead and its
+	// jobs re-placed (default 3). Any success resets to alive.
+	SuspectAfter int
+	DeadAfter    int
+	// RPC retries worker submit/result calls: capped exponential backoff
+	// with jitter derived deterministically from the spec hash.
+	RPC retry.Policy
+	// StreamSilence is the event-stream watchdog: a watch with no line
+	// (event or heartbeat) for this long is abandoned and the job re-placed
+	// (default 60s; keep it a few multiples of the workers' heartbeat).
+	StreamSilence time.Duration
+	// PlacementCycles bounds how many full passes over the worker set Run
+	// makes before giving up (0 = keep trying until ctx expires).
+	PlacementCycles int
+	// AuditEvery cross-checks every Nth cache-hit Run on a different worker
+	// than the one that served it (0 = off).
+	AuditEvery int
+	// AuditTimeout bounds one cross-worker audit run (default 2m).
+	AuditTimeout time.Duration
+	// Client issues all worker HTTP (default a plain &http.Client{}); the
+	// chaos harness swaps in a fault-injecting transport here.
+	Client *http.Client
+	// Logf, when non-nil, receives operational log lines.
+	Logf func(format string, args ...any)
+}
+
+func (c Config) withDefaults() Config {
+	if c.ProbeEvery <= 0 {
+		c.ProbeEvery = 500 * time.Millisecond
+	}
+	if c.ProbeTimeout <= 0 {
+		c.ProbeTimeout = time.Second
+	}
+	if c.SuspectAfter <= 0 {
+		c.SuspectAfter = 1
+	}
+	if c.DeadAfter <= c.SuspectAfter {
+		c.DeadAfter = c.SuspectAfter + 2
+	}
+	if c.StreamSilence <= 0 {
+		c.StreamSilence = 60 * time.Second
+	}
+	if c.AuditTimeout <= 0 {
+		c.AuditTimeout = 2 * time.Minute
+	}
+	if c.Client == nil {
+		c.Client = &http.Client{}
+	}
+	return c
+}
+
+// Metrics is a snapshot of coordinator counters.
+type Metrics struct {
+	Placements   uint64 // runOn attempts started
+	Replacements uint64 // placements abandoned and moved to another worker
+	Deduped      uint64 // Runs coalesced onto an in-flight identical spec
+	CacheHits    uint64 // placements served from a worker's store
+	Audits       uint64 // cross-worker audit re-executions completed
+	AuditSkipped uint64 // audits skipped (no second live worker)
+	AuditBad     uint64 // audits whose bytes differed from the owner's
+	FetchOwner   uint64 // federated reads served by the hash's owner
+	FetchPeer    uint64 // federated reads served by a peer read-through
+	FetchRecomp  uint64 // federated reads that had to recompute
+	ProbeFails   uint64 // health probes failed
+	WentSuspect  uint64 // alive→suspect transitions
+	WentDead     uint64 // →dead transitions
+	WentAlive    uint64 // recoveries back to alive
+	Workers      []WorkerStatus
+}
+
+// WorkerStatus reports one worker's detector state.
+type WorkerStatus struct {
+	ID    int
+	URL   string
+	State WorkerState
+	Fails int // consecutive probe failures
+}
+
+// RunResult is one completed fleet job.
+type RunResult struct {
+	Hash   string
+	Bytes  []byte // the committed result JSON, byte-identical across workers
+	Cached bool   // served from the placed worker's store
+	Worker int    // worker that produced the bytes
+
+	// Replacements counts workers abandoned before this one answered.
+	Replacements int
+}
+
+// flight is one in-flight spec hash (fleet-level singleflight).
+type flight struct {
+	done chan struct{}
+	res  RunResult
+	err  error
+}
+
+// Coordinator owns placement, health and federation for one fleet.
+type Coordinator struct {
+	cfg    Config
+	health []*workerHealth
+
+	ctx     context.Context
+	stop    context.CancelFunc
+	probeWG sync.WaitGroup
+	auditWG sync.WaitGroup
+
+	mu      sync.Mutex
+	flights map[string]*flight
+	specs   map[string]jobs.Spec // hash → spec, for federated recompute
+	hits    uint64               // cache-hit counter driving audit sampling
+	m       Metrics
+}
+
+// New builds a Coordinator over cfg.Workers and starts its health probers.
+func New(cfg Config) (*Coordinator, error) {
+	cfg = cfg.withDefaults()
+	if len(cfg.Workers) == 0 {
+		return nil, errors.New("fleet: no workers configured")
+	}
+	ctx, stop := context.WithCancel(context.Background())
+	c := &Coordinator{
+		cfg:     cfg,
+		ctx:     ctx,
+		stop:    stop,
+		flights: map[string]*flight{},
+		specs:   map[string]jobs.Spec{},
+	}
+	for i := range cfg.Workers {
+		c.health = append(c.health, newWorkerHealth())
+		c.probeWG.Add(1)
+		go c.probeLoop(i)
+	}
+	return c, nil
+}
+
+func (c *Coordinator) logf(format string, args ...any) {
+	if c.cfg.Logf != nil {
+		c.cfg.Logf(format, args...)
+	}
+}
+
+// Close stops the probers and waits for in-flight audits.
+func (c *Coordinator) Close() {
+	c.stop()
+	c.probeWG.Wait()
+	c.auditWG.Wait()
+}
+
+// WaitAudits blocks until every spawned cross-worker audit has finished —
+// the fleet smoke's synchronization point before asserting audit counters.
+func (c *Coordinator) WaitAudits() { c.auditWG.Wait() }
+
+// Rank returns the worker indices in rendezvous order for a spec hash: the
+// first entry is the hash's owner, the rest the re-placement/read-through
+// order. Pure function of (hash, fleet size), so every coordinator (and
+// every restart) agrees on placement without coordination.
+func (c *Coordinator) Rank(hash string) []int {
+	type scored struct {
+		w     int
+		score uint64
+	}
+	s := make([]scored, len(c.cfg.Workers))
+	base := fnv64(hash)
+	for i := range s {
+		s[i] = scored{i, splitmix64(base + uint64(i)*0x9e3779b97f4a7c15)}
+	}
+	sort.Slice(s, func(a, b int) bool {
+		if s[a].score != s[b].score {
+			return s[a].score > s[b].score
+		}
+		return s[a].w < s[b].w
+	})
+	out := make([]int, len(s))
+	for i, e := range s {
+		out[i] = e.w
+	}
+	return out
+}
+
+// Run places sp on the fleet and returns its result bytes, surviving worker
+// death by re-placement. Concurrent Runs of the same spec coalesce onto one
+// placement. The returned bytes are the worker-committed result JSON —
+// byte-identical no matter which worker (or how many attempts) produced it.
+func (c *Coordinator) Run(ctx context.Context, sp jobs.Spec) (RunResult, error) {
+	sp = sp.Normalized()
+	if err := sp.Validate(); err != nil {
+		return RunResult{}, err
+	}
+	hash, err := store.Key(sp)
+	if err != nil {
+		return RunResult{}, err
+	}
+
+	c.mu.Lock()
+	if f := c.flights[hash]; f != nil {
+		c.m.Deduped++
+		c.mu.Unlock()
+		select {
+		case <-f.done:
+			return f.res, f.err
+		case <-ctx.Done():
+			return RunResult{}, ctx.Err()
+		}
+	}
+	f := &flight{done: make(chan struct{})}
+	c.flights[hash] = f
+	c.specs[hash] = sp
+	c.mu.Unlock()
+
+	res, rerr := c.runFlight(ctx, hash, sp)
+	f.res, f.err = res, rerr
+	close(f.done)
+	c.mu.Lock()
+	delete(c.flights, hash) // later Runs re-place (and hit a worker cache)
+	c.mu.Unlock()
+	return res, rerr
+}
+
+// runFlight walks workers in rendezvous order until one completes the job,
+// skipping dead workers and backing off between full passes so a fleet in
+// the middle of a chaos event is retried rather than failed.
+func (c *Coordinator) runFlight(ctx context.Context, hash string, sp jobs.Spec) (RunResult, error) {
+	replacements := 0
+	var lastErr error
+	for cycle := 1; ; cycle++ {
+		tried := 0
+		for _, w := range c.Rank(hash) {
+			if err := ctx.Err(); err != nil {
+				return RunResult{}, flightErr(err, lastErr)
+			}
+			if c.health[w].State() == Dead {
+				continue
+			}
+			tried++
+			c.count(func(m *Metrics) { m.Placements++ })
+			res, err := c.runOn(ctx, w, hash, sp, false)
+			if err == nil {
+				res.Replacements = replacements
+				return res, nil
+			}
+			if retry.IsPermanent(err) || ctx.Err() != nil {
+				return RunResult{}, flightErr(err, nil)
+			}
+			lastErr = err
+			replacements++
+			c.count(func(m *Metrics) { m.Replacements++ })
+			c.logf("fleet: job %.12s re-placing off worker %d: %v", hash, w, err)
+		}
+		if c.cfg.PlacementCycles > 0 && cycle >= c.cfg.PlacementCycles {
+			return RunResult{}, flightErr(fmt.Errorf("fleet: no worker completed job %.12s after %d cycles", hash, cycle), lastErr)
+		}
+		if tried == 0 {
+			c.logf("fleet: job %.12s waiting: every worker is dead", hash)
+		}
+		// Full pass failed (or everyone is dead): back off deterministically
+		// on the spec hash and try again — chaos restarts workers.
+		select {
+		case <-time.After(c.cfg.RPC.Delay(hash, cycle)):
+		case <-ctx.Done():
+			return RunResult{}, flightErr(ctx.Err(), lastErr)
+		}
+	}
+}
+
+func flightErr(err, last error) error {
+	if last != nil {
+		return fmt.Errorf("%w (last worker error: %v)", err, last)
+	}
+	return err
+}
+
+// runOn drives one placement attempt on worker w: submit (with retry),
+// watch the event stream to the terminal state, fetch the result bytes.
+// isAudit marks audit re-executions, which never spawn further audits —
+// otherwise a cache-hit audit would audit itself forever.
+func (c *Coordinator) runOn(ctx context.Context, w int, hash string, sp jobs.Spec, isAudit bool) (RunResult, error) {
+	base := c.cfg.Workers[w]
+	sub, err := c.submit(ctx, base, hash, sp)
+	if err != nil {
+		return RunResult{}, err
+	}
+	if sub.Hash != hash {
+		return RunResult{}, retry.Permanent(fmt.Errorf("fleet: worker %d hashed spec to %.12s, coordinator to %.12s", w, sub.Hash, hash))
+	}
+	if !sub.Cached {
+		ev, err := c.watch(ctx, base, sub.Job)
+		if err != nil {
+			return RunResult{}, err
+		}
+		switch ev.State {
+		case jobs.StateDone:
+		case jobs.StateFailed:
+			// Deterministic failure: every worker would fail identically.
+			return RunResult{}, retry.Permanent(fmt.Errorf("fleet: job %.12s failed on worker %d: %s", hash, w, ev.Error))
+		default:
+			// Cancelled (worker draining): someone else can still run it.
+			return RunResult{}, fmt.Errorf("fleet: job %.12s ended %s on worker %d", hash, ev.State, w)
+		}
+	}
+	raw, err := c.result(ctx, base, hash)
+	if err != nil {
+		// Deliberately not %w: a missing/unfetchable result is this
+		// worker's problem (e.g. it restarted with an empty store between
+		// finishing and our fetch) — re-place rather than fail the flight.
+		return RunResult{}, fmt.Errorf("fleet: fetching result: %v", err)
+	}
+	res := RunResult{Hash: hash, Bytes: raw, Cached: sub.Cached, Worker: w}
+	if sub.Cached && !isAudit {
+		c.count(func(m *Metrics) { m.CacheHits++ })
+		c.maybeAudit(hash, sp, w, raw)
+	}
+	return res, nil
+}
+
+// maybeAudit re-executes every AuditEvery-th cache hit on a different
+// worker than the one that served it and compares bytes. Distribution is
+// the point: the owner's store cannot corroborate itself, so a corrupted
+// entry (or a worker whose binary has drifted out of determinism) is caught
+// by an independent machine.
+func (c *Coordinator) maybeAudit(hash string, sp jobs.Spec, owner int, ownerBytes []byte) {
+	if c.cfg.AuditEvery <= 0 {
+		return
+	}
+	c.mu.Lock()
+	c.hits++
+	due := c.hits%uint64(c.cfg.AuditEvery) == 0
+	c.mu.Unlock()
+	if !due {
+		return
+	}
+	var auditor = -1
+	for _, w := range c.Rank(hash)[1:] { // never the owner's own rank-0 slot
+		if w != owner && c.health[w].State() != Dead {
+			auditor = w
+			break
+		}
+	}
+	if auditor < 0 {
+		c.count(func(m *Metrics) { m.AuditSkipped++ })
+		c.logf("fleet: audit %.12s skipped: no live worker besides owner %d", hash, owner)
+		return
+	}
+	c.auditWG.Add(1)
+	go func() {
+		defer c.auditWG.Done()
+		ctx, cancel := context.WithTimeout(c.ctx, c.cfg.AuditTimeout)
+		defer cancel()
+		res, err := c.runOn(ctx, auditor, hash, sp, true)
+		if err != nil {
+			c.count(func(m *Metrics) { m.AuditSkipped++ })
+			c.logf("fleet: audit %.12s on worker %d did not complete: %v", hash, auditor, err)
+			return
+		}
+		c.count(func(m *Metrics) { m.Audits++ })
+		if string(res.Bytes) != string(ownerBytes) {
+			c.count(func(m *Metrics) { m.AuditBad++ })
+			c.logf("fleet: audit %.12s MISMATCH — worker %d's re-execution differs from owner %d's cached result", hash, auditor, owner)
+			return
+		}
+		c.logf("fleet: audit %.12s ok — worker %d independently reproduced owner %d's bytes", hash, auditor, owner)
+	}()
+}
+
+// Fetch is the federated result read: the hash's owner first (its store
+// almost always has it), then peer read-through in rendezvous order, then —
+// if the coordinator knows the spec — recompute via Run. The bytes are
+// identical whichever path serves them; only latency differs.
+func (c *Coordinator) Fetch(ctx context.Context, hash string) ([]byte, error) {
+	if !store.ValidKey(hash) {
+		return nil, retry.Permanent(fmt.Errorf("fleet: malformed hash %q", hash))
+	}
+	for i, w := range c.Rank(hash) {
+		if c.health[w].State() == Dead {
+			continue
+		}
+		raw, err := c.resultOnce(ctx, c.cfg.Workers[w], hash)
+		if err == nil {
+			if i == 0 {
+				c.count(func(m *Metrics) { m.FetchOwner++ })
+			} else {
+				c.count(func(m *Metrics) { m.FetchPeer++ })
+			}
+			return raw, nil
+		}
+		if ctx.Err() != nil {
+			return nil, ctx.Err()
+		}
+	}
+	c.mu.Lock()
+	sp, known := c.specs[hash]
+	c.mu.Unlock()
+	if !known {
+		return nil, fmt.Errorf("fleet: no worker holds %.12s and its spec is unknown", hash)
+	}
+	c.count(func(m *Metrics) { m.FetchRecomp++ })
+	res, err := c.Run(ctx, sp)
+	if err != nil {
+		return nil, err
+	}
+	return res.Bytes, nil
+}
+
+// Metrics returns a counter snapshot including per-worker detector states.
+func (c *Coordinator) Metrics() Metrics {
+	c.mu.Lock()
+	m := c.m
+	c.mu.Unlock()
+	m.Workers = make([]WorkerStatus, len(c.health))
+	for i, h := range c.health {
+		st, fails := h.Snapshot()
+		m.Workers[i] = WorkerStatus{ID: i, URL: c.cfg.Workers[i], State: st, Fails: fails}
+	}
+	return m
+}
+
+func (c *Coordinator) count(f func(*Metrics)) {
+	c.mu.Lock()
+	f(&c.m)
+	c.mu.Unlock()
+}
+
+// fnv64 is FNV-1a; splitmix64 the avalanche finalizer shared with
+// internal/parallel's seed derivation and internal/retry's jitter.
+func fnv64(s string) uint64 {
+	const (
+		offset = 14695981039346656037
+		prime  = 1099511628211
+	)
+	h := uint64(offset)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= prime
+	}
+	return h
+}
+
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}

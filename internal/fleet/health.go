@@ -1,0 +1,125 @@
+package fleet
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// WorkerState is one failure-detector state. Workers start Alive; probe
+// failures walk them Alive → Suspect → Dead, and any single success snaps
+// them straight back to Alive. Suspect is advisory (placement still tries
+// suspects — the RPC itself is the tiebreaker); Dead workers are skipped by
+// placement and federated reads until the prober sees them answer again.
+type WorkerState int32
+
+const (
+	Alive WorkerState = iota
+	Suspect
+	Dead
+)
+
+func (s WorkerState) String() string {
+	switch s {
+	case Alive:
+		return "alive"
+	case Suspect:
+		return "suspect"
+	case Dead:
+		return "dead"
+	default:
+		return fmt.Sprintf("WorkerState(%d)", int32(s))
+	}
+}
+
+type workerHealth struct {
+	mu    sync.Mutex
+	state WorkerState
+	fails int // consecutive probe failures
+}
+
+func newWorkerHealth() *workerHealth { return &workerHealth{} }
+
+func (h *workerHealth) State() WorkerState {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.state
+}
+
+func (h *workerHealth) Snapshot() (WorkerState, int) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.state, h.fails
+}
+
+// observe folds one probe outcome into the detector and reports a
+// transition (old != new).
+func (h *workerHealth) observe(ok bool, suspectAfter, deadAfter int) (old, now WorkerState) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	old = h.state
+	if ok {
+		h.fails = 0
+		h.state = Alive
+	} else {
+		h.fails++
+		switch {
+		case h.fails >= deadAfter:
+			h.state = Dead
+		case h.fails >= suspectAfter:
+			h.state = Suspect
+		}
+	}
+	return old, h.state
+}
+
+// probeLoop is the per-worker health prober: GET /healthz every ProbeEvery,
+// feed the outcome to the detector, log transitions.
+func (c *Coordinator) probeLoop(w int) {
+	defer c.probeWG.Done()
+	t := time.NewTicker(c.cfg.ProbeEvery)
+	defer t.Stop()
+	for {
+		select {
+		case <-c.ctx.Done():
+			return
+		case <-t.C:
+		}
+		ok := c.probe(w)
+		if !ok {
+			c.count(func(m *Metrics) { m.ProbeFails++ })
+		}
+		old, now := c.health[w].observe(ok, c.cfg.SuspectAfter, c.cfg.DeadAfter)
+		if old == now {
+			continue
+		}
+		switch now {
+		case Suspect:
+			c.count(func(m *Metrics) { m.WentSuspect++ })
+		case Dead:
+			c.count(func(m *Metrics) { m.WentDead++ })
+		case Alive:
+			c.count(func(m *Metrics) { m.WentAlive++ })
+		}
+		c.logf("fleet: worker %d (%s) %s -> %s", w, c.cfg.Workers[w], old, now)
+	}
+}
+
+func (c *Coordinator) probe(w int) bool {
+	ctx, cancel := context.WithTimeout(c.ctx, c.cfg.ProbeTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.cfg.Workers[w]+"/healthz", nil)
+	if err != nil {
+		return false
+	}
+	resp, err := c.cfg.Client.Do(req)
+	if err != nil {
+		return false
+	}
+	defer resp.Body.Close()
+	_, _ = io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<10))
+	return resp.StatusCode == http.StatusOK
+}

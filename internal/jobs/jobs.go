@@ -38,6 +38,13 @@ func (s State) Terminal() bool {
 // the HTTP layer maps it to 503 + Retry-After.
 var ErrQueueFull = errors.New("jobs: queue full")
 
+// ErrOverloaded is returned by Submit when admission control sheds the
+// request: the queue or in-flight population crossed its watermark, so the
+// manager refuses new work *before* the queue saturates. The HTTP layer
+// maps it to 429 + Retry-After — clients back off while already-admitted
+// jobs keep their latency instead of everyone collapsing together.
+var ErrOverloaded = errors.New("jobs: overloaded, shedding new submissions")
+
 // ErrDraining is returned by Submit once shutdown has begun.
 var ErrDraining = errors.New("jobs: shutting down")
 
@@ -99,6 +106,17 @@ type Config struct {
 	// TrialWorkers bounds each job's internal trial parallelism
 	// (0 = one per CPU). A pure throughput knob; never affects results.
 	TrialWorkers int
+	// ShedDepth is the admission-control watermark on queue depth: once the
+	// pending queue holds at least this many jobs, new submissions are shed
+	// with ErrOverloaded instead of being allowed to fill the queue to the
+	// ErrQueueFull wall (0 = shedding off). Keep it below QueueDepth so
+	// well-behaved clients see 429 and back off before anyone sees 503.
+	ShedDepth int
+	// MaxInflight caps the pending+running job population (the singleflight
+	// set); beyond it new distinct specs are shed with ErrOverloaded
+	// (0 = uncapped). Dedup onto an in-flight job and cache hits are never
+	// shed — they add no load.
+	MaxInflight int
 	// AuditEvery re-executes every Nth cache hit and compares the fresh
 	// result byte-for-byte against the stored one (0 = off). A mismatch
 	// invalidates the entry and increments the audit_mismatch counter —
@@ -115,6 +133,7 @@ type Metrics struct {
 	Submitted     uint64
 	Deduped       uint64
 	Rejected      uint64
+	Shed          uint64
 	ByState       map[State]uint64 // terminal tallies plus current pending/running
 	CacheHits     uint64
 	CacheMisses   uint64
@@ -155,6 +174,7 @@ type Manager struct {
 	submitted   uint64
 	deduped     uint64
 	rejected    uint64
+	shed        uint64
 	terminals   map[State]uint64
 	hits        uint64
 	misses      uint64
@@ -249,6 +269,24 @@ func (m *Manager) Submit(sp Spec) (*Job, bool, error) {
 		m.mu.Unlock()
 	}
 
+	// Admission control: shed fresh work at the watermarks, after the free
+	// paths (dedup, cache hit) have had their chance. Shedding here — with
+	// queue headroom still left — is what keeps admitted jobs' latency
+	// bounded under overload; the ErrQueueFull wall below is the backstop.
+	if depth := len(m.queue); m.cfg.ShedDepth > 0 && depth >= m.cfg.ShedDepth {
+		m.shedOne(hash, fmt.Sprintf("queue depth %d >= watermark %d", depth, m.cfg.ShedDepth))
+		return nil, false, ErrOverloaded
+	}
+	if m.cfg.MaxInflight > 0 {
+		m.mu.Lock()
+		n := len(m.inflight)
+		m.mu.Unlock()
+		if n >= m.cfg.MaxInflight {
+			m.shedOne(hash, fmt.Sprintf("inflight %d >= cap %d", n, m.cfg.MaxInflight))
+			return nil, false, ErrOverloaded
+		}
+	}
+
 	j := m.newJob(hash, sp)
 	j.state = StatePending
 	j.total = totalTrials(sp)
@@ -276,6 +314,14 @@ func (m *Manager) Submit(sp Spec) (*Job, bool, error) {
 	m.mu.Unlock()
 	m.logf("job %s: queued %s kind=%s", j.ID, shortHash(hash), sp.Kind)
 	return j, false, nil
+}
+
+// shedOne counts and logs one shed submission.
+func (m *Manager) shedOne(hash, why string) {
+	m.mu.Lock()
+	m.shed++
+	m.mu.Unlock()
+	m.logf("shed %s: %s", shortHash(hash), why)
 }
 
 func (m *Manager) newJob(hash string, sp Spec) *Job {
@@ -533,6 +579,7 @@ func (m *Manager) Snapshot() Metrics {
 		Submitted:       m.submitted,
 		Deduped:         m.deduped,
 		Rejected:        m.rejected,
+		Shed:            m.shed,
 		ByState:         by,
 		CacheHits:       m.hits,
 		CacheMisses:     m.misses,
@@ -597,6 +644,15 @@ func (j *Job) Result() (json.RawMessage, bool) {
 
 // Terminal returns a channel closed when the job reaches a final state.
 func (j *Job) Terminal() <-chan struct{} { return j.terminal }
+
+// Subscribers returns the number of live event subscriptions — the
+// observable the NDJSON disconnect tests hang on: a dead client's
+// subscription must be released, not leak until the job settles.
+func (j *Job) Subscribers() int {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return len(j.subs)
+}
 
 // Subscribe registers an events channel. The returned cancel func must be
 // called to release it. The current state is delivered immediately; the

@@ -196,6 +196,150 @@ func TestQueueBounded(t *testing.T) {
 	m.Cancel(j2.ID)
 }
 
+// TestShedWatermarks pins admission control: beyond ShedDepth new distinct
+// specs get ErrOverloaded (429, not 503), while the zero-load paths — dedup
+// onto an in-flight job and cache hits — are never shed.
+func TestShedWatermarks(t *testing.T) {
+	m := newTestManager(t, Config{QueueDepth: 8, ShedDepth: 1, Executors: 1})
+	specN := func(seed int64) Spec {
+		sp := tinySpec()
+		sp.Seed = seed
+		sp.Trials = 500 // slow enough to stay running for the whole test
+		return sp
+	}
+	j1, _, err := m.Submit(specN(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for j1.State() == StatePending && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	j2, _, err := m.Submit(specN(2)) // occupies the queue: depth 1 == watermark
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := m.Submit(specN(3)); err != ErrOverloaded {
+		t.Fatalf("submit past watermark: err = %v, want ErrOverloaded", err)
+	}
+	// Dedup onto the queued job still works while shedding.
+	jd, _, err := m.Submit(specN(2))
+	if err != nil || jd.ID != j2.ID {
+		t.Fatalf("dedup while shedding: j=%v err=%v", jd, err)
+	}
+	snap := m.Snapshot()
+	if snap.Shed != 1 {
+		t.Fatalf("shed counter = %d, want 1", snap.Shed)
+	}
+	if snap.Rejected != 0 {
+		t.Fatalf("queue-full rejections = %d; shedding must fire first", snap.Rejected)
+	}
+	m.Cancel(j1.ID)
+	m.Cancel(j2.ID)
+}
+
+// TestMaxInflightSheds pins the in-flight watermark: the pending+running
+// population is capped even when the queue itself still has room.
+func TestMaxInflightSheds(t *testing.T) {
+	m := newTestManager(t, Config{QueueDepth: 8, MaxInflight: 1, Executors: 1})
+	slow := tinySpec()
+	slow.Seed = 50
+	slow.Trials = 500
+	j1, _, err := m.Submit(slow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	next := tinySpec()
+	next.Seed = 51
+	if _, _, err := m.Submit(next); err != ErrOverloaded {
+		t.Fatalf("submit past inflight cap: err = %v, want ErrOverloaded", err)
+	}
+	m.Cancel(j1.ID)
+}
+
+// TestDrainUnderLoad is the SIGTERM story with the queue full: the drain
+// must finish every admitted job (running and queued), refuse new ones with
+// ErrDraining, and deliver a terminal event to every subscriber.
+func TestDrainUnderLoad(t *testing.T) {
+	st, err := store.Open(t.TempDir(), store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := New(st, Config{QueueDepth: 4, Executors: 1, TrialWorkers: 1})
+
+	specN := func(seed int64) Spec {
+		sp := tinySpec()
+		sp.Seed = seed
+		sp.MaxFlows = 20
+		return sp
+	}
+	var admitted []*Job
+	var streams []<-chan Event
+	// One running + a full queue of four.
+	for seed := int64(60); len(admitted) < 5; seed++ {
+		j, _, err := m.Submit(specN(seed))
+		if err != nil {
+			t.Fatalf("fill submit (seed %d): %v", seed, err)
+		}
+		ch, stop := j.Subscribe()
+		defer stop()
+		admitted = append(admitted, j)
+		streams = append(streams, ch)
+		if len(admitted) == 1 {
+			// Wait for the executor to claim the first job so the queue's
+			// four slots are all free for the rest.
+			deadline := time.Now().Add(10 * time.Second)
+			for j.State() == StatePending && time.Now().Before(deadline) {
+				time.Sleep(time.Millisecond)
+			}
+		}
+	}
+
+	drained := make(chan error, 1)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 120*time.Second)
+		defer cancel()
+		drained <- m.Drain(ctx)
+	}()
+
+	// New work must bounce with ErrDraining while the drain runs. Drain
+	// flips the flag under its lock before waiting, but give the goroutine a
+	// moment to get there.
+	deadline := time.Now().Add(10 * time.Second)
+	for probe := int64(100); ; probe++ {
+		// Fresh seed each probe: an admitted probe that finishes would turn
+		// later identical submits into free cache hits, masking ErrDraining.
+		_, _, err := m.Submit(specN(probe))
+		if err == ErrDraining {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("submit during drain: err = %v, want ErrDraining", err)
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	if err := <-drained; err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	for i, j := range admitted {
+		if st := j.State(); st != StateDone {
+			t.Fatalf("admitted job %d ended %s, want done", i, st)
+		}
+	}
+	// Every subscriber got a terminal event before its channel closed.
+	for i, ch := range streams {
+		var last Event
+		got := false
+		for ev := range ch {
+			last, got = ev, true
+		}
+		if !got || !last.State.Terminal() {
+			t.Fatalf("stream %d ended without a terminal event (last %+v)", i, last)
+		}
+	}
+}
+
 func TestCancelPendingAndRunning(t *testing.T) {
 	m := newTestManager(t, Config{QueueDepth: 4, Executors: 1})
 	slow := tinySpec()

@@ -1,0 +1,180 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// CtxLeak flags context.WithCancel/WithTimeout/WithDeadline (and their
+// Cause variants) whose cancel function is discarded or only ever invoked
+// by a plain, non-deferred call in the same function. Every derived context
+// owns resources (a timer, a propagation goroutine) released only by its
+// cancel; a plain trailing cancel() leaks them on any early return or
+// panic between the With* and the call. The fix is `defer cancel()` — or
+// genuinely storing the cancel (field, argument, closure) when its
+// lifetime really does extend past the function.
+//
+// `go vet`'s lostcancel overlaps on the discarded-cancel case; this check
+// additionally demands the defer/store discipline on cancels that *are*
+// nominally used, which is where this tree's leaks have hidden.
+type CtxLeak struct{}
+
+func (*CtxLeak) Name() string { return "ctxleak" }
+func (*CtxLeak) Doc() string {
+	return "require context cancel funcs to be deferred or stored, not just called inline"
+}
+
+// cancelSources are the context constructors whose final result is a
+// cancel function that must be released.
+var cancelSources = map[string]bool{
+	"WithCancel":        true,
+	"WithCancelCause":   true,
+	"WithTimeout":       true,
+	"WithTimeoutCause":  true,
+	"WithDeadline":      true,
+	"WithDeadlineCause": true,
+}
+
+func (c *CtxLeak) Run(p *Pass) {
+	for _, f := range p.Files {
+		if p.InTestFile(f.Pos()) {
+			continue
+		}
+		// Walk with an ancestor stack so each assignment knows its
+		// enclosing function (the scope the cancel must not escape
+		// unreleased).
+		var stack []ast.Node
+		ast.Inspect(f, func(n ast.Node) bool {
+			if n == nil {
+				stack = stack[:len(stack)-1]
+				return true
+			}
+			stack = append(stack, n)
+			if as, ok := n.(*ast.AssignStmt); ok {
+				c.checkAssign(p, as, enclosingFunc(stack[:len(stack)-1]))
+			}
+			return true
+		})
+	}
+}
+
+// enclosingFunc returns the innermost FuncDecl/FuncLit in the ancestor
+// stack, or nil at package scope.
+func enclosingFunc(stack []ast.Node) ast.Node {
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch stack[i].(type) {
+		case *ast.FuncDecl, *ast.FuncLit:
+			return stack[i]
+		}
+	}
+	return nil
+}
+
+func funcBody(fn ast.Node) *ast.BlockStmt {
+	switch fn := fn.(type) {
+	case *ast.FuncDecl:
+		return fn.Body
+	case *ast.FuncLit:
+		return fn.Body
+	}
+	return nil
+}
+
+func (c *CtxLeak) checkAssign(p *Pass, as *ast.AssignStmt, fn ast.Node) {
+	if len(as.Rhs) != 1 || len(as.Lhs) != 2 {
+		return
+	}
+	call, ok := as.Rhs[0].(*ast.CallExpr)
+	if !ok {
+		return
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || !cancelSources[sel.Sel.Name] || p.PkgQualifier(sel.X) != "context" {
+		return
+	}
+	src := "context." + sel.Sel.Name
+
+	id, ok := as.Lhs[1].(*ast.Ident)
+	if !ok {
+		return // stored straight into a field/index: a kept reference
+	}
+	if id.Name == "_" {
+		p.Reportf(id.Pos(), c.Name(),
+			"cancel from %s is discarded; the context's resources are never released — assign it and defer cancel()", src)
+		return
+	}
+	var obj types.Object
+	if as.Tok == token.DEFINE {
+		obj = p.Info.Defs[id]
+	} else {
+		obj = p.Info.Uses[id]
+	}
+	if obj == nil || fn == nil {
+		return // package-scope init: the cancel outlives every function
+	}
+	body := funcBody(fn)
+	if body == nil {
+		return
+	}
+	if !cancelReleased(p, body, obj, id) {
+		p.Reportf(id.Pos(), c.Name(),
+			"cancel %q from %s is neither deferred nor stored; an early return or panic leaks the context — defer %s()", id.Name, src, id.Name)
+	}
+}
+
+// cancelReleased reports whether the cancel object has at least one use
+// that outlives straight-line execution: a deferred call, capture by a
+// nested closure, or any value use (argument, field, return, comparison).
+// A plain `cancel()` statement in the same function is NOT enough — that
+// is exactly the form an early return or panic skips.
+func cancelReleased(p *Pass, body *ast.BlockStmt, obj types.Object, def *ast.Ident) bool {
+	released := false
+	var stack []ast.Node
+	ast.Inspect(body, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		stack = append(stack, n)
+		if released {
+			return false
+		}
+		id, ok := n.(*ast.Ident)
+		if !ok || id == def || p.Info.Uses[id] != obj {
+			return true
+		}
+		if useReleases(stack) {
+			released = true
+		}
+		return true
+	})
+	return released
+}
+
+// useReleases classifies one use of the cancel identifier by its ancestor
+// chain (stack ends with the identifier itself).
+func useReleases(stack []ast.Node) bool {
+	for _, n := range stack[:len(stack)-1] {
+		switch n.(type) {
+		case *ast.DeferStmt:
+			return true // deferred (directly or inside a deferred closure)
+		case *ast.FuncLit:
+			// Captured by a nested closure: the closure value carries the
+			// cancel beyond straight-line execution (watchdogs, cleanup
+			// funcs). The closure's own discipline is its business.
+			return true
+		}
+	}
+	// Plain call statement `cancel()`: parent chain is ... ExprStmt → CallExpr → Ident(Fun).
+	if len(stack) >= 3 {
+		if call, ok := stack[len(stack)-2].(*ast.CallExpr); ok && call.Fun == stack[len(stack)-1] {
+			if _, ok := stack[len(stack)-3].(*ast.ExprStmt); ok {
+				return false
+			}
+		}
+	}
+	// Anything else — passed as an argument, stored, returned, compared —
+	// hands the reference onward.
+	return true
+}

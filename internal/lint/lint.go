@@ -220,6 +220,7 @@ func DefaultCheckers() []Checker {
 		&FloatEq{},
 		&NakedPanic{},
 		&SharedRand{},
+		&CtxLeak{},
 	}
 }
 

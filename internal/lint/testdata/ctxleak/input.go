@@ -1,0 +1,93 @@
+// Package ctxleak exercises the ctxleak checker: a context cancel function
+// must be deferred or stored; discarding it, never using it, or only
+// calling it inline leaks the context's timer/goroutine on early returns
+// and panics.
+package ctxleak
+
+import (
+	"context"
+	"time"
+)
+
+type server struct {
+	stop context.CancelFunc
+}
+
+func discarded(ctx context.Context) context.Context {
+	ctx, _ = context.WithTimeout(ctx, time.Second) // finding: cancel discarded
+	return ctx
+}
+
+func inlineOnly(ctx context.Context, work func(context.Context) error) error {
+	ctx, cancel := context.WithTimeout(ctx, time.Second) // finding: only a plain call; work's error path skips nothing but a panic leaks
+	if err := work(ctx); err != nil {
+		return err // whoops: cancel never runs on this path
+	}
+	cancel()
+	return nil
+}
+
+func deferred(ctx context.Context) error {
+	ctx, cancel := context.WithCancel(ctx) // ok: deferred
+	defer cancel()
+	<-ctx.Done()
+	return nil
+}
+
+func deferredClosure(ctx context.Context) error {
+	ctx, cancel := context.WithTimeout(ctx, time.Second) // ok: called inside a deferred closure
+	defer func() {
+		cancel()
+	}()
+	<-ctx.Done()
+	return nil
+}
+
+func storedField(ctx context.Context, s *server) context.Context {
+	ctx, cancel := context.WithCancel(ctx) // ok: stored on a struct for later release
+	s.stop = cancel
+	return ctx
+}
+
+func storedFieldDirect(ctx context.Context, s *server) context.Context {
+	ctx, s.stop = context.WithCancel(ctx) // ok: assigned straight into a field
+	return ctx
+}
+
+func passedAlong(ctx context.Context) error {
+	ctx, cancel := context.WithCancel(ctx) // ok: handed to a watchdog
+	t := time.AfterFunc(time.Second, cancel)
+	defer t.Stop()
+	<-ctx.Done()
+	return nil
+}
+
+func capturedByGoroutine(ctx context.Context, done chan struct{}) context.Context {
+	ctx, cancel := context.WithCancel(ctx) // ok: captured by a goroutine that owns the release
+	go func() {
+		<-done
+		cancel()
+	}()
+	return ctx
+}
+
+func comparedThenCalled(ctx context.Context, ops []func(context.Context) error) error {
+	var cancel context.CancelFunc
+	for _, op := range ops {
+		actx := ctx
+		actx, cancel = context.WithTimeout(ctx, time.Second) // ok: nil-checked value use below
+		err := op(actx)
+		if cancel != nil {
+			cancel()
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func allowed(ctx context.Context) context.Context {
+	ctx, _ = context.WithTimeout(ctx, time.Second) //lint:allow ctxleak
+	return ctx
+}

@@ -1,0 +1,277 @@
+// Package retry is the fleet's shared retry/timeout/backoff machinery:
+// capped exponential backoff with *deterministic* jitter, per-attempt
+// deadlines, permanent-error short-circuits, and an SRE-style retry budget
+// that keeps a struggling fleet from amplifying its own overload.
+//
+// Jitter is where most retry packages reach for a global RNG; this one
+// derives it from a caller-supplied key (spinelessd uses the spec hash) and
+// the attempt number via splitmix64, so a replayed run retries at exactly
+// the same offsets. Two callers retrying *different* specs still spread out
+// (their keys differ), which is all jitter is for — the determinism costs
+// nothing and keeps fleet runs reproducible end to end.
+package retry
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Policy describes how an operation is retried. The zero value is usable:
+// every field falls back to the package default at Do time.
+type Policy struct {
+	// MaxAttempts is the total number of tries, first included (default 4).
+	MaxAttempts int
+	// BaseDelay is the backoff before the second attempt (default 50ms).
+	BaseDelay time.Duration
+	// MaxDelay caps the backoff between attempts (default 2s).
+	MaxDelay time.Duration
+	// Multiplier grows the backoff between attempts (default 2).
+	Multiplier float64
+	// JitterFrac is the fraction of each delay replaced by deterministic
+	// jitter in [0, JitterFrac·delay) (default 0.5; negative disables).
+	JitterFrac float64
+	// AttemptTimeout bounds each attempt with its own deadline
+	// (0 = attempts inherit ctx unmodified).
+	AttemptTimeout time.Duration
+	// Budget, when non-nil, globally limits how many retries (attempts
+	// beyond the first) this policy may spend relative to its successes.
+	Budget *Budget
+}
+
+// Defaults for zero-valued Policy fields.
+const (
+	DefaultMaxAttempts = 4
+	DefaultBaseDelay   = 50 * time.Millisecond
+	DefaultMaxDelay    = 2 * time.Second
+	DefaultMultiplier  = 2.0
+	DefaultJitterFrac  = 0.5
+)
+
+func (p Policy) withDefaults() Policy {
+	if p.MaxAttempts <= 0 {
+		p.MaxAttempts = DefaultMaxAttempts
+	}
+	if p.BaseDelay <= 0 {
+		p.BaseDelay = DefaultBaseDelay
+	}
+	if p.MaxDelay <= 0 {
+		p.MaxDelay = DefaultMaxDelay
+	}
+	if p.Multiplier < 1 {
+		p.Multiplier = DefaultMultiplier
+	}
+	if p.JitterFrac == 0 { //lint:allow floateq
+		p.JitterFrac = DefaultJitterFrac
+	}
+	return p
+}
+
+// permanentError marks an error as non-retryable.
+type permanentError struct{ err error }
+
+func (p *permanentError) Error() string { return p.err.Error() }
+func (p *permanentError) Unwrap() error { return p.err }
+
+// Permanent wraps err so Do stops retrying and returns it immediately.
+// Use it for errors more tries cannot fix: validation failures, 4xx
+// responses, malformed replies.
+func Permanent(err error) error {
+	if err == nil {
+		return nil
+	}
+	return &permanentError{err: err}
+}
+
+// IsPermanent reports whether err (or anything it wraps) was marked
+// Permanent.
+func IsPermanent(err error) bool {
+	var p *permanentError
+	return errors.As(err, &p)
+}
+
+// ErrBudgetExhausted is wrapped into Do's return when the retry budget
+// refuses further attempts; the last operation error is wrapped alongside.
+var ErrBudgetExhausted = errors.New("retry: budget exhausted")
+
+// Delay returns the backoff before attempt (1-based count of completed
+// attempts: Delay(key, 1) precedes the second try). The jitter component is
+// a pure function of (key, attempt), so identical runs back off identically.
+func (p Policy) Delay(key string, attempt int) time.Duration {
+	p = p.withDefaults()
+	if attempt < 1 {
+		attempt = 1
+	}
+	d := float64(p.BaseDelay)
+	for i := 1; i < attempt; i++ {
+		d *= p.Multiplier
+		if d >= float64(p.MaxDelay) {
+			d = float64(p.MaxDelay)
+			break
+		}
+	}
+	if d > float64(p.MaxDelay) {
+		d = float64(p.MaxDelay)
+	}
+	if p.JitterFrac > 0 {
+		span := d * p.JitterFrac
+		// splitmix64 over (key, attempt) → uniform fraction of the span.
+		h := splitmix64(hashKey(key) + uint64(attempt))
+		frac := float64(h>>11) / float64(1<<53)
+		d = d - span + span*frac // jitter shrinks the delay, never grows it
+	}
+	return time.Duration(d)
+}
+
+// Do runs op until it succeeds, fails permanently, exhausts the policy, or
+// ctx is cancelled. key seeds the deterministic jitter (use the request's
+// content hash, or any stable identifier). Each attempt receives a context
+// bounded by AttemptTimeout when set. The returned error is the last
+// attempt's, wrapped with the attempt count.
+func (p Policy) Do(ctx context.Context, key string, op func(ctx context.Context) error) error {
+	p = p.withDefaults()
+	var last error
+	for attempt := 1; ; attempt++ {
+		if err := ctx.Err(); err != nil {
+			if last != nil {
+				return fmt.Errorf("retry: %w (after %d attempts, last error: %v)", err, attempt-1, last)
+			}
+			return err
+		}
+		actx := ctx
+		var cancel context.CancelFunc
+		if p.AttemptTimeout > 0 {
+			actx, cancel = context.WithTimeout(ctx, p.AttemptTimeout)
+		}
+		err := op(actx)
+		if cancel != nil {
+			cancel()
+		}
+		if err == nil {
+			if p.Budget != nil {
+				p.Budget.OnSuccess()
+			}
+			return nil
+		}
+		last = err
+		if IsPermanent(err) {
+			return fmt.Errorf("retry: permanent failure on attempt %d: %w", attempt, err)
+		}
+		if attempt >= p.MaxAttempts {
+			return fmt.Errorf("retry: giving up after %d attempts: %w", attempt, last)
+		}
+		if p.Budget != nil && !p.Budget.Spend() {
+			return fmt.Errorf("retry: %w after %d attempts: %w", ErrBudgetExhausted, attempt, last)
+		}
+		delay := p.Delay(key, attempt)
+		select {
+		case <-time.After(delay):
+		case <-ctx.Done():
+			return fmt.Errorf("retry: %w while backing off (after %d attempts, last error: %v)", ctx.Err(), attempt, last)
+		}
+	}
+}
+
+// Budget is a token bucket limiting retries fleet-wide: each success earns
+// Ratio tokens (capped at Burst), each retry spends one. When the bucket is
+// empty retries are refused, so a hard-down dependency costs one attempt
+// per request instead of MaxAttempts — the classic retry-storm damper.
+// The zero value refuses nothing until its first Spend, then behaves as
+// Ratio=0.1, Burst=10. Safe for concurrent use.
+type Budget struct {
+	// Ratio is tokens earned per success (default 0.1).
+	Ratio float64
+	// Burst caps accumulated tokens (default 10; also the initial balance).
+	Burst float64
+
+	mu      sync.Mutex
+	started bool
+	tokens  float64
+}
+
+func (b *Budget) defaults() (ratio, burst float64) {
+	ratio, burst = b.Ratio, b.Burst
+	if ratio <= 0 {
+		ratio = 0.1
+	}
+	if burst <= 0 {
+		burst = 10
+	}
+	return ratio, burst
+}
+
+// OnSuccess credits the budget for a successful operation.
+func (b *Budget) OnSuccess() {
+	if b == nil {
+		return
+	}
+	ratio, burst := b.defaults()
+	b.mu.Lock()
+	if !b.started {
+		b.started, b.tokens = true, burst
+	}
+	b.tokens += ratio
+	if b.tokens > burst {
+		b.tokens = burst
+	}
+	b.mu.Unlock()
+}
+
+// Spend consumes one retry token, reporting false when the budget refuses
+// the retry.
+func (b *Budget) Spend() bool {
+	if b == nil {
+		return true
+	}
+	_, burst := b.defaults()
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if !b.started {
+		b.started, b.tokens = true, burst
+	}
+	if b.tokens < 1 {
+		return false
+	}
+	b.tokens--
+	return true
+}
+
+// Tokens returns the current balance (diagnostics and tests).
+func (b *Budget) Tokens() float64 {
+	if b == nil {
+		return 0
+	}
+	_, burst := b.defaults()
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if !b.started {
+		return burst
+	}
+	return b.tokens
+}
+
+// hashKey is FNV-1a over the key, feeding splitmix64's avalanche.
+func hashKey(s string) uint64 {
+	const (
+		offset = 14695981039346656037
+		prime  = 1099511628211
+	)
+	h := uint64(offset)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= prime
+	}
+	return h
+}
+
+// splitmix64 is the same finalizer internal/parallel uses for per-trial
+// seeds: a full-avalanche mix, so consecutive attempts land anywhere in the
+// jitter span.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}

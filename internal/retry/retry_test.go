@@ -1,0 +1,152 @@
+package retry
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestDelayDeterministicCappedAndJittered(t *testing.T) {
+	p := Policy{BaseDelay: 100 * time.Millisecond, MaxDelay: time.Second, Multiplier: 2, JitterFrac: 0.5}
+	for attempt := 1; attempt <= 8; attempt++ {
+		a := p.Delay("spec-hash-1", attempt)
+		b := p.Delay("spec-hash-1", attempt)
+		if a != b {
+			t.Fatalf("attempt %d: jitter not deterministic: %v vs %v", attempt, a, b)
+		}
+		if a > time.Second {
+			t.Fatalf("attempt %d: delay %v exceeds cap", attempt, a)
+		}
+		if a <= 0 {
+			t.Fatalf("attempt %d: non-positive delay %v", attempt, a)
+		}
+	}
+	// The nominal (pre-jitter) delay doubles, so later attempts must not be
+	// shorter than half the nominal of the previous attempt's lower bound;
+	// at minimum the capped tail stays within [cap/2, cap].
+	tail := p.Delay("spec-hash-1", 8)
+	if tail < 500*time.Millisecond {
+		t.Fatalf("capped tail delay %v fell below cap·(1-jitter)", tail)
+	}
+	// Different keys jitter differently (overwhelmingly likely).
+	if p.Delay("k1", 3) == p.Delay("k2", 3) && p.Delay("k1", 4) == p.Delay("k2", 4) {
+		t.Fatal("two keys produced identical jitter on consecutive attempts")
+	}
+}
+
+func TestDoRetriesThenSucceeds(t *testing.T) {
+	p := Policy{MaxAttempts: 5, BaseDelay: time.Millisecond, MaxDelay: 2 * time.Millisecond}
+	calls := 0
+	err := p.Do(context.Background(), "k", func(context.Context) error {
+		calls++
+		if calls < 3 {
+			return errors.New("transient")
+		}
+		return nil
+	})
+	if err != nil || calls != 3 {
+		t.Fatalf("err=%v calls=%d", err, calls)
+	}
+}
+
+func TestDoGivesUpAfterMaxAttempts(t *testing.T) {
+	p := Policy{MaxAttempts: 3, BaseDelay: time.Millisecond, MaxDelay: time.Millisecond}
+	calls := 0
+	sentinel := errors.New("still down")
+	err := p.Do(context.Background(), "k", func(context.Context) error {
+		calls++
+		return sentinel
+	})
+	if calls != 3 {
+		t.Fatalf("calls=%d, want 3", calls)
+	}
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("err=%v does not wrap the last failure", err)
+	}
+}
+
+func TestDoPermanentStopsImmediately(t *testing.T) {
+	p := Policy{MaxAttempts: 5, BaseDelay: time.Millisecond}
+	calls := 0
+	bad := errors.New("400 bad spec")
+	err := p.Do(context.Background(), "k", func(context.Context) error {
+		calls++
+		return Permanent(bad)
+	})
+	if calls != 1 {
+		t.Fatalf("calls=%d, want 1", calls)
+	}
+	if !errors.Is(err, bad) || !IsPermanent(err) {
+		t.Fatalf("err=%v, want permanent wrapping %v", err, bad)
+	}
+}
+
+func TestDoAttemptTimeout(t *testing.T) {
+	p := Policy{MaxAttempts: 2, BaseDelay: time.Millisecond, AttemptTimeout: 20 * time.Millisecond}
+	var deadlines []bool
+	err := p.Do(context.Background(), "k", func(ctx context.Context) error {
+		_, ok := ctx.Deadline()
+		deadlines = append(deadlines, ok)
+		<-ctx.Done() // simulate an attempt that hangs until its deadline
+		return ctx.Err()
+	})
+	if err == nil {
+		t.Fatal("want error from timed-out attempts")
+	}
+	if len(deadlines) != 2 || !deadlines[0] || !deadlines[1] {
+		t.Fatalf("attempts did not all carry deadlines: %v", deadlines)
+	}
+}
+
+func TestDoContextCancelStopsBackoff(t *testing.T) {
+	p := Policy{MaxAttempts: 10, BaseDelay: time.Hour} // backoff would block forever
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(10 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	err := p.Do(ctx, "k", func(context.Context) error { return errors.New("transient") })
+	if err == nil || !errors.Is(err, context.Canceled) {
+		t.Fatalf("err=%v, want context.Canceled", err)
+	}
+	if time.Since(start) > 5*time.Second {
+		t.Fatal("cancel did not interrupt the backoff sleep")
+	}
+}
+
+func TestBudgetExhaustionStopsRetries(t *testing.T) {
+	b := &Budget{Ratio: 0.1, Burst: 2}
+	p := Policy{MaxAttempts: 10, BaseDelay: time.Millisecond, MaxDelay: time.Millisecond, Budget: b}
+	calls := 0
+	err := p.Do(context.Background(), "k", func(context.Context) error {
+		calls++
+		return errors.New("down")
+	})
+	if !errors.Is(err, ErrBudgetExhausted) {
+		t.Fatalf("err=%v, want budget exhaustion", err)
+	}
+	// Initial balance Burst=2: one first attempt plus two funded retries.
+	if calls != 3 {
+		t.Fatalf("calls=%d, want 3 (first + 2 budgeted retries)", calls)
+	}
+	// Successes refill the budget.
+	for i := 0; i < 20; i++ {
+		b.OnSuccess()
+	}
+	if b.Tokens() < 2 {
+		t.Fatalf("tokens=%v after refills, want == burst", b.Tokens())
+	}
+	if !b.Spend() {
+		t.Fatal("refilled budget refused a retry")
+	}
+}
+
+func TestBudgetNilIsUnlimited(t *testing.T) {
+	var b *Budget
+	if !b.Spend() {
+		t.Fatal("nil budget must not refuse")
+	}
+	b.OnSuccess() // must not panic
+}

@@ -11,6 +11,18 @@
 //	GET    /metrics              text metrics
 //	GET    /healthz              liveness probe
 //
+// Overload maps to HTTP status: admission-control shedding (the manager's
+// queue-depth/in-flight watermarks) is 429 + Retry-After, a saturated queue
+// is 503 + Retry-After. Clients should treat both as backoff signals; 429
+// is the polite early one.
+//
+// The event stream is NDJSON with one extension: lines beginning with ':'
+// are heartbeat comments, sent periodically so proxies keep idle streams
+// open and so the server notices dead clients by write error and releases
+// their subscription. Clients must skip blank and ':' lines. Under load the
+// stream degrades gracefully — buffered progress events are coalesced to
+// the newest — but the terminal event is always delivered.
+//
 // The package-scope determinism exemption covers operational telemetry
 // only (request timing and metrics formatting); no simulation state passes
 // through this package — results are opaque bytes from the store.
@@ -25,6 +37,7 @@ import (
 	"net/http"
 	"sort"
 	"strings"
+	"time"
 
 	"spineless/internal/jobs"
 	"spineless/internal/store"
@@ -33,8 +46,16 @@ import (
 // maxSpecBytes bounds a POST /v1/jobs body; specs are small.
 const maxSpecBytes = 1 << 20
 
+// DefaultHeartbeat is the event-stream heartbeat period when the Server's
+// Heartbeat field is left zero.
+const DefaultHeartbeat = 15 * time.Second
+
 // Server routes HTTP requests to a jobs.Manager.
 type Server struct {
+	// Heartbeat is the NDJSON event-stream heartbeat period (0 =
+	// DefaultHeartbeat). Tests and the fleet smoke shrink it.
+	Heartbeat time.Duration
+
 	m    *jobs.Manager
 	mux  *http.ServeMux
 	logf func(format string, args ...any)
@@ -109,6 +130,12 @@ func (s *Server) submit(w http.ResponseWriter, r *http.Request) {
 	}
 	j, cached, err := s.m.Submit(sp)
 	switch {
+	case err == jobs.ErrOverloaded:
+		// Shed by admission control: the queue still has headroom, so this
+		// is the polite 429 clients should back off on.
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusTooManyRequests, "%v", err)
+		return
 	case err == jobs.ErrQueueFull:
 		w.Header().Set("Retry-After", "1")
 		writeError(w, http.StatusServiceUnavailable, "%v", err)
@@ -159,8 +186,12 @@ func (s *Server) cancel(w http.ResponseWriter, r *http.Request) {
 
 // events streams the job's lifecycle as NDJSON: one event per line, the
 // current state first, closing after the terminal event (or when the
-// client goes away). Progress events a slow reader misses are dropped, but
-// the terminal event is always delivered.
+// client goes away — the request context and heartbeat write errors both
+// release the subscription, so dead clients never pin a job's subscriber
+// slot). Between events a periodic ':'-prefixed heartbeat comment line is
+// written. Progress events that pile up behind a slow reader are coalesced
+// to the newest (graceful degradation: granularity drops, the terminal
+// event never does).
 func (s *Server) events(w http.ResponseWriter, r *http.Request) {
 	j, ok := s.lookup(w, r)
 	if !ok {
@@ -170,6 +201,18 @@ func (s *Server) events(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Cache-Control", "no-store")
 	w.WriteHeader(http.StatusOK)
 	flusher, _ := w.(http.Flusher)
+	flush := func() {
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+
+	hb := s.Heartbeat
+	if hb <= 0 {
+		hb = DefaultHeartbeat
+	}
+	ticker := time.NewTicker(hb)
+	defer ticker.Stop()
 
 	ch, stop := j.Subscribe()
 	defer stop()
@@ -180,12 +223,34 @@ func (s *Server) events(w http.ResponseWriter, r *http.Request) {
 			if !open {
 				return
 			}
+			// Coalesce whatever already sits in the buffer down to the
+			// newest event. If the channel closes mid-drain the last event
+			// received is the terminal one: encode it, then exit.
+		drain:
+			for {
+				select {
+				case next, more := <-ch:
+					if !more {
+						open = false
+						break drain
+					}
+					ev = next
+				default:
+					break drain
+				}
+			}
 			if err := enc.Encode(ev); err != nil {
 				return
 			}
-			if flusher != nil {
-				flusher.Flush()
+			flush()
+			if !open {
+				return
 			}
+		case <-ticker.C:
+			if _, err := io.WriteString(w, ": hb\n"); err != nil {
+				return
+			}
+			flush()
 		case <-r.Context().Done():
 			return
 		}
@@ -234,6 +299,7 @@ func (s *Server) metrics(w http.ResponseWriter, r *http.Request) {
 	counter("spinelessd_jobs_submitted_total", "Jobs accepted onto the queue.", float64(snap.Submitted))
 	counter("spinelessd_jobs_deduped_total", "Submissions coalesced onto an in-flight identical spec.", float64(snap.Deduped))
 	counter("spinelessd_jobs_rejected_total", "Submissions rejected because the queue was full.", float64(snap.Rejected))
+	counter("spinelessd_jobs_shed_total", "Submissions shed by admission control before queue saturation.", float64(snap.Shed))
 
 	states := make([]string, 0, len(snap.ByState))
 	for st := range snap.ByState {

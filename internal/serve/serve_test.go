@@ -5,6 +5,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"fmt"
 	"io"
 	"net/http"
 	"net/http/httptest"
@@ -258,6 +259,194 @@ func TestQueueFullMapsTo503(t *testing.T) {
 	// Cancel the slow jobs so cleanup's Drain returns promptly.
 	m.Cancel(sub1.Job)
 	m.Cancel(sub2.Job)
+}
+
+// TestShedMapsTo429 pins the admission-control status mapping: a submission
+// past the shed watermark gets 429 + Retry-After while the queue-full 503
+// path never fires (shedding precedes saturation).
+func TestShedMapsTo429(t *testing.T) {
+	ts, m := testServer(t, jobs.Config{QueueDepth: 8, ShedDepth: 1, Executors: 1})
+	spec := func(n int) string {
+		s := strings.Replace(tinySpecJSON, `"trials":2`, `"trials":500`, 1)
+		return strings.Replace(s, `"seed":1`, `"seed":1`+strings.Repeat("0", n), 1)
+	}
+	code, sub1 := postSpec(t, ts, spec(1))
+	if code != http.StatusAccepted {
+		t.Fatalf("submit 1: %d", code)
+	}
+	j1, _ := m.Get(sub1.Job)
+	deadline := time.Now().Add(10 * time.Second)
+	for j1.State() == jobs.StatePending && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	code, sub2 := postSpec(t, ts, spec(2))
+	if code != http.StatusAccepted {
+		t.Fatalf("submit 2: %d", code)
+	}
+	resp, err := http.Post(ts.URL+"/v1/jobs", "application/json", strings.NewReader(spec(3)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("submit past watermark: %d, want 429", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("429 without Retry-After")
+	}
+	code, body := get(t, ts.URL+"/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("metrics: %d", code)
+	}
+	if !strings.Contains(string(body), "spinelessd_jobs_shed_total 1") {
+		t.Error("metrics missing shed counter")
+	}
+	m.Cancel(sub1.Job)
+	m.Cancel(sub2.Job)
+}
+
+// TestOverloadShedsBeforeSaturation floods the server with distinct specs
+// and asserts the acceptance criterion: everything beyond the watermark is
+// shed with 429 before the queue saturates (no 503s), and every admitted
+// job still reaches done with bounded latency — no collapse.
+func TestOverloadShedsBeforeSaturation(t *testing.T) {
+	ts, m := testServer(t, jobs.Config{QueueDepth: 8, ShedDepth: 4, Executors: 1, TrialWorkers: 1})
+	spec := func(seed int) string {
+		// Slow enough (tens of ms) that the rapid flood below outpaces the
+		// single executor and actually fills the queue to the watermark.
+		s := strings.Replace(tinySpecJSON, `"max_flows":40`, `"max_flows":20`, 1)
+		s = strings.Replace(s, `"trials":2`, `"trials":25`, 1)
+		return strings.Replace(s, `"seed":1`, fmt.Sprintf(`"seed":%d`, 1000+seed), 1)
+	}
+	var accepted []string
+	var sheds, fulls int
+	for i := 0; i < 30; i++ {
+		code, sub := postSpec(t, ts, spec(i))
+		switch code {
+		case http.StatusAccepted, http.StatusOK:
+			accepted = append(accepted, sub.Job)
+		case http.StatusTooManyRequests:
+			sheds++
+		case http.StatusServiceUnavailable:
+			fulls++
+		default:
+			t.Fatalf("submit %d: unexpected status %d", i, code)
+		}
+	}
+	if fulls != 0 {
+		t.Fatalf("%d submissions hit the 503 queue-full wall; shedding must fire first", fulls)
+	}
+	if sheds == 0 {
+		t.Fatal("no submissions shed under flood")
+	}
+	if len(accepted) == 0 {
+		t.Fatal("every submission shed; watermark admits nothing")
+	}
+	// Every admitted job finishes, and none took pathologically long — the
+	// "p99 stays bounded" half of the criterion at test scale.
+	for _, id := range accepted {
+		j, ok := m.Get(id)
+		if !ok {
+			t.Fatalf("admitted job %s vanished", id)
+		}
+		select {
+		case <-j.Terminal():
+		case <-time.After(120 * time.Second):
+			t.Fatalf("admitted job %s never settled", id)
+		}
+		st := j.Status()
+		if st.State != jobs.StateDone {
+			t.Fatalf("admitted job %s ended %s (%s)", id, st.State, st.Error)
+		}
+		if st.ElapsedMS > 60_000 {
+			t.Fatalf("admitted job %s took %dms; latency collapsed", id, st.ElapsedMS)
+		}
+	}
+	if snap := m.Snapshot(); snap.Rejected != 0 || snap.Shed == 0 {
+		t.Fatalf("counters: rejected=%d shed=%d", snap.Rejected, snap.Shed)
+	}
+}
+
+// TestHeartbeatAndDisconnectReleasesSubscription pins the stream-liveness
+// satellite: heartbeat comment lines flow while a job runs, and a client
+// that goes away releases its subscription promptly instead of leaking it
+// until the job settles.
+func TestHeartbeatAndDisconnectReleasesSubscription(t *testing.T) {
+	st, err := store.Open(t.TempDir(), store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := jobs.New(st, jobs.Config{QueueDepth: 4, Executors: 1})
+	srv := New(m, nil)
+	srv.Heartbeat = 20 * time.Millisecond
+	ts := httptest.NewServer(srv)
+	t.Cleanup(func() {
+		ts.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+		defer cancel()
+		m.Drain(ctx)
+	})
+
+	slow := strings.Replace(tinySpecJSON, `"trials":2`, `"trials":500`, 1)
+	code, sub := postSpec(t, ts, slow)
+	if code != http.StatusAccepted {
+		t.Fatalf("submit: %d", code)
+	}
+	j, ok := m.Get(sub.Job)
+	if !ok {
+		t.Fatal("job vanished")
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, ts.URL+"/v1/jobs/"+sub.Job+"/events", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+
+	// The subscription is live and heartbeats arrive between events.
+	sawHeartbeat := false
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		line := sc.Text()
+		if strings.HasPrefix(line, ":") {
+			sawHeartbeat = true
+			break
+		}
+		if line == "" {
+			continue
+		}
+		var ev jobs.Event
+		if err := json.Unmarshal([]byte(line), &ev); err != nil {
+			t.Fatalf("bad stream line %q: %v", line, err)
+		}
+	}
+	if !sawHeartbeat {
+		t.Fatal("no heartbeat comment line observed")
+	}
+	if n := j.Subscribers(); n != 1 {
+		t.Fatalf("subscribers while streaming = %d, want 1", n)
+	}
+
+	// Client goes away: the handler must notice (request context) and
+	// release the subscription while the job is still running.
+	cancel()
+	deadline := time.Now().Add(10 * time.Second)
+	for j.Subscribers() != 0 && time.Now().Before(deadline) {
+		time.Sleep(2 * time.Millisecond)
+	}
+	if n := j.Subscribers(); n != 0 {
+		t.Fatalf("subscribers after disconnect = %d, want 0", n)
+	}
+	if j.State() != jobs.StateRunning && j.State() != jobs.StatePending {
+		t.Fatalf("job settled prematurely: %s", j.State())
+	}
+	m.Cancel(sub.Job)
 }
 
 func TestCancelOverHTTP(t *testing.T) {

@@ -139,6 +139,14 @@ func (g *Graph) ServersOf(v int) (lo, hi int) {
 	return g.serverPre[v], g.serverPre[v] + g.servers[v]
 }
 
+// Reindex eagerly builds the server-prefix index that Servers, RackOf,
+// ServerBase and ServersOf otherwise build lazily on first use. The lazy
+// build is a write, so a graph that is still dirty must not be shared
+// across goroutines; calling Reindex before a parallel phase makes every
+// subsequent lookup a pure read. Reindexing is semantically invisible —
+// it never changes any query's answer.
+func (g *Graph) Reindex() { g.reindex() }
+
 func (g *Graph) reindex() {
 	if !g.dirty && g.serverPre != nil {
 		return
