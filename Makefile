@@ -60,9 +60,10 @@ fmt:
 		echo "gofmt needed on:"; echo "$$out"; exit 1; \
 	fi
 
-# Custom invariant checkers (determinism, maporder, nofatal, shadowbuiltin,
-# floateq, nakedpanic, sharedrand) — see DESIGN.md "Invariants & static
-# analysis".
+# Custom invariant checkers: per-package (determinism, maporder, nofatal,
+# shadowbuiltin, floateq, nakedpanic, sharedrand, ctxleak, locks, goleak)
+# plus the whole-program call-graph checkers (detflow, hotpath) — see
+# DESIGN.md §7 and §12.
 lint:
 	$(GO) run ./cmd/spinelint ./...
 

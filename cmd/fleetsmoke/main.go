@@ -306,10 +306,8 @@ func run(n, load int, seed int64, timeout time.Duration, verbose bool) error {
 			res, err := coord.Run(ctx, sp)
 			results <- outcome{i, res, err}
 		}(i, sp)
-		select {
-		case <-time.After(400 * time.Millisecond):
-		case <-ctx.Done():
-			return ctx.Err()
+		if err := retry.Sleep(ctx, 400*time.Millisecond); err != nil {
+			return err
 		}
 	}
 	wg.Wait()
@@ -439,10 +437,8 @@ func waitHealthy(ctx context.Context, urls []string) error {
 					break
 				}
 			}
-			select {
-			case <-time.After(100 * time.Millisecond):
-			case <-ctx.Done():
-				return fmt.Errorf("worker %s never became healthy: %w", u, ctx.Err())
+			if err := retry.Sleep(ctx, 100*time.Millisecond); err != nil {
+				return fmt.Errorf("worker %s never became healthy: %w", u, err)
 			}
 		}
 	}

@@ -3,9 +3,14 @@
 // iteration order, library-safe error handling, and the bug classes this
 // tree has hit before (see internal/lint and DESIGN.md §"Invariants").
 //
+// Per-package checkers run on each package independently; the whole-program
+// checkers (detflow, hotpath) build a cross-package call graph over every
+// loaded package first, so taint can follow a value through helper layers
+// and package boundaries.
+//
 // Usage:
 //
-//	spinelint [-list] [-checks id,id,...] [packages]
+//	spinelint [-list] [-checks id,id,...] [-format text|json] [packages]
 //
 // Packages default to ./... . Exit status is 1 if any finding is reported,
 // 2 on load errors. Suppress a single finding with a trailing or preceding
@@ -13,6 +18,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -22,17 +28,36 @@ import (
 	"spineless/internal/lint"
 )
 
+// jsonFinding is the -format=json wire shape, consumed by the CI
+// problem-matcher (.github/spinelint-problem-matcher.json).
+type jsonFinding struct {
+	File    string `json:"file"`
+	Line    int    `json:"line"`
+	Col     int    `json:"col"`
+	Check   string `json:"check"`
+	Message string `json:"message"`
+}
+
 func main() {
 	list := flag.Bool("list", false, "list available checks and exit")
 	checks := flag.String("checks", "", "comma-separated check IDs to run (default: all)")
+	format := flag.String("format", "text", "output format: text or json")
 	flag.Parse()
 
 	checkers := lint.DefaultCheckers()
+	progCheckers := lint.DefaultProgramCheckers()
 	if *list {
 		for _, c := range checkers {
 			fmt.Printf("%-14s %s\n", c.Name(), c.Doc())
 		}
+		for _, c := range progCheckers {
+			fmt.Printf("%-14s %s\n", c.Name(), c.Doc())
+		}
 		return
+	}
+	if *format != "text" && *format != "json" {
+		fmt.Fprintf(os.Stderr, "spinelint: unknown -format %q (want text or json)\n", *format)
+		os.Exit(2)
 	}
 	if *checks != "" {
 		want := make(map[string]bool)
@@ -46,6 +71,13 @@ func main() {
 				delete(want, c.Name())
 			}
 		}
+		var keptProg []lint.ProgramChecker
+		for _, c := range progCheckers {
+			if want[c.Name()] {
+				keptProg = append(keptProg, c)
+				delete(want, c.Name())
+			}
+		}
 		if len(want) > 0 {
 			unknown := make([]string, 0, len(want))
 			for id := range want {
@@ -55,7 +87,7 @@ func main() {
 			fmt.Fprintf(os.Stderr, "spinelint: unknown checks %s (see -list)\n", strings.Join(unknown, ", "))
 			os.Exit(2)
 		}
-		checkers = kept
+		checkers, progCheckers = kept, keptProg
 	}
 
 	patterns := flag.Args()
@@ -67,21 +99,33 @@ func main() {
 		fmt.Fprintln(os.Stderr, "spinelint:", err)
 		os.Exit(2)
 	}
-	bad := false
-	for _, p := range pkgs {
-		pass := &lint.Pass{
-			Fset:       fset,
-			ImportPath: p.ImportPath,
-			Files:      p.Files,
-			Pkg:        p.Pkg,
-			Info:       p.Info,
+	prog := lint.NewProgram(fset, pkgs)
+	findings := prog.Run(checkers, progCheckers)
+
+	switch *format {
+	case "json":
+		out := make([]jsonFinding, 0, len(findings))
+		for _, f := range findings {
+			out = append(out, jsonFinding{
+				File:    f.Pos.Filename,
+				Line:    f.Pos.Line,
+				Col:     f.Pos.Column,
+				Check:   f.Check,
+				Message: f.Message,
+			})
 		}
-		for _, f := range lint.Run(pass, checkers) {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			fmt.Fprintln(os.Stderr, "spinelint:", err)
+			os.Exit(2)
+		}
+	default:
+		for _, f := range findings {
 			fmt.Println(f)
-			bad = true
 		}
 	}
-	if bad {
+	if len(findings) > 0 {
 		os.Exit(1)
 	}
 }

@@ -163,9 +163,13 @@ func (c *Controller) Play(done <-chan struct{}) {
 	for _, e := range c.sched.Sorted() {
 		at := start.Add(time.Duration(e.TimeNS))
 		if d := time.Until(at); d > 0 {
+			// One timer per event, released on early exit: time.After here
+			// would leave the abandoned timer pending until it fired.
+			t := time.NewTimer(d)
 			select {
-			case <-time.After(d):
+			case <-t.C:
 			case <-done:
+				t.Stop()
 				return
 			}
 		}

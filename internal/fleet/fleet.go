@@ -306,10 +306,8 @@ func (c *Coordinator) runFlight(ctx context.Context, hash string, sp jobs.Spec) 
 		}
 		// Full pass failed (or everyone is dead): back off deterministically
 		// on the spec hash and try again — chaos restarts workers.
-		select {
-		case <-time.After(c.cfg.RPC.Delay(hash, cycle)):
-		case <-ctx.Done():
-			return RunResult{}, flightErr(ctx.Err(), lastErr)
+		if err := retry.Sleep(ctx, c.cfg.RPC.Delay(hash, cycle)); err != nil {
+			return RunResult{}, flightErr(err, lastErr)
 		}
 	}
 }

@@ -662,7 +662,7 @@ func (j *Job) Subscribe() (<-chan Event, func()) {
 	j.mu.Lock()
 	id := j.nextSub
 	j.nextSub++
-	ch <- j.eventLocked()
+	ch <- j.eventLocked() //lint:allow locks (ch is fresh with cap 16 and unshared until registration below: the send cannot block)
 	if j.state.Terminal() {
 		close(ch)
 		j.mu.Unlock()

@@ -1,0 +1,349 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// CallKind classifies how a call site was resolved.
+type CallKind uint8
+
+const (
+	// CallStatic is a direct call of a named function or a method on a
+	// concrete receiver: exactly one callee.
+	CallStatic CallKind = iota
+	// CallInterface is a method call through an interface value, resolved
+	// conservatively to every program method with the same name and
+	// signature (a CHA-style over-approximation: method sets are matched
+	// structurally, not by proven implements-relations, because the
+	// concrete types flow through export data where we no longer have
+	// object identity).
+	CallInterface
+	// CallDynamic is a call through a func value (variable, field, stored
+	// callback), resolved to every address-taken program function with an
+	// identical signature string.
+	CallDynamic
+)
+
+func (k CallKind) String() string {
+	switch k {
+	case CallStatic:
+		return "static"
+	case CallInterface:
+		return "interface"
+	case CallDynamic:
+		return "dynamic"
+	}
+	return "unknown"
+}
+
+// Node is one function in the call graph. Fn is nil for functions with no
+// source in the program (stdlib, export-data-only dependencies): they are
+// boundaries, present so callers can still see the edge.
+type Node struct {
+	Name string // (*types.Func).FullName(), or "func literal @pos" (never for program nodes)
+	Fn   *FuncInfo
+	// Calls lists every call site textually inside this function's
+	// declaration, including sites inside nested function literals (a
+	// closure's calls are attributed to the function that creates it — a
+	// deliberate over-approximation that keeps hot-path walks sound).
+	Calls []*CallSite
+	// In lists the distinct callers of this node.
+	In []*Node
+}
+
+// CallSite is one resolved call expression.
+type CallSite struct {
+	Pos     token.Pos
+	Call    *ast.CallExpr
+	Kind    CallKind
+	Callees []*Node
+	// Go and Defer mark `go f()` / `defer f()` statements.
+	Go, Defer bool
+}
+
+// CallGraph is the static, conservative whole-program call graph.
+type CallGraph struct {
+	Nodes map[string]*Node
+	// Sites maps every classified call expression to its site, shared with
+	// taint analysis so call resolution happens exactly once.
+	Sites map[*ast.CallExpr]*CallSite
+}
+
+// Callees returns the resolved callee names of the named function, deduped.
+func (g *CallGraph) Callees(caller string) []string {
+	n := g.Nodes[caller]
+	if n == nil {
+		return nil
+	}
+	seen := make(map[string]bool)
+	var out []string
+	for _, s := range n.Calls {
+		for _, c := range s.Callees {
+			if !seen[c.Name] {
+				seen[c.Name] = true
+				out = append(out, c.Name)
+			}
+		}
+	}
+	return out
+}
+
+type graphBuilder struct {
+	prog *Program
+	g    *CallGraph
+	// methodsBySig indexes every program method (concrete receiver) by
+	// name + "|" + signature string, for interface-dispatch resolution.
+	methodsBySig map[string][]*Node
+	// addrTakenBySig indexes program functions referenced outside call
+	// position (stored, passed, compared) by signature string, for
+	// func-value call resolution.
+	addrTakenBySig map[string][]*Node
+}
+
+func buildCallGraph(prog *Program) *CallGraph {
+	b := &graphBuilder{
+		prog:           prog,
+		g:              &CallGraph{Nodes: make(map[string]*Node), Sites: make(map[*ast.CallExpr]*CallSite)},
+		methodsBySig:   make(map[string][]*Node),
+		addrTakenBySig: make(map[string][]*Node),
+	}
+	// Pass 1: one node per program function; index methods and
+	// address-taken functions.
+	for _, fi := range prog.Funcs {
+		n := b.node(fi.Name)
+		n.Fn = fi
+		sig, ok := fi.Obj.Type().(*types.Signature)
+		if !ok {
+			continue
+		}
+		if sig.Recv() != nil && !types.IsInterface(sig.Recv().Type()) {
+			key := fi.Obj.Name() + "|" + sigString(sig)
+			b.methodsBySig[key] = append(b.methodsBySig[key], n)
+		}
+	}
+	for _, p := range prog.Passes {
+		b.collectAddrTaken(p)
+	}
+	// Pass 2: classify every call site.
+	for _, fi := range prog.Funcs {
+		b.walkFunc(fi)
+	}
+	return b.g
+}
+
+func (b *graphBuilder) node(name string) *Node {
+	if n, ok := b.g.Nodes[name]; ok {
+		return n
+	}
+	n := &Node{Name: name}
+	b.g.Nodes[name] = n
+	return n
+}
+
+// sigString renders a signature with full package-path qualifiers, no
+// receiver, and no parameter names, so the "same function" seen from two
+// packages' type universes — or through a func-typed variable whose
+// parameters are unnamed — compares equal.
+func sigString(sig *types.Signature) string {
+	strip := func(t *types.Tuple) *types.Tuple {
+		if t == nil || t.Len() == 0 {
+			return t
+		}
+		vars := make([]*types.Var, t.Len())
+		for i := 0; i < t.Len(); i++ {
+			vars[i] = types.NewVar(token.NoPos, nil, "", t.At(i).Type())
+		}
+		return types.NewTuple(vars...)
+	}
+	noRecv := types.NewSignatureType(nil, nil, nil, strip(sig.Params()), strip(sig.Results()), sig.Variadic())
+	return types.TypeString(noRecv, func(p *types.Package) string { return p.Path() })
+}
+
+// collectAddrTaken records every reference to a program function outside
+// direct-call position: those are the functions a func-typed variable or
+// field could hold.
+func (b *graphBuilder) collectAddrTaken(p *Pass) {
+	for _, f := range p.Files {
+		// calleeIdents are identifiers appearing as the operator of a call;
+		// they are uses, not address-taking.
+		calleeIdents := make(map[*ast.Ident]bool)
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			switch fun := unparen(call.Fun).(type) {
+			case *ast.Ident:
+				calleeIdents[fun] = true
+			case *ast.SelectorExpr:
+				calleeIdents[fun.Sel] = true
+			case *ast.IndexExpr: // generic instantiation f[T](...)
+				if id, ok := unparen(fun.X).(*ast.Ident); ok {
+					calleeIdents[id] = true
+				}
+			}
+			return true
+		})
+		ast.Inspect(f, func(n ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok || calleeIdents[id] {
+				return true
+			}
+			fn, ok := p.Info.Uses[id].(*types.Func)
+			if !ok {
+				return true
+			}
+			node, ok := b.g.Nodes[fn.FullName()]
+			if !ok {
+				return true // no source in the program
+			}
+			sig, ok := fn.Type().(*types.Signature)
+			if !ok {
+				return true
+			}
+			key := sigString(sig)
+			for _, have := range b.addrTakenBySig[key] {
+				if have == node {
+					return true
+				}
+			}
+			b.addrTakenBySig[key] = append(b.addrTakenBySig[key], node)
+			return true
+		})
+	}
+}
+
+// walkFunc classifies every call inside fi's declaration (nested literals
+// included) and attaches the resulting sites to fi's node.
+func (b *graphBuilder) walkFunc(fi *FuncInfo) {
+	caller := b.g.Nodes[fi.Name]
+	ast.Inspect(fi.Decl.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.GoStmt:
+			b.site(caller, fi.Pass, n.Call, true, false)
+		case *ast.DeferStmt:
+			b.site(caller, fi.Pass, n.Call, false, true)
+		case *ast.CallExpr:
+			if b.g.Sites[n] == nil {
+				b.site(caller, fi.Pass, n, false, false)
+			}
+		}
+		return true
+	})
+}
+
+func (b *graphBuilder) site(caller *Node, p *Pass, call *ast.CallExpr, isGo, isDefer bool) {
+	if tv, ok := p.Info.Types[call.Fun]; ok && tv.IsType() {
+		return // conversion, not a call
+	}
+	s := &CallSite{Pos: call.Lparen, Call: call, Go: isGo, Defer: isDefer}
+	fun := unparen(call.Fun)
+	if ix, ok := fun.(*ast.IndexExpr); ok { // generic instantiation
+		fun = unparen(ix.X)
+	}
+	if ixl, ok := fun.(*ast.IndexListExpr); ok {
+		fun = unparen(ixl.X)
+	}
+	switch fun := fun.(type) {
+	case *ast.Ident:
+		switch obj := p.Info.Uses[fun].(type) {
+		case *types.Func:
+			s.Kind = CallStatic
+			s.Callees = []*Node{b.node(obj.FullName())}
+		case *types.Builtin, nil:
+			return // builtin (len, append, ...) or unresolved
+		default:
+			b.dynamic(s, p, call) // func-typed variable
+		}
+	case *ast.SelectorExpr:
+		if sel, ok := p.Info.Selections[fun]; ok {
+			switch sel.Kind() {
+			case types.MethodVal, types.MethodExpr:
+				m := sel.Obj().(*types.Func)
+				if sel.Kind() == types.MethodVal && types.IsInterface(sel.Recv()) {
+					b.dispatch(s, m)
+				} else {
+					s.Kind = CallStatic
+					s.Callees = []*Node{b.node(m.FullName())}
+				}
+			case types.FieldVal:
+				b.dynamic(s, p, call) // calling a func-typed field
+			}
+		} else {
+			// Package-qualified: pkg.F(...) or a package-level func var.
+			switch obj := p.Info.Uses[fun.Sel].(type) {
+			case *types.Func:
+				s.Kind = CallStatic
+				s.Callees = []*Node{b.node(obj.FullName())}
+			default:
+				b.dynamic(s, p, call)
+			}
+		}
+	case *ast.FuncLit:
+		// Immediately-invoked literal: its body is already walked as part
+		// of the enclosing function, so there is no separate callee.
+		return
+	default:
+		b.dynamic(s, p, call)
+	}
+	b.g.Sites[call] = s
+	caller.Calls = append(caller.Calls, s)
+	for _, callee := range s.Callees {
+		addCaller(callee, caller)
+	}
+}
+
+// dispatch resolves an interface method call to every program method with
+// the same name and signature.
+func (b *graphBuilder) dispatch(s *CallSite, m *types.Func) {
+	s.Kind = CallInterface
+	sig, ok := m.Type().(*types.Signature)
+	if !ok {
+		return
+	}
+	key := m.Name() + "|" + sigString(sig)
+	if cands := b.methodsBySig[key]; len(cands) > 0 {
+		s.Callees = append([]*Node(nil), cands...)
+		return
+	}
+	// No program implementation: keep the interface method itself as an
+	// external boundary node.
+	s.Callees = []*Node{b.node(m.FullName())}
+}
+
+// dynamic resolves a func-value call to every address-taken program
+// function with the same signature string.
+func (b *graphBuilder) dynamic(s *CallSite, p *Pass, call *ast.CallExpr) {
+	s.Kind = CallDynamic
+	tv, ok := p.Info.Types[call.Fun]
+	if !ok {
+		return
+	}
+	sig, ok := tv.Type.Underlying().(*types.Signature)
+	if !ok {
+		return
+	}
+	s.Callees = append([]*Node(nil), b.addrTakenBySig[sigString(sig)]...)
+}
+
+func addCaller(callee, caller *Node) {
+	for _, have := range callee.In {
+		if have == caller {
+			return
+		}
+	}
+	callee.In = append(callee.In, caller)
+}
+
+// unparen strips parentheses (ast.Unparen needs go1.23; go.mod pins 1.22).
+func unparen(e ast.Expr) ast.Expr {
+	for {
+		p, ok := e.(*ast.ParenExpr)
+		if !ok {
+			return e
+		}
+		e = p.X
+	}
+}

@@ -1,0 +1,156 @@
+package lint
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const cgPkg = "spineless/internal/lint/testdata/callgraph/"
+
+// loadCallgraphProg loads the two-package callgraph fixture.
+func loadCallgraphProg(t *testing.T) *Program {
+	t.Helper()
+	fset, pkgs, err := Load(filepath.Join("testdata", "callgraph"), []string{"./a", "./b"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) != 2 {
+		t.Fatalf("want 2 fixture packages, got %d", len(pkgs))
+	}
+	return NewProgram(fset, pkgs)
+}
+
+// TestCallGraph pins the builder's resolution rules on the synthetic
+// fixture: static edges, conservative interface dispatch, method values,
+// func-value (dynamic) calls, cross-package edges, and a cycle.
+func TestCallGraph(t *testing.T) {
+	prog := loadCallgraphProg(t)
+	tests := []struct {
+		caller string
+		want   []string // FullNames that must appear among the callees
+		kind   CallKind // expected kind of the edge carrying want[0]
+	}{
+		{
+			caller: cgPkg + "a.Run",
+			want:   []string{"(" + cgPkg + "a.Alpha).Do", "(" + cgPkg + "a.Beta).Do"},
+			kind:   CallInterface,
+		},
+		{
+			caller: cgPkg + "a.UseTwice",
+			want:   []string{cgPkg + "a.Twice"},
+			kind:   CallStatic,
+		},
+		{
+			// Twice's f(x) resolves over the address-taken set: Inc (passed
+			// in UseTwice) and Alpha.Do (taken as a method value).
+			caller: cgPkg + "a.Twice",
+			want:   []string{cgPkg + "a.Inc", "(" + cgPkg + "a.Alpha).Do"},
+			kind:   CallDynamic,
+		},
+		{
+			caller: cgPkg + "b.CrossStatic",
+			want:   []string{cgPkg + "a.Inc"},
+			kind:   CallStatic,
+		},
+		{
+			caller: cgPkg + "b.CrossIface",
+			want:   []string{cgPkg + "a.Run"},
+			kind:   CallStatic,
+		},
+		{
+			caller: cgPkg + "a.Even",
+			want:   []string{cgPkg + "a.Odd"},
+			kind:   CallStatic,
+		},
+		{
+			caller: cgPkg + "a.Odd",
+			want:   []string{cgPkg + "a.Even"},
+			kind:   CallStatic,
+		},
+	}
+	for _, tt := range tests {
+		t.Run(strings.TrimPrefix(tt.caller, cgPkg), func(t *testing.T) {
+			callees := prog.Graph.Callees(tt.caller)
+			for _, w := range tt.want {
+				if !containsStr(callees, w) {
+					t.Errorf("callees of %s = %v; missing %s", tt.caller, callees, w)
+				}
+			}
+			n := prog.Graph.Nodes[tt.caller]
+			if n == nil {
+				t.Fatalf("no node for %s", tt.caller)
+			}
+			found := false
+			for _, site := range n.Calls {
+				for _, c := range site.Callees {
+					if c.Name == tt.want[0] && site.Kind == tt.kind {
+						found = true
+					}
+				}
+			}
+			if !found {
+				t.Errorf("no %v edge from %s to %s", tt.kind, tt.caller, tt.want[0])
+			}
+		})
+	}
+
+	// The cycle must also be visible through the In lists.
+	even := prog.Graph.Nodes[cgPkg+"a.Even"]
+	inNames := make([]string, 0, len(even.In))
+	for _, n := range even.In {
+		inNames = append(inNames, n.Name)
+	}
+	if !containsStr(inNames, cgPkg+"a.Odd") {
+		t.Errorf("Even.In = %v; cycle edge from Odd missing", inNames)
+	}
+}
+
+// TestCallGraphMethodValueAddressTaken pins that taking a method value puts
+// the method in the address-taken set without creating a call edge at the
+// take site.
+func TestCallGraphMethodValueAddressTaken(t *testing.T) {
+	prog := loadCallgraphProg(t)
+	mv := prog.Graph.Nodes[cgPkg+"a.MethodValue"]
+	if mv == nil {
+		t.Fatal("no node for MethodValue")
+	}
+	for _, site := range mv.Calls {
+		for _, c := range site.Callees {
+			if c.Name == "("+cgPkg+"a.Alpha).Do" {
+				t.Errorf("method-value take site produced a call edge to Alpha.Do")
+			}
+		}
+	}
+}
+
+// TestDetFlowCrossPackage is the tentpole's reason to exist: time.Now in
+// package a, laundered through two function calls and a package boundary,
+// must still be flagged when it lands in package b's sink.
+func TestDetFlowCrossPackage(t *testing.T) {
+	prog := loadCallgraphProg(t)
+	det := &DetFlow{SinkTypes: []string{"callgraph/b.Stats"}}
+	findings := prog.Run(nil, []ProgramChecker{det})
+	var hits []Finding
+	for _, f := range findings {
+		if f.Check == "detflow" && strings.HasSuffix(f.Pos.Filename, "b.go") {
+			hits = append(hits, f)
+		}
+	}
+	if len(hits) != 1 {
+		t.Fatalf("want exactly 1 cross-package detflow finding in b.go, got %v", findings)
+	}
+	msg := hits[0].Message
+	if !strings.Contains(msg, "time.Now") || !strings.Contains(msg, "via") {
+		t.Errorf("finding should name the source and the laundering callee: %q", msg)
+	}
+}
+
+func containsStr(xs []string, want string) bool {
+	for _, x := range xs {
+		if x == want {
+			return true
+		}
+	}
+	return false
+}

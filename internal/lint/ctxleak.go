@@ -51,8 +51,15 @@ func (c *CtxLeak) Run(p *Pass) {
 				return true
 			}
 			stack = append(stack, n)
-			if as, ok := n.(*ast.AssignStmt); ok {
-				c.checkAssign(p, as, enclosingFunc(stack[:len(stack)-1]))
+			switch n := n.(type) {
+			case *ast.AssignStmt:
+				c.checkAssign(p, n, enclosingFunc(stack[:len(stack)-1]))
+			case *ast.ValueSpec:
+				// var ctx, cancel = context.WithCancel(...) — same contract
+				// as the := form.
+				if len(n.Names) == 2 && len(n.Values) == 1 {
+					c.checkBinding(p, n.Values[0], n.Names[1], true, enclosingFunc(stack[:len(stack)-1]))
+				}
 			}
 			return true
 		})
@@ -85,7 +92,17 @@ func (c *CtxLeak) checkAssign(p *Pass, as *ast.AssignStmt, fn ast.Node) {
 	if len(as.Rhs) != 1 || len(as.Lhs) != 2 {
 		return
 	}
-	call, ok := as.Rhs[0].(*ast.CallExpr)
+	id, ok := as.Lhs[1].(*ast.Ident)
+	if !ok {
+		return // stored straight into a field/index: a kept reference
+	}
+	c.checkBinding(p, as.Rhs[0], id, as.Tok == token.DEFINE, fn)
+}
+
+// checkBinding handles one binding of a context constructor's results to
+// (ctx, cancel), from either an assignment or a var declaration.
+func (c *CtxLeak) checkBinding(p *Pass, rhs ast.Expr, id *ast.Ident, define bool, fn ast.Node) {
+	call, ok := rhs.(*ast.CallExpr)
 	if !ok {
 		return
 	}
@@ -95,17 +112,13 @@ func (c *CtxLeak) checkAssign(p *Pass, as *ast.AssignStmt, fn ast.Node) {
 	}
 	src := "context." + sel.Sel.Name
 
-	id, ok := as.Lhs[1].(*ast.Ident)
-	if !ok {
-		return // stored straight into a field/index: a kept reference
-	}
 	if id.Name == "_" {
 		p.Reportf(id.Pos(), c.Name(),
 			"cancel from %s is discarded; the context's resources are never released — assign it and defer cancel()", src)
 		return
 	}
 	var obj types.Object
-	if as.Tok == token.DEFINE {
+	if define {
 		obj = p.Info.Defs[id]
 	} else {
 		obj = p.Info.Uses[id]
@@ -163,6 +176,10 @@ func useReleases(stack []ast.Node) bool {
 			// Captured by a nested closure: the closure value carries the
 			// cancel beyond straight-line execution (watchdogs, cleanup
 			// funcs). The closure's own discipline is its business.
+			return true
+		case *ast.CompositeLit:
+			// Stored into a struct/slice/map literal (Worker{stop: cancel}):
+			// the built value owns the cancel's lifetime from here on.
 			return true
 		}
 	}

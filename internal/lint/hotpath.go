@@ -1,0 +1,268 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// HotPath turns the simulator's AllocsPerRun benchmark pins into
+// compile-time findings. A function annotated
+//
+//	//lint:hotpath
+//
+// (in its doc comment or on the line above the declaration) is a root: the
+// checker walks the static call graph from every root and flags
+// allocation-inducing constructs in every function reached — heap-escaping
+// composite literals (&T{}, slice and map literals), make/new, closures,
+// non-constant string concatenation, fmt calls, and concrete→interface
+// conversions at assignments and call boundaries.
+//
+// Only statically-resolved edges are walked: an interface or func-value
+// call is a traversal boundary (the tracer hooks, the routing scheme).
+// That matches the benchmarks, which pin the nil-tracer fast path. A
+// function annotated //lint:coldpath is skipped entirely — the escape
+// hatch for invariant-violation reporting and other paths that only run
+// when the simulation is already broken. Individual sanctioned allocations
+// (lazy map init, pool refills) take //lint:allow hotpath.
+type HotPath struct{}
+
+func (*HotPath) Name() string { return "hotpath" }
+func (*HotPath) Doc() string {
+	return "functions reached from //lint:hotpath roots must not allocate"
+}
+
+const (
+	hotPragma  = "//lint:hotpath"
+	coldPragma = "//lint:coldpath"
+)
+
+func (c *HotPath) RunProgram(prog *Program) {
+	roots, cold := collectPathPragmas(prog)
+	if len(roots) == 0 {
+		return
+	}
+	// BFS over static edges; remember which root first reached each
+	// function for the message.
+	reachedFrom := make(map[string]string)
+	var queue []*Node
+	for _, r := range roots {
+		n := prog.Graph.Nodes[r]
+		if n == nil || cold[r] {
+			continue
+		}
+		if _, seen := reachedFrom[r]; !seen {
+			reachedFrom[r] = r
+			queue = append(queue, n)
+		}
+	}
+	for len(queue) > 0 {
+		n := queue[0]
+		queue = queue[1:]
+		for _, site := range n.Calls {
+			if site.Kind != CallStatic || site.Go || site.Defer {
+				continue // dynamic dispatch and goroutine/defer hand-offs are boundaries
+			}
+			for _, callee := range site.Callees {
+				if callee.Fn == nil || cold[callee.Name] {
+					continue
+				}
+				if _, seen := reachedFrom[callee.Name]; seen {
+					continue
+				}
+				reachedFrom[callee.Name] = reachedFrom[n.Name]
+				queue = append(queue, callee)
+			}
+		}
+	}
+	for name, root := range reachedFrom {
+		fi := prog.Funcs[name]
+		if fi == nil {
+			continue
+		}
+		c.checkFunc(prog, fi, root)
+	}
+}
+
+// collectPathPragmas finds //lint:hotpath roots and //lint:coldpath stops,
+// matching pragmas to the function declaration they document (doc comment
+// or the line directly above the func keyword).
+func collectPathPragmas(prog *Program) (roots []string, cold map[string]bool) {
+	cold = make(map[string]bool)
+	for _, p := range prog.Passes {
+		for _, f := range p.Files {
+			// Index pragma comment lines per file.
+			pragmaLine := make(map[int]string)
+			for _, cg := range f.Comments {
+				for _, cm := range cg.List {
+					text := strings.TrimSpace(cm.Text)
+					if strings.HasPrefix(text, hotPragma) || strings.HasPrefix(text, coldPragma) {
+						pragmaLine[prog.Fset.Position(cm.Pos()).Line] = text
+					}
+				}
+			}
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				obj, ok := p.Info.Defs[fd.Name].(*types.Func)
+				if !ok {
+					continue
+				}
+				text := ""
+				if fd.Doc != nil {
+					for _, cm := range fd.Doc.List {
+						t := strings.TrimSpace(cm.Text)
+						if strings.HasPrefix(t, hotPragma) || strings.HasPrefix(t, coldPragma) {
+							text = t
+						}
+					}
+				}
+				if text == "" {
+					text = pragmaLine[prog.Fset.Position(fd.Pos()).Line-1]
+				}
+				switch {
+				case strings.HasPrefix(text, coldPragma):
+					cold[obj.FullName()] = true
+				case strings.HasPrefix(text, hotPragma):
+					roots = append(roots, obj.FullName())
+				}
+			}
+		}
+	}
+	return roots, cold
+}
+
+func (c *HotPath) checkFunc(prog *Program, fi *FuncInfo, root string) {
+	p := fi.Pass
+	suffix := ""
+	if root != fi.Name {
+		suffix = " (reached from " + shortName(root) + ")"
+	}
+	report := func(pos token.Pos, what string) {
+		prog.Reportf(pos, c.Name(), "%s allocates on the hot path%s", what, suffix)
+	}
+	ast.Inspect(fi.Decl.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			report(n.Pos(), "closure creation")
+			return false // the closure body only runs through a dynamic call
+		case *ast.UnaryExpr:
+			if n.Op == token.AND {
+				if _, ok := unparen(n.X).(*ast.CompositeLit); ok {
+					report(n.Pos(), "&composite literal (escapes to heap)")
+					return false
+				}
+			}
+		case *ast.CompositeLit:
+			if t := p.Info.Types[n].Type; t != nil {
+				switch t.Underlying().(type) {
+				case *types.Slice:
+					report(n.Pos(), "slice literal")
+				case *types.Map:
+					report(n.Pos(), "map literal")
+				}
+			}
+			// Struct value literals stay on the stack unless & is taken
+			// (handled above); leave them alone.
+		case *ast.CallExpr:
+			c.checkCall(prog, p, n, report)
+		case *ast.BinaryExpr:
+			if n.Op == token.ADD {
+				if t := p.Info.Types[n].Type; t != nil && isString(t) {
+					if tv, ok := p.Info.Types[n]; !ok || tv.Value == nil { // non-constant concat
+						report(n.OpPos, "string concatenation")
+					}
+				}
+			}
+		}
+		return true
+	})
+}
+
+func (c *HotPath) checkCall(prog *Program, p *Pass, call *ast.CallExpr, report func(token.Pos, string)) {
+	if tv, ok := p.Info.Types[call.Fun]; ok && tv.IsType() {
+		// Conversion: concrete → interface boxes the value.
+		if types.IsInterface(tv.Type) && len(call.Args) == 1 {
+			if at := p.Info.Types[call.Args[0]].Type; at != nil && !types.IsInterface(at) {
+				report(call.Pos(), "interface conversion (boxes the value)")
+			}
+		}
+		return
+	}
+	if id, ok := call.Fun.(*ast.Ident); ok {
+		switch id.Name {
+		case "make":
+			report(call.Pos(), "make")
+			return
+		case "new":
+			report(call.Pos(), "new")
+			return
+		}
+	}
+	if fn := calleeFunc(p, call); fn != nil {
+		if pkg := fn.Pkg(); pkg != nil && pkg.Path() == "fmt" {
+			report(call.Pos(), "fmt."+fn.Name()+" (formats and boxes arguments)")
+			return
+		}
+	}
+	// Concrete argument passed to an interface parameter of a static call:
+	// the value is boxed at the call site.
+	site := prog.Graph.Sites[call]
+	if site == nil || site.Kind != CallStatic || len(site.Callees) != 1 {
+		return
+	}
+	callee := site.Callees[0]
+	var sig *types.Signature
+	if callee.Fn != nil {
+		sig, _ = callee.Fn.Obj.Type().(*types.Signature)
+	} else if fn := calleeFunc(p, call); fn != nil {
+		sig, _ = fn.Type().(*types.Signature)
+	}
+	if sig == nil {
+		return
+	}
+	for i, arg := range call.Args {
+		if i >= sig.Params().Len() {
+			break // variadic tail of an external call; fmt covered above
+		}
+		pt := sig.Params().At(i).Type()
+		if sig.Variadic() && i == sig.Params().Len()-1 {
+			break // variadic boxing is the callee's contract to avoid
+		}
+		if !types.IsInterface(pt) {
+			continue
+		}
+		if at := p.Info.Types[arg].Type; at != nil && !types.IsInterface(at) && !isNil(p, arg) {
+			report(arg.Pos(), "concrete value boxed into interface parameter")
+		}
+	}
+}
+
+func isString(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+func isNil(p *Pass, e ast.Expr) bool {
+	tv, ok := p.Info.Types[e]
+	return ok && tv.IsNil()
+}
+
+// shortName trims the module path out of a FullName for messages.
+func shortName(full string) string {
+	i := strings.LastIndex(full, "/")
+	if i < 0 {
+		return full
+	}
+	// Keep a method's receiver prefix: "(*a/b/pkg.T).M" → "(*pkg.T).M".
+	prefix := ""
+	if strings.HasPrefix(full, "(*") {
+		prefix = "(*"
+	} else if strings.HasPrefix(full, "(") {
+		prefix = "("
+	}
+	return prefix + full[i+1:]
+}

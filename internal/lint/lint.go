@@ -101,6 +101,14 @@ func Run(p *Pass, checkers []Checker) []Finding {
 	for _, c := range checkers {
 		c.Run(p)
 	}
+	return p.finish()
+}
+
+// finish filters the accumulated findings through the pragma layers and
+// returns them sorted. It is the shared tail of both the per-package Run and
+// the whole-program Program.Run, so //lint:allow works identically for
+// single-package and cross-package checkers.
+func (p *Pass) finish() []Finding {
 	allowed := collectAllows(p)
 	pkgAllowed := collectPkgAllows(p) // may report allowpkg findings
 	var out []Finding
@@ -114,6 +122,12 @@ func Run(p *Pass, checkers []Checker) []Finding {
 		}
 		out = append(out, f)
 	}
+	p.findings = nil
+	sortFindings(out)
+	return out
+}
+
+func sortFindings(out []Finding) {
 	sort.Slice(out, func(i, j int) bool {
 		a, b := out[i], out[j]
 		if a.Pos.Filename != b.Pos.Filename {
@@ -127,7 +141,6 @@ func Run(p *Pass, checkers []Checker) []Finding {
 		}
 		return a.Check < b.Check
 	})
-	return out
 }
 
 type allowKey struct {
@@ -221,6 +234,17 @@ func DefaultCheckers() []Checker {
 		&NakedPanic{},
 		&SharedRand{},
 		&CtxLeak{},
+		&Locks{},
+		&GoLeak{},
+	}
+}
+
+// DefaultProgramCheckers returns the whole-program suite: the checkers that
+// need the cross-package call graph and taint engine (see program.go).
+func DefaultProgramCheckers() []ProgramChecker {
+	return []ProgramChecker{
+		&DetFlow{Scope: SimulatorScope},
+		&HotPath{},
 	}
 }
 

@@ -11,21 +11,26 @@ import (
 
 var update = flag.Bool("update", false, "rewrite testdata expected.txt golden files")
 
-// fixtureCheckers returns the checkers a fixture directory exercises: the
-// checker whose ID matches the directory name, or the full default suite
-// for the allow- and allowpkg-pragma fixtures.
-func fixtureCheckers(t *testing.T, dir string) []Checker {
-	all := DefaultCheckers()
+// fixtureCheckers returns the checkers a fixture directory exercises — the
+// per-package and/or program checker whose ID matches the directory name,
+// or the full default suites for the allow- and allowpkg-pragma fixtures.
+func fixtureCheckers(t *testing.T, dir string) ([]Checker, []ProgramChecker) {
+	all, allProg := DefaultCheckers(), DefaultProgramCheckers()
 	if dir == "allow" || strings.HasPrefix(dir, "allowpkg") {
-		return all
+		return all, allProg
 	}
 	for _, c := range all {
 		if c.Name() == dir {
-			return []Checker{c}
+			return []Checker{c}, nil
+		}
+	}
+	for _, c := range allProg {
+		if c.Name() == dir {
+			return nil, []ProgramChecker{c}
 		}
 	}
 	t.Fatalf("no checker matches fixture dir %q", dir)
-	return nil
+	return nil, nil
 }
 
 // TestGolden pins every checker against its testdata fixture: the findings
@@ -41,22 +46,20 @@ func TestGolden(t *testing.T) {
 		if !e.IsDir() {
 			continue
 		}
+		dir := filepath.Join("testdata", e.Name())
+		if _, err := os.Stat(filepath.Join(dir, "expected.txt")); err != nil {
+			continue // fixture-package container (e.g. callgraph/), not a golden dir
+		}
 		seen[e.Name()] = true
 		t.Run(e.Name(), func(t *testing.T) {
-			dir := filepath.Join("testdata", e.Name())
 			fset, pkg, err := LoadDir(dir)
 			if err != nil {
 				t.Fatal(err)
 			}
-			pass := &Pass{
-				Fset:       fset,
-				ImportPath: pkg.ImportPath,
-				Files:      pkg.Files,
-				Pkg:        pkg.Pkg,
-				Info:       pkg.Info,
-			}
+			prog := NewProgram(fset, []*LoadedPackage{pkg})
+			checkers, progCheckers := fixtureCheckers(t, e.Name())
 			var b strings.Builder
-			for _, f := range Run(pass, fixtureCheckers(t, e.Name())) {
+			for _, f := range prog.Run(checkers, progCheckers) {
 				// Render paths relative to the fixture dir so goldens are
 				// machine-independent.
 				fmt.Fprintf(&b, "%s:%d:%d: %s: %s\n",
@@ -84,6 +87,11 @@ func TestGolden(t *testing.T) {
 	for _, c := range DefaultCheckers() {
 		if !seen[c.Name()] {
 			t.Errorf("checker %q has no testdata fixture", c.Name())
+		}
+	}
+	for _, c := range DefaultProgramCheckers() {
+		if !seen[c.Name()] {
+			t.Errorf("program checker %q has no testdata fixture", c.Name())
 		}
 	}
 }

@@ -129,10 +129,11 @@ func typeCheck(fset *token.FileSet, imp types.Importer, lp listedPackage) (*Load
 		files = append(files, f)
 	}
 	info := &types.Info{
-		Types:     make(map[ast.Expr]types.TypeAndValue),
-		Defs:      make(map[*ast.Ident]types.Object),
-		Uses:      make(map[*ast.Ident]types.Object),
-		Implicits: make(map[ast.Node]types.Object),
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
 	}
 	conf := types.Config{Importer: imp}
 	pkg, err := conf.Check(lp.ImportPath, fset, files, info)

@@ -1,0 +1,125 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Program is the whole-program unit of work: every loaded package's Pass,
+// an index of all source functions keyed by their stable full name, and the
+// static call graph over them. Per-package checkers see one Pass at a time;
+// ProgramCheckers see everything, which is what lets a nondeterministic
+// source laundered through a helper in another package still be traced to
+// its sink.
+//
+// Cross-package object identity: each package is type-checked from source
+// with its dependencies imported from compiled export data, so the same
+// function is represented by *different* types.Func objects in different
+// packages' type info. All program-level indexing therefore keys on
+// (*types.Func).FullName() strings — e.g. "(*spineless/internal/jobs.Manager).Submit" —
+// which are stable across that split.
+type Program struct {
+	Fset   *token.FileSet
+	Passes []*Pass
+	// Funcs indexes every function declared in the program (with a body) by
+	// FullName.
+	Funcs map[string]*FuncInfo
+	// Graph is the static call graph; see callgraph.go for its resolution
+	// rules and deliberate over-approximations.
+	Graph *CallGraph
+
+	byFile map[string]*Pass
+}
+
+// FuncInfo is one source function: its declaration, the Pass that owns it,
+// and the types.Func object from that Pass's universe.
+type FuncInfo struct {
+	Name string // (*types.Func).FullName()
+	Obj  *types.Func
+	Decl *ast.FuncDecl
+	Pass *Pass
+}
+
+// ProgramChecker is a whole-program invariant pass. Findings are reported
+// through Program.Reportf so the owning package's //lint:allow pragmas
+// still apply.
+type ProgramChecker interface {
+	Name() string
+	Doc() string
+	RunProgram(prog *Program)
+}
+
+// NewProgram builds the program view over loaded packages: passes, the
+// function index, and the call graph.
+func NewProgram(fset *token.FileSet, pkgs []*LoadedPackage) *Program {
+	prog := &Program{
+		Fset:   fset,
+		Funcs:  make(map[string]*FuncInfo),
+		byFile: make(map[string]*Pass),
+	}
+	for _, lp := range pkgs {
+		p := &Pass{
+			Fset:       fset,
+			ImportPath: lp.ImportPath,
+			Files:      lp.Files,
+			Pkg:        lp.Pkg,
+			Info:       lp.Info,
+		}
+		prog.Passes = append(prog.Passes, p)
+		for _, f := range p.Files {
+			prog.byFile[fset.Position(f.Pos()).Filename] = p
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				obj, ok := p.Info.Defs[fd.Name].(*types.Func)
+				if !ok {
+					continue
+				}
+				fi := &FuncInfo{Name: obj.FullName(), Obj: obj, Decl: fd, Pass: p}
+				prog.Funcs[fi.Name] = fi
+			}
+		}
+	}
+	prog.Graph = buildCallGraph(prog)
+	return prog
+}
+
+// PassFor returns the Pass owning the file containing pos, or nil.
+func (prog *Program) PassFor(pos token.Pos) *Pass {
+	return prog.byFile[prog.Fset.Position(pos).Filename]
+}
+
+// Reportf records a program-level finding, routed to the Pass that owns the
+// file at pos so per-line and per-package pragmas apply as usual.
+func (prog *Program) Reportf(pos token.Pos, check, format string, args ...any) {
+	p := prog.PassFor(pos)
+	if p == nil && len(prog.Passes) > 0 {
+		p = prog.Passes[0] // e.g. a position inside export data; shouldn't happen
+	}
+	if p != nil {
+		p.Reportf(pos, check, format, args...)
+	}
+}
+
+// Run applies per-package checkers to every pass and program checkers to
+// the whole program, filters pragmas per package, and returns the merged
+// findings sorted by position.
+func (prog *Program) Run(checkers []Checker, progCheckers []ProgramChecker) []Finding {
+	for _, p := range prog.Passes {
+		for _, c := range checkers {
+			c.Run(p)
+		}
+	}
+	for _, c := range progCheckers {
+		c.RunProgram(prog)
+	}
+	var out []Finding
+	for _, p := range prog.Passes {
+		out = append(out, p.finish()...)
+	}
+	sortFindings(out)
+	return out
+}

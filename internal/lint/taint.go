@@ -1,0 +1,328 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// This file is the inter-procedural determinism-taint engine behind the
+// detflow checker. Taint means "this value can differ between two runs of
+// the same spec": wall-clock reads, environment reads, draws from the
+// globally-seeded math/rand, map iteration order, and goroutine completion
+// order (a select racing two real channels).
+//
+// The engine is deliberately coarse in a sound direction:
+//
+//   - function summaries record only "may return a tainted value" (any
+//     result position) plus the originating source, computed to fixpoint
+//     over the call graph so taint survives any depth of helper-function
+//     laundering across packages;
+//   - within a function, taint propagates through assignment chains and
+//     composite expressions; a call is tainted if its callee is a source,
+//     has a tainted summary, or — for interface/dynamic calls — if any
+//     conservatively-resolved candidate does;
+//   - taint does NOT propagate through parameters (a function that receives
+//     a tainted argument is not summarized as tainted) or through the heap.
+//     That is the documented precision floor: sources used on this tree are
+//     leaf calls, so returning-position summaries catch the laundering
+//     patterns that actually occur, without whole-heap alias analysis.
+
+// taintSource describes why a value is nondeterministic.
+type taintSource struct {
+	Desc string // e.g. "time.Now", "map iteration order"
+	Via  string // the function whose summary carried it here, if any
+}
+
+func (s taintSource) String() string {
+	if s.Via != "" {
+		return s.Desc + " via " + s.Via
+	}
+	return s.Desc
+}
+
+// directSources maps FullNames of nondeterministic leaf functions to their
+// descriptions.
+var directSources = map[string]string{
+	"time.Now":       "time.Now",
+	"time.Since":     "time.Since",
+	"time.Until":     "time.Until",
+	"os.Getenv":      "os.Getenv",
+	"os.LookupEnv":   "os.LookupEnv",
+	"os.Environ":     "os.Environ",
+	"os.Hostname":    "os.Hostname",
+	"os.Getpid":      "os.Getpid",
+	"runtime.NumCPU": "runtime.NumCPU",
+}
+
+// funcSource reports the taint source a direct call of fn produces, or "".
+// Package-level math/rand functions draw from the process-global RNG —
+// shared, unseeded state — while methods on an explicitly-constructed
+// *rand.Rand are the sanctioned seeded path and stay clean.
+func funcSource(fn *types.Func) string {
+	full := fn.FullName()
+	if d, ok := directSources[full]; ok {
+		return d
+	}
+	if pkg := fn.Pkg(); pkg != nil {
+		switch pkg.Path() {
+		case "math/rand", "math/rand/v2":
+			if !strings.HasPrefix(full, "(") && !strings.HasPrefix(fn.Name(), "New") {
+				return full + " (global RNG)"
+			}
+		}
+	}
+	return ""
+}
+
+// taintEngine computes per-function summaries to fixpoint and exposes the
+// per-function local analysis detflow's sink scan reuses.
+type taintEngine struct {
+	prog *Program
+	// summaries maps FullName → source for functions that may return a
+	// tainted value. Absence means "clean as far as we can prove".
+	summaries map[string]taintSource
+}
+
+func newTaintEngine(prog *Program) *taintEngine {
+	e := &taintEngine{prog: prog, summaries: make(map[string]taintSource)}
+	// Fixpoint over the call graph: each round may publish new summaries,
+	// which can make callers' returns tainted in the next round. Bounded by
+	// the longest clean call chain; capped defensively.
+	for round := 0; round < 32; round++ {
+		changed := false
+		for _, fi := range prog.Funcs {
+			if _, done := e.summaries[fi.Name]; done {
+				continue
+			}
+			lt := e.analyze(fi)
+			if src, tainted := lt.returnsTainted(); tainted {
+				e.summaries[fi.Name] = src
+				changed = true
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	return e
+}
+
+// callSource reports whether a call expression produces a tainted value,
+// looking through the call graph's resolution of the site.
+func (e *taintEngine) callSource(p *Pass, call *ast.CallExpr) (taintSource, bool) {
+	// Direct source? Resolve the callee object syntactically first so
+	// sources work even for calls the graph treats as external.
+	if fn := calleeFunc(p, call); fn != nil {
+		if d := funcSource(fn); d != "" {
+			return taintSource{Desc: d}, true
+		}
+	}
+	site := e.prog.Graph.Sites[call]
+	if site == nil {
+		return taintSource{}, false
+	}
+	for _, callee := range site.Callees {
+		if s, ok := e.summaries[callee.Name]; ok {
+			return taintSource{Desc: s.Desc, Via: callee.Name}, true
+		}
+		if callee.Fn == nil {
+			if d, ok := directSources[callee.Name]; ok {
+				return taintSource{Desc: d}, true
+			}
+		}
+	}
+	return taintSource{}, false
+}
+
+// calleeFunc resolves the called *types.Func of a direct call, or nil.
+func calleeFunc(p *Pass, call *ast.CallExpr) *types.Func {
+	switch fun := unparen(call.Fun).(type) {
+	case *ast.Ident:
+		fn, _ := p.Info.Uses[fun].(*types.Func)
+		return fn
+	case *ast.SelectorExpr:
+		fn, _ := p.Info.Uses[fun.Sel].(*types.Func)
+		return fn
+	}
+	return nil
+}
+
+// localTaint is the intra-procedural result for one function: which
+// variables hold nondeterministic values, and why.
+type localTaint struct {
+	engine *taintEngine
+	fi     *FuncInfo
+	vars   map[types.Object]taintSource
+}
+
+// analyze runs the assignment-chain propagation for fi to a local fixpoint.
+// Map-range loop variables and select-clause receives are seeded as
+// sources; assignments spread taint from any tainted RHS to all LHS.
+func (e *taintEngine) analyze(fi *FuncInfo) *localTaint {
+	lt := &localTaint{engine: e, fi: fi, vars: make(map[types.Object]taintSource)}
+	p := fi.Pass
+	for round := 0; round < 16; round++ {
+		changed := false
+		ast.Inspect(fi.Decl.Body, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.RangeStmt:
+				if t := p.Info.Types[n.X].Type; t != nil {
+					if _, isMap := t.Underlying().(*types.Map); isMap {
+						src := taintSource{Desc: "map iteration order"}
+						changed = lt.taintIdent(p, n.Key, src) || changed
+						changed = lt.taintIdent(p, n.Value, src) || changed
+					}
+				}
+			case *ast.SelectStmt:
+				if countCommClauses(n) >= 2 {
+					src := taintSource{Desc: "goroutine completion order (multi-way select)"}
+					for _, cl := range n.Body.List {
+						cc := cl.(*ast.CommClause)
+						if as, ok := cc.Comm.(*ast.AssignStmt); ok {
+							for _, lhs := range as.Lhs {
+								changed = lt.taintIdent(p, lhs, src) || changed
+							}
+						}
+					}
+				}
+			case *ast.AssignStmt:
+				changed = lt.propagateAssign(p, n.Lhs, n.Rhs) || changed
+			case *ast.ValueSpec:
+				var lhs []ast.Expr
+				for _, id := range n.Names {
+					lhs = append(lhs, id)
+				}
+				changed = lt.propagateAssign(p, lhs, n.Values) || changed
+			}
+			return true
+		})
+		if !changed {
+			break
+		}
+	}
+	return lt
+}
+
+func countCommClauses(sel *ast.SelectStmt) int {
+	n := 0
+	for _, cl := range sel.Body.List {
+		if cc, ok := cl.(*ast.CommClause); ok && cc.Comm != nil {
+			n++
+		}
+	}
+	return n
+}
+
+// propagateAssign spreads taint across one assignment or declaration.
+func (lt *localTaint) propagateAssign(p *Pass, lhs, rhs []ast.Expr) bool {
+	changed := false
+	if len(rhs) == 1 && len(lhs) > 1 {
+		// Multi-value: one tainted producer taints every binding.
+		if src, ok := lt.exprSource(p, rhs[0]); ok {
+			for _, l := range lhs {
+				changed = lt.taintIdent(p, l, src) || changed
+			}
+		}
+		return changed
+	}
+	for i, l := range lhs {
+		if i >= len(rhs) {
+			break
+		}
+		if src, ok := lt.exprSource(p, rhs[i]); ok {
+			changed = lt.taintIdent(p, l, src) || changed
+		}
+	}
+	return changed
+}
+
+// taintIdent marks the object behind an identifier expression tainted.
+func (lt *localTaint) taintIdent(p *Pass, e ast.Expr, src taintSource) bool {
+	id, ok := e.(*ast.Ident)
+	if !ok || id.Name == "_" {
+		return false
+	}
+	obj := p.Info.Defs[id]
+	if obj == nil {
+		obj = p.Info.Uses[id]
+	}
+	if obj == nil {
+		return false
+	}
+	if _, done := lt.vars[obj]; done {
+		return false
+	}
+	lt.vars[obj] = src
+	return true
+}
+
+// exprSource reports whether any part of e is tainted, and by what.
+func (lt *localTaint) exprSource(p *Pass, e ast.Expr) (taintSource, bool) {
+	var found taintSource
+	ok := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if ok {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false // a closure value is not itself a tainted datum
+		case *ast.CallExpr:
+			if src, tainted := lt.engine.callSource(p, n); tainted {
+				found, ok = src, true
+				return false
+			}
+		case *ast.Ident:
+			if obj := p.Info.Uses[n]; obj != nil {
+				if src, tainted := lt.vars[obj]; tainted {
+					found, ok = src, true
+					return false
+				}
+			}
+		}
+		return true
+	})
+	return found, ok
+}
+
+// returnsTainted reports whether any return statement of the function (not
+// of nested literals) returns a tainted expression.
+func (lt *localTaint) returnsTainted() (taintSource, bool) {
+	var found taintSource
+	ok := false
+	var walk func(n ast.Node)
+	walk = func(n ast.Node) {
+		ast.Inspect(n, func(m ast.Node) bool {
+			if ok {
+				return false
+			}
+			switch m := m.(type) {
+			case *ast.FuncLit:
+				return false // its returns are the closure's, not ours
+			case *ast.ReturnStmt:
+				for _, r := range m.Results {
+					if src, tainted := lt.exprSource(lt.fi.Pass, r); tainted {
+						found, ok = src, true
+						return false
+					}
+				}
+			}
+			return true
+		})
+	}
+	walk(lt.fi.Decl.Body)
+	// Named results assigned a tainted value count too.
+	if !ok && lt.fi.Decl.Type.Results != nil {
+		for _, field := range lt.fi.Decl.Type.Results.List {
+			for _, name := range field.Names {
+				if obj := lt.fi.Pass.Info.Defs[name]; obj != nil {
+					if src, tainted := lt.vars[obj]; tainted {
+						return src, true
+					}
+				}
+			}
+		}
+	}
+	return found, ok
+}

@@ -1,0 +1,54 @@
+// Package a is the callgraph-builder fixture: interface dispatch, func
+// values, method values, a recursion cycle, and a tainted leaf for the
+// cross-package detflow test (package b builds on it).
+package a
+
+import "time"
+
+// Doer is implemented by Alpha and Beta; calls through it must resolve to
+// both conservatively.
+type Doer interface {
+	Do(x int) int
+}
+
+type Alpha struct{}
+
+func (Alpha) Do(x int) int { return x + 1 }
+
+type Beta struct{}
+
+func (Beta) Do(x int) int { return x * 2 }
+
+// Run dispatches through the interface.
+func Run(d Doer, x int) int { return d.Do(x) }
+
+// Twice calls through a func value: dynamic resolution by signature over
+// the address-taken set.
+func Twice(f func(int) int, x int) int { return f(f(x)) }
+
+// Inc is address-taken in UseTwice.
+func Inc(x int) int { return x + 1 }
+
+func UseTwice(x int) int { return Twice(Inc, x) }
+
+// MethodValue takes Alpha.Do's method value, putting it in the
+// address-taken set too.
+func MethodValue(v Alpha) func(int) int { return v.Do }
+
+// Even/Odd form a two-node cycle.
+func Even(n int) bool {
+	if n == 0 {
+		return true
+	}
+	return Odd(n - 1)
+}
+
+func Odd(n int) bool {
+	if n == 0 {
+		return false
+	}
+	return Even(n - 1)
+}
+
+// Clock is nondeterministic: the cross-package taint chain starts here.
+func Clock() int64 { return time.Now().UnixNano() }

@@ -1,0 +1,25 @@
+// Package b imports package a to pin cross-package call-graph edges and
+// cross-package taint propagation.
+package b
+
+import "spineless/internal/lint/testdata/callgraph/a"
+
+// Stats is the sink type for the cross-package detflow test.
+type Stats struct {
+	Events int64
+}
+
+// CrossStatic is a plain cross-package static edge.
+func CrossStatic(x int) int { return a.Inc(x) }
+
+// CrossIface dispatches through a's interface from here.
+func CrossIface(x int) int { return a.Run(a.Alpha{}, x) }
+
+// Laundered re-exports a's nondeterminism through two package boundaries.
+func Laundered() int64 { return a.Clock() }
+
+// Write sends the laundered wall clock into the sink: the finding the
+// per-package determinism checker structurally cannot see.
+func Write(s *Stats) {
+	s.Events = Laundered()
+}

@@ -91,3 +91,39 @@ func allowed(ctx context.Context) context.Context {
 	ctx, _ = context.WithTimeout(ctx, time.Second) //lint:allow ctxleak
 	return ctx
 }
+
+type watcher struct {
+	ctx  context.Context
+	stop context.CancelFunc
+}
+
+func storedInStructLiteral(ctx context.Context) *watcher {
+	ctx, cancel := context.WithCancel(ctx) // ok: the literal owns the cancel's lifetime
+	return &watcher{ctx: ctx, stop: cancel}
+}
+
+func storedInSliceLiteral(ctx context.Context) []context.CancelFunc {
+	_, cancel := context.WithCancel(ctx) // ok: collected for later release
+	return []context.CancelFunc{cancel}
+}
+
+func varDeclDiscarded(ctx context.Context) context.Context {
+	var ctx2, _ = context.WithTimeout(ctx, time.Second) // finding: var-form discard
+	return ctx2
+}
+
+func varDeclInlineOnly(ctx context.Context, work func(context.Context) error) error {
+	var wctx, cancel = context.WithTimeout(ctx, time.Second) // finding: var-form, only a plain call
+	if err := work(wctx); err != nil {
+		return err
+	}
+	cancel()
+	return nil
+}
+
+func varDeclDeferred(ctx context.Context) error {
+	var wctx, cancel = context.WithCancel(ctx) // ok: deferred
+	defer cancel()
+	<-wctx.Done()
+	return nil
+}

@@ -1,0 +1,90 @@
+// Package detflow exercises the whole-program determinism-taint checker:
+// nondeterministic sources must not reach the result accumulators, even
+// through helper-function laundering.
+package detflow
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Stats is this fixture's result sink type (registered in the checker's
+// default sink list, mirroring netsim.Stats).
+type Stats struct {
+	Events int64
+	Bytes  int64
+}
+
+// Commit is the fixture's sink function (mirroring store.Key).
+func Commit(key int64) {}
+
+// wallClock launders time.Now through one helper call.
+func wallClock() int64 {
+	return time.Now().UnixNano()
+}
+
+// twoDeep launders it through two.
+func twoDeep() int64 {
+	return wallClock()
+}
+
+// directWrite writes the clock straight into the sink.
+func directWrite(s *Stats) {
+	s.Events = time.Now().UnixNano() // finding: direct
+}
+
+// launderedWrite reaches the sink through the helper chain — the case the
+// per-package determinism checker cannot see.
+func launderedWrite(s *Stats) {
+	s.Events = twoDeep() // finding: via summaries
+}
+
+// mapOrder taints the loop variables of a map range.
+func mapOrder(s *Stats, weights map[int]int64) {
+	for _, w := range weights {
+		s.Bytes = w // finding: map iteration order
+	}
+}
+
+// selectOrder taints values received in a multi-way select.
+func selectOrder(s *Stats, a, b chan int64) {
+	select {
+	case v := <-a:
+		s.Events = v // finding: completion order
+	case v := <-b:
+		s.Events = v // finding: completion order
+	}
+}
+
+// globalRand draws from the shared process-global RNG.
+func globalRand(s *Stats) {
+	s.Bytes = rand.Int63() // finding: global RNG
+}
+
+// seededRand uses an explicitly-seeded generator: the sanctioned path.
+func seededRand(s *Stats, seed int64) {
+	r := rand.New(rand.NewSource(seed))
+	s.Bytes = r.Int63()
+}
+
+// sinkArg passes a tainted value to a sink function.
+func sinkArg() {
+	Commit(wallClock()) // finding: tainted sink argument
+}
+
+// construct builds the sink with a tainted element.
+func construct() Stats {
+	return Stats{Events: wallClock()} // finding: tainted constructor element
+}
+
+// sanctioned carries a justified pragma: wall-clock telemetry that is
+// deliberately excluded from result bytes would look like this.
+func sanctioned(s *Stats) {
+	s.Events = wallClock() //lint:allow detflow (fixture: justified exemption)
+}
+
+// deterministic flows only seed-derived values: clean.
+func deterministic(s *Stats, seed int64) {
+	s.Events = seed * 2
+	s.Bytes = int64(len("payload"))
+}

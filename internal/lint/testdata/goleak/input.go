@@ -1,0 +1,132 @@
+// Package goleak exercises the goleak checker: goroutines, tickers and
+// timers need a termination signal.
+package goleak
+
+import (
+	"context"
+	"time"
+)
+
+// foreverLoop spawns a goroutine that can never exit.
+func foreverLoop(work chan int) {
+	go func() {
+		for { // finding: no return/break/goto
+			select {
+			case v := <-work:
+				_ = v
+			default:
+			}
+		}
+	}()
+}
+
+// ctxLoop exits when the context is cancelled: clean.
+func ctxLoop(ctx context.Context, work chan int) {
+	go func() {
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case v := <-work:
+				_ = v
+			}
+		}
+	}()
+}
+
+// workerLoop exits when its work is exhausted: clean.
+func workerLoop(n int, next func() int) {
+	go func() {
+		for {
+			i := next()
+			if i >= n {
+				return
+			}
+		}
+	}()
+}
+
+// unstoppedTicker never stops the ticker: the runtime timer leaks.
+func unstoppedTicker(out chan time.Time) {
+	t := time.NewTicker(time.Second) // finding: never Stop()ed
+	for i := 0; i < 3; i++ {
+		out <- <-t.C
+	}
+}
+
+// stoppedTicker defers the Stop: clean.
+func stoppedTicker(out chan time.Time) {
+	t := time.NewTicker(time.Second)
+	defer t.Stop()
+	for i := 0; i < 3; i++ {
+		out <- <-t.C
+	}
+}
+
+// escapingTimer hands the timer to its caller, which owns Stop: clean.
+func escapingTimer() *time.Timer {
+	t := time.NewTimer(time.Second)
+	return t
+}
+
+// afterInLoop allocates one timer per iteration; none is reclaimed before
+// it fires.
+func afterInLoop(ctx context.Context, attempts int) error {
+	for i := 0; i < attempts; i++ {
+		select {
+		case <-time.After(time.Minute): // finding: timer per iteration
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
+	return nil
+}
+
+// afterOnce is outside any loop: clean (one timer, bounded life).
+func afterOnce(ctx context.Context) error {
+	select {
+	case <-time.After(time.Minute):
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// abandonedSend: the receiver can take ctx.Done and return, stranding the
+// goroutine on the unbuffered send forever.
+func abandonedSend(ctx context.Context, slow func() int) (int, error) {
+	ch := make(chan int)
+	go func() {
+		ch <- slow() // finding: receiver can abandon
+	}()
+	select {
+	case v := <-ch:
+		return v, nil
+	case <-ctx.Done():
+		return 0, ctx.Err()
+	}
+}
+
+// bufferedSend: capacity 1 lets the sender complete and exit regardless:
+// clean.
+func bufferedSend(ctx context.Context, slow func() int) (int, error) {
+	ch := make(chan int, 1)
+	go func() {
+		ch <- slow()
+	}()
+	select {
+	case v := <-ch:
+		return v, nil
+	case <-ctx.Done():
+		return 0, ctx.Err()
+	}
+}
+
+// guaranteedReceive: a plain receive always drains the sender: clean.
+func guaranteedReceive(slow func() int) int {
+	ch := make(chan int)
+	go func() {
+		ch <- slow()
+	}()
+	return <-ch
+}

@@ -1,0 +1,88 @@
+// Package hotpath exercises the hot-path allocation checker: functions
+// reached from a //lint:hotpath root over static call edges must not
+// allocate.
+package hotpath
+
+import "fmt"
+
+type tracer interface {
+	OnEvent(kind uint8)
+}
+
+type event struct {
+	t    int64
+	kind uint8
+}
+
+type sim struct {
+	queue []event
+	pool  []*event
+	tr    tracer
+	name  string
+}
+
+// step is the annotated inner loop.
+//
+//lint:hotpath
+func step(s *sim, now int64) {
+	ev := event{t: now} // value literal: stays on the stack, clean
+	s.queue = append(s.queue, ev)
+	boxed := &event{t: now} // finding: escaping composite literal
+	_ = boxed
+	s.helper(now)
+	if s.tr != nil {
+		s.tr.OnEvent(ev.kind) // interface call: traversal boundary, clean
+	}
+}
+
+// helper is reached from step over a static edge.
+func (s *sim) helper(now int64) {
+	ids := []int64{now} // finding: slice literal, reached from step
+	_ = ids
+	s.deeper()
+}
+
+// deeper is two static edges from the root.
+func (s *sim) deeper() {
+	m := make(map[int64]int32) // finding: make, reached from step
+	_ = m
+	cb := func() {} // finding: closure creation
+	_ = cb
+}
+
+// describe formats diagnostics; fmt and string concat both allocate.
+//
+//lint:hotpath
+func describe(s *sim, id int64) string {
+	label := s.name + ":" // finding: string concatenation
+	report(id)
+	return label
+}
+
+// report boxes its argument into fmt's variadic interface parameter.
+func report(id int64) {
+	fmt.Println(id) // finding: fmt call, reached from describe
+}
+
+// violate is diagnostics-only: //lint:coldpath stops the walk, so its fmt
+// use is sanctioned wholesale.
+//
+//lint:coldpath
+func violate(format string, args ...any) string {
+	return fmt.Sprintf(format, args...)
+}
+
+// lazyInit is the sanctioned-allocation shape: annotated per site.
+//
+//lint:hotpath
+func lazyInit(s *sim) {
+	if s.pool == nil {
+		s.pool = make([]*event, 0, 64) //lint:allow hotpath (fixture: amortized pool refill)
+	}
+	violate("bad state %d", 1)
+}
+
+// cold is not reached from any root: its allocations are fine.
+func cold() []int {
+	return []int{1, 2, 3}
+}

@@ -25,6 +25,7 @@ type event struct {
 // avoids container/heap's interface boxing on the simulator's hottest path.
 type eventHeap []event
 
+//lint:hotpath
 func (s *Simulator) push(ev event) {
 	ev.seq = s.nextSeq()
 	h := &s.events
@@ -40,6 +41,7 @@ func (s *Simulator) push(ev event) {
 	}
 }
 
+//lint:hotpath
 func (s *Simulator) pop() event {
 	h := &s.events
 	top := (*h)[0]

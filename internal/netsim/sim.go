@@ -350,7 +350,7 @@ func (s *Simulator) allocLinkIDs(n int) []int32 {
 		if n > sz {
 			sz = n
 		}
-		s.arena = make([]int32, sz)
+		s.arena = make([]int32, sz) //lint:allow hotpath (arena refill: one allocation per 4096 link ids, amortized away)
 		s.arenaNext = 0
 	}
 	out := s.arena[s.arenaNext : s.arenaNext : s.arenaNext+n]
@@ -378,6 +378,8 @@ func (s *Simulator) expandPath(srcHost, dstHost int, swPath []int, flowID uint64
 }
 
 // trySend transmits new segments while the congestion window allows.
+//
+//lint:hotpath
 func (s *Simulator) trySend(f *flowState, idx int32) {
 	mss := int64(s.cfg.MSS)
 	for f.sndNxt < f.spec.SizeBytes && f.sndNxt-f.sndUna < int64(f.cwnd*float64(mss)) {
@@ -389,6 +391,7 @@ func (s *Simulator) trySend(f *flowState, idx int32) {
 	}
 }
 
+//lint:hotpath
 func (s *Simulator) sendSegment(f *flowState, idx int32, seq int64) {
 	if t := int64(s.cfg.FlowletTimeout); t > 0 {
 		// Flowlet switching [25]: an idle gap longer than the timeout lets
@@ -420,6 +423,7 @@ func (s *Simulator) sendSegment(f *flowState, idx int32, seq int64) {
 	s.enterLink(p)
 }
 
+//lint:hotpath
 func (s *Simulator) sendAck(f *flowState, idx int32, echo int64, ce bool) {
 	p := s.alloc()
 	p.flow = idx
@@ -435,6 +439,7 @@ func (s *Simulator) sendAck(f *flowState, idx int32, echo int64, ce bool) {
 	s.enterLink(p)
 }
 
+//lint:hotpath
 func (s *Simulator) enterLink(p *packet) {
 	id := p.links[p.hop]
 	l := &s.links[id]
@@ -479,6 +484,7 @@ func (s *Simulator) enterLink(p *packet) {
 	}
 }
 
+//lint:hotpath
 func (s *Simulator) txDone(linkID int32, p *packet) {
 	l := &s.links[linkID]
 	if l.down {
@@ -504,6 +510,7 @@ func (s *Simulator) txDone(linkID int32, p *packet) {
 	}
 }
 
+//lint:hotpath
 func (s *Simulator) deliver(p *packet) {
 	p.hop++
 	if int(p.hop) < len(p.links) {
@@ -541,13 +548,14 @@ func (s *Simulator) deliver(p *packet) {
 		if f.ooo == nil {
 			// Allocated on first reordering only: in-order flows — the
 			// common case — never pay for the map.
-			f.ooo = make(map[int64]int32, 8)
+			f.ooo = make(map[int64]int32, 8) //lint:allow hotpath (lazy: only the first reordered packet of a flow pays)
 		}
 		f.ooo[seq] = int32(payload)
 	}
 	s.sendAck(f, idx, echo, ce)
 }
 
+//lint:hotpath
 func (s *Simulator) handleAck(f *flowState, idx int32, ack, echo int64, ce bool) {
 	if f.done {
 		return
@@ -616,6 +624,7 @@ func (s *Simulator) handleAck(f *flowState, idx int32, ack, echo int64, ce bool)
 	}
 }
 
+//lint:hotpath
 func (s *Simulator) timeout(idx int32, epoch uint64) {
 	f := &s.flows[idx]
 	if f.done || epoch != f.rtoEpoch || f.sndNxt == f.sndUna {
@@ -690,6 +699,7 @@ func (s *Simulator) armRTO(f *flowState, idx int32) {
 	s.push(event{t: s.now + f.rto, kind: evRTO, idx: idx, epoch: f.rtoEpoch})
 }
 
+//lint:hotpath
 func (s *Simulator) alloc() *packet {
 	s.allocCount++
 	if n := len(s.pool); n > 0 {
@@ -702,7 +712,7 @@ func (s *Simulator) alloc() *packet {
 	// blocks stay alive through the pointers already circulating, so growth
 	// costs one allocation per poolChunkSize packets instead of one each.
 	if s.poolNext == len(s.poolChunk) {
-		s.poolChunk = make([]packet, poolChunkSize)
+		s.poolChunk = make([]packet, poolChunkSize) //lint:allow hotpath (pool refill: one allocation per 256 packets, amortized away)
 		s.poolNext = 0
 	}
 	p := &s.poolChunk[s.poolNext]
@@ -713,6 +723,7 @@ func (s *Simulator) alloc() *packet {
 // poolChunkSize is the packet-pool block size; 256 packets ≈ 16 KiB.
 const poolChunkSize = 256
 
+//lint:hotpath
 func (s *Simulator) free(p *packet) {
 	if p.pooled {
 		// Double free: the packet is already in the pool. Handing it out

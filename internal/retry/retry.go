@@ -86,10 +86,25 @@ func Permanent(err error) error {
 }
 
 // IsPermanent reports whether err (or anything it wraps) was marked
-// Permanent.
+// Permanent. It walks the wrap chain by hand: errors.As would need an
+// escaping **permanentError target, one heap allocation per call, and Do
+// calls this once per attempt (TestDoBackoffAllocs pins the loop's total).
 func IsPermanent(err error) bool {
-	var p *permanentError
-	return errors.As(err, &p)
+	switch e := err.(type) {
+	case nil:
+		return false
+	case *permanentError:
+		return true
+	case interface{ Unwrap() error }:
+		return IsPermanent(e.Unwrap())
+	case interface{ Unwrap() []error }:
+		for _, u := range e.Unwrap() {
+			if IsPermanent(u) {
+				return true
+			}
+		}
+	}
+	return false
 }
 
 // ErrBudgetExhausted is wrapped into Do's return when the retry budget
@@ -125,6 +140,25 @@ func (p Policy) Delay(key string, attempt int) time.Duration {
 	return time.Duration(d)
 }
 
+// Sleep blocks for d or until ctx is cancelled, whichever comes first, and
+// returns ctx's error if it won. Unlike `case <-time.After(d):` in a select,
+// the timer is always released: time.After's timer lives until it fires even
+// after the select abandons it, so in a loop it piles up one pending runtime
+// timer per iteration. Use Sleep for any cancellable backoff or poll delay.
+func Sleep(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		return ctx.Err()
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
 // Do runs op until it succeeds, fails permanently, exhausts the policy, or
 // ctx is cancelled. key seeds the deterministic jitter (use the request's
 // content hash, or any stable identifier). Each attempt receives a context
@@ -133,6 +167,15 @@ func (p Policy) Delay(key string, attempt int) time.Duration {
 func (p Policy) Do(ctx context.Context, key string, op func(ctx context.Context) error) error {
 	p = p.withDefaults()
 	var last error
+	// One timer reused across every backoff: time.After in this loop would
+	// allocate a timer per attempt that lives until it fires (see
+	// TestDoBackoffAllocs, which pins the difference).
+	var timer *time.Timer
+	defer func() {
+		if timer != nil {
+			timer.Stop()
+		}
+	}()
 	for attempt := 1; ; attempt++ {
 		if err := ctx.Err(); err != nil {
 			if last != nil {
@@ -166,8 +209,22 @@ func (p Policy) Do(ctx context.Context, key string, op func(ctx context.Context)
 			return fmt.Errorf("retry: %w after %d attempts: %w", ErrBudgetExhausted, attempt, last)
 		}
 		delay := p.Delay(key, attempt)
+		if timer == nil {
+			timer = time.NewTimer(delay)
+		} else {
+			// Drain-safe Reset for go1.22 (no go1.23 Reset semantics): we are
+			// the sole receiver, so after Stop the channel holds at most one
+			// stale tick, which the non-blocking receive clears.
+			if !timer.Stop() {
+				select {
+				case <-timer.C:
+				default:
+				}
+			}
+			timer.Reset(delay)
+		}
 		select {
-		case <-time.After(delay):
+		case <-timer.C:
 		case <-ctx.Done():
 			return fmt.Errorf("retry: %w while backing off (after %d attempts, last error: %v)", ctx.Err(), attempt, last)
 		}

@@ -150,3 +150,56 @@ func TestBudgetNilIsUnlimited(t *testing.T) {
 	}
 	b.OnSuccess() // must not panic
 }
+
+// TestDoBackoffAllocs pins the backoff loop's allocation behavior: one timer
+// reused across every attempt, not a fresh time.After timer per attempt.
+// Before the reuse fix this measured ~3 extra allocations per backoff (the
+// runtime timer and its channel, each alive until it fired); with 15 backoffs
+// per Do the old code lands far above the pinned bound.
+func TestDoBackoffAllocs(t *testing.T) {
+	p := Policy{MaxAttempts: 16, BaseDelay: 10 * time.Microsecond, MaxDelay: 10 * time.Microsecond}
+	sentinel := errors.New("still down")
+	ctx := context.Background()
+	op := func(context.Context) error { return sentinel }
+	allocs := testing.AllocsPerRun(10, func() {
+		if err := p.Do(ctx, "k", op); err == nil {
+			t.Fatal("op always fails; Do must not succeed")
+		}
+	})
+	// Fixed costs per Do: the single reused timer, the wrapped give-up
+	// error, and the deferred stop closure. 15 per-iteration timers would
+	// add ~45 on top.
+	if allocs > 12 {
+		t.Fatalf("Do allocated %.0f times for 16 attempts; backoff timer is not being reused", allocs)
+	}
+}
+
+// TestSleepHonorsContextAndDelay pins Sleep's two exits: the full delay when
+// the context stays live, and a prompt return with the context's error when
+// cancelled mid-sleep.
+func TestSleepHonorsContextAndDelay(t *testing.T) {
+	start := time.Now()
+	if err := Sleep(context.Background(), 5*time.Millisecond); err != nil {
+		t.Fatalf("Sleep returned %v on a live context", err)
+	}
+	if d := time.Since(start); d < 5*time.Millisecond {
+		t.Fatalf("Sleep returned after %v, before the delay elapsed", d)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(2 * time.Millisecond)
+		cancel()
+	}()
+	start = time.Now()
+	if err := Sleep(ctx, time.Minute); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Sleep on a cancelled context returned %v", err)
+	}
+	if d := time.Since(start); d > 10*time.Second {
+		t.Fatalf("Sleep took %v to notice cancellation", d)
+	}
+
+	if err := Sleep(context.Background(), 0); err != nil {
+		t.Fatalf("zero-delay Sleep returned %v", err)
+	}
+}

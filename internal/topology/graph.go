@@ -151,7 +151,7 @@ func (g *Graph) reindex() {
 	if !g.dirty && g.serverPre != nil {
 		return
 	}
-	g.serverPre = make([]int, len(g.servers)+1)
+	g.serverPre = make([]int, len(g.servers)+1) //lint:allow hotpath (lazy one-time index build; clean runs Reindex before the event loop)
 	for i, s := range g.servers {
 		g.serverPre[i+1] = g.serverPre[i] + s
 	}
