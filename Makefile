@@ -1,11 +1,12 @@
 GO ?= go
 
 # PR number stamped into the committed benchmark baseline (BENCH_$(BENCH_PR).json).
-BENCH_PR ?= 3
-# The key benchmarks the baseline records: the netsim hot path, one Figure 4
-# row, the Figure 5 panel in serial and parallel variants, FIB construction,
-# and paper-scale BGP convergence.
-BENCH_RE = ^(BenchmarkNetsimEvents|BenchmarkFig4_A2A|BenchmarkFig5_SmallSU2|BenchmarkFig5_SmallSU2_Workers1|BenchmarkFig5_SmallSU2_WorkersMax|BenchmarkFibConstruction|BenchmarkBGPConvergePaperScale)$$
+BENCH_PR ?= 8
+# The key benchmarks the baseline records: the netsim hot path (serial and
+# sharded at 1/2/4/8 workers), one Figure 4 row, the Figure 5 panel in serial
+# and parallel variants, FIB construction, and paper-scale BGP convergence
+# (full and single-link-delta).
+BENCH_RE = ^(BenchmarkNetsimEvents|BenchmarkNetsimEventsSharded(1|2|4|8)|BenchmarkFig4_A2A|BenchmarkFig5_SmallSU2|BenchmarkFig5_SmallSU2_Workers1|BenchmarkFig5_SmallSU2_WorkersMax|BenchmarkFibConstruction|BenchmarkBGPConvergePaperScale|BenchmarkBGPReconvergeDelta)$$
 
 .PHONY: check build test vet fmt lint race bench audit serve serve-smoke fleet-smoke
 

@@ -471,3 +471,79 @@ func BenchmarkBGPConvergePaperScale(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkBGPReconvergeDelta reconverges the same paper-scale control
+// plane after a single link failure, seeding from the pre-failure RIB and
+// dirtying only the failure-incident routers. The ratio against
+// BenchmarkBGPConvergePaperScale is the incremental-convergence win.
+func BenchmarkBGPReconvergeDelta(b *testing.B) {
+	fs, err := spineless.PaperFabrics(rand.New(rand.NewSource(1)))
+	if err != nil {
+		b.Fatal(err)
+	}
+	net, err := spineless.BuildBGP(fs.DRing, 2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	baseRib, _, err := net.Converge()
+	if err != nil {
+		b.Fatal(err)
+	}
+	failed := fs.DRing.Clone()
+	nbr := fs.DRing.Neighbors(0)[0]
+	for failed.RemoveLink(0, nbr) {
+		// drop every parallel copy of the trunk, as a real failure would
+	}
+	failedNet, err := spineless.BuildBGP(failed, 2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := failedNet.ConvergeDirty(baseRib, []int{0, nbr}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Sharded packet engine ---
+
+// benchNetsimSharded measures conservative-window engine throughput on the
+// full-scale §5.1 DRing under a uniform Pareto workload. Every shard count
+// runs the identical workload (results are byte-identical), so the ns/op
+// ratios are the parallel speedup; on a single-vCPU host the workers
+// multiplex one core and the ratio instead measures window-barrier
+// overhead (see EXPERIMENTS.md).
+func benchNetsimSharded(b *testing.B, shards int) {
+	fs, err := spineless.PaperFabrics(rand.New(rand.NewSource(1)))
+	if err != nil {
+		b.Fatal(err)
+	}
+	g := fs.DRing
+	rng := rand.New(rand.NewSource(3))
+	gen := spineless.GenFlowConfig(1200, 2*time.Millisecond)
+	gen.Sizes = spineless.ParetoSizes(30e3, 1.05, 300e3)
+	flows, err := spineless.GenerateFlows(g, spineless.UniformTM(len(g.Racks())), gen, rng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	scheme, err := spineless.NewShortestUnion(g, 2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ss, err := spineless.NewShardedSimulator(g, scheme, spineless.DefaultNetConfig(), shards)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := ss.Run(flows); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkNetsimEventsSharded1(b *testing.B) { benchNetsimSharded(b, 1) }
+func BenchmarkNetsimEventsSharded2(b *testing.B) { benchNetsimSharded(b, 2) }
+func BenchmarkNetsimEventsSharded4(b *testing.B) { benchNetsimSharded(b, 4) }
+func BenchmarkNetsimEventsSharded8(b *testing.B) { benchNetsimSharded(b, 8) }

@@ -51,6 +51,7 @@ func main() {
 		seed      = flag.Int64("seed", 1, "random seed")
 		workers   = flag.Int("workers", 0, "parallel workers across fractions (0 = one per CPU); results are identical at any value")
 		doAudit   = flag.Bool("audit", false, "run packet simulations under the runtime invariant auditor (violations fail the trial)")
+		shards    = flag.Int("shards", 0, "intra-trial netsim shards (0 = serial engine); results are identical at any count, incompatible with -audit")
 		storeDir  = flag.String("store", "", "content-addressed result cache directory; repeated runs reuse per-fraction rows")
 
 		live     = flag.Bool("live", false, "inject failures during a packet-level run (transient study)")
@@ -102,6 +103,9 @@ func main() {
 		V: 1, Topo: *topoKind, Supernodes: *m, Tors: *n, Ports: *ports,
 		K: *k, Flows: *flows, Seed: *seed,
 	}
+	if *doAudit && *shards > 0 {
+		log.Fatal("-audit needs the serial engine's event stream; drop -shards")
+	}
 
 	if *live {
 		cfg := resilience.DefaultLiveConfig()
@@ -119,6 +123,7 @@ func main() {
 		cfg.PreserveConnectivity = *preserve
 		cfg.Workers = *workers
 		cfg.Audit = *doAudit
+		cfg.Shards = *shards
 
 		fmt.Printf("fabric: %v, Shortest-Union(%d), seed=%d\n", g, *k, *seed)
 		fmt.Printf("live faults: fail at %v, detect %v, %v/round; flap=%d gray=%d (loss %.1f%%, rate ×%.2f)\n\n",
@@ -147,6 +152,7 @@ func main() {
 	cfg.Fractions = fracs
 	cfg.Workers = *workers
 	cfg.Audit = *doAudit
+	cfg.Shards = *shards
 
 	base.Mode = "static"
 	fmt.Printf("fabric: %v, Shortest-Union(%d), seed=%d\n\n", g, *k, *seed)

@@ -44,6 +44,7 @@ func main() {
 		doAudit  = flag.Bool("audit", false, "run every cell under the runtime invariant auditor (violations abort)")
 		trials   = flag.Int("trials", 1, "independently seeded arrival windows pooled per cell")
 		workers  = flag.Int("workers", 0, "parallel workers per fan-out (0 = one per CPU); results are identical at any value")
+		shards   = flag.Int("shards", 0, "intra-trial netsim shards (0 = serial engine); results are identical at any count, incompatible with -audit")
 		storeDir = flag.String("store", "", "content-addressed result cache directory; repeated runs reuse per-cell results")
 		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf  = flag.String("memprofile", "", "write a heap profile to this file on exit")
@@ -82,8 +83,12 @@ func main() {
 	cfg.Workers = *workers
 	cfg.Sizes = workload.PaperFlowSizes()
 	cfg.Audit = *doAudit
+	cfg.Shards = *shards
 	cfg.KeepFlows = *dump != ""
 	if *doAudit {
+		if *shards > 0 {
+			log.Fatal("-audit needs the serial engine's event stream; drop -shards")
+		}
 		log.Printf("invariant auditing enabled: any conservation/FIFO/TCP violation aborts the run")
 	}
 	if *dump != "" {

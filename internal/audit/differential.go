@@ -32,6 +32,13 @@ type DiffConfig struct {
 	// Slack is the relative tolerance on the flowsim-vs-fluid bound,
 	// absorbing FPTAS and float rounding (default 0.01).
 	Slack float64
+	// Shards > 0 runs the packet leg on the sharded conservative-window
+	// engine with that many workers instead of the serial simulator. The
+	// invariant Auditor only observes the serial engine's single event
+	// stream, so that leg's runtime invariants go unchecked; the cross-model
+	// tolerance bands still apply, which makes the differential a
+	// cross-engine physics check on the sharded engine itself.
+	Shards int
 }
 
 func (c *DiffConfig) defaults() {
@@ -96,21 +103,32 @@ func Differential(g *topology.Graph, scheme routing.Scheme, flows []workload.Flo
 		return rep, fmt.Errorf("audit: differential needs at least one flow")
 	}
 
-	// Packet level, audited.
-	sim, err := netsim.New(g, scheme, cfg.Net)
-	if err != nil {
-		return rep, err
-	}
-	aud, err := Attach(sim, flows)
-	if err != nil {
-		return rep, err
-	}
-	res, err := sim.Run(flows)
-	if err != nil {
-		return rep, err
-	}
-	if err := aud.Finish(res); err != nil {
-		rep.Violations = append(rep.Violations, fmt.Sprintf("netsim invariants: %v", err))
+	// Packet level — audited on the serial engine, band-checked only on the
+	// sharded one.
+	var res netsim.Results
+	if cfg.Shards > 0 {
+		ss, err := netsim.NewSharded(g, scheme, cfg.Net, cfg.Shards)
+		if err != nil {
+			return rep, err
+		}
+		if res, err = ss.Run(flows); err != nil {
+			return rep, err
+		}
+	} else {
+		sim, err := netsim.New(g, scheme, cfg.Net)
+		if err != nil {
+			return rep, err
+		}
+		aud, err := Attach(sim, flows)
+		if err != nil {
+			return rep, err
+		}
+		if res, err = sim.Run(flows); err != nil {
+			return rep, err
+		}
+		if err := aud.Finish(res); err != nil {
+			rep.Violations = append(rep.Violations, fmt.Sprintf("netsim invariants: %v", err))
+		}
 	}
 	incomplete := 0
 	for i, fct := range res.FCTNS {

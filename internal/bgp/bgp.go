@@ -44,7 +44,14 @@ type Network struct {
 	// Sessions, indexed by the receiving node for convergence sweeps.
 	Sessions []Session
 
-	inbound map[NodeID][]int // node → session indices where node == From
+	// CSR session-graph indexes over dense node ids Router*K + (VRF-1),
+	// built eagerly by Build (see buildIndexes in converge.go): inbound
+	// sessions per node, advertiser-sorted, and the reverse dependents used
+	// for dirty-set propagation. outSess parallels outDeps with the session
+	// carrying the advertisement to each dependent, so propagation can tell
+	// the dependent exactly which inbound candidate moved.
+	inStart, inSess            []int32
+	outStart, outDeps, outSess []int32
 }
 
 // Build constructs the VRF session graph for Shortest-Union(K) over g,
@@ -60,10 +67,9 @@ func Build(g *topology.Graph, k int) (*Network, error) {
 	if k < 2 {
 		return nil, fmt.Errorf("bgp: need K >= 2, got %d", k)
 	}
-	n := &Network{Topo: g, K: k, inbound: make(map[NodeID][]int)}
+	n := &Network{Topo: g, K: k}
 	add := func(from, to NodeID, prepend int) {
 		n.Sessions = append(n.Sessions, Session{From: from, To: to, Prepend: prepend})
-		n.inbound[from] = append(n.inbound[from], len(n.Sessions)-1)
 	}
 	for u := 0; u < g.N(); u++ {
 		seen := map[int]bool{}
@@ -85,6 +91,7 @@ func Build(g *topology.Graph, k int) (*Network, error) {
 			add(NodeID{u, 1}, NodeID{v, 1}, 0)
 		}
 	}
+	n.buildIndexes()
 	return n, nil
 }
 

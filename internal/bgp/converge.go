@@ -18,10 +18,30 @@ type Route struct {
 	NextHops []NodeID
 }
 
-// Rib is the converged routing state: Rib[node][dstRouter].
+// Rib is the converged routing state: Rib[node][dstRouter]. Ribs are
+// immutable by contract: an incremental reconvergence (ConvergeFrom,
+// ConvergeDirty) returns a Rib whose unchanged routes share ASPath and
+// NextHops storage with the previous one, so callers must not write
+// through a Route's slices.
 type Rib map[NodeID][]Route
 
 const inf = 1 << 30
+
+// The convergence engine is incremental: state is a flat []entry indexed
+// (node, dst) and each synchronous round recomputes only the entries whose
+// inputs changed in the previous round, tracked as per-destination dirty
+// sets propagated through the session graph's out-dependents. A full
+// recomputation is just the special case where round 1's candidate set is
+// every entry; because a round is a pure function of the previous state, the
+// dirty-set sweep commits exactly the writes the dense sweep would, so
+// Converge and ConvergeFrom return bit-identical RIBs and round counts to a
+// dense implementation while reconvergence work after a localized change is
+// proportional to the affected region, not the fabric.
+//
+// Candidate best paths are compared virtually — (router, repeat count,
+// advertised path) against the incumbent without materializing the prepended
+// slice — and an entry is only materialized when it actually changes, so a
+// steady-state round allocates nothing for the (vast) unchanged remainder.
 
 // Converge runs synchronous path-vector iterations until a fixpoint: every
 // round, every node advertises its single best path per prefix to its
@@ -30,7 +50,7 @@ const inf = 1 << 30
 // advertisements as ECMP next hops. It returns the converged RIB and the
 // number of rounds taken.
 func (n *Network) Converge() (Rib, int, error) {
-	return n.converge(n.freshState())
+	return n.converge(n.freshState(), n.allCandidates(), nil)
 }
 
 // ConvergeFrom reconverges starting from a previous RIB — the §7 failure
@@ -39,120 +59,509 @@ func (n *Network) Converge() (Rib, int, error) {
 // settles? prev entries for vanished nodes are ignored; local prefixes are
 // re-originated.
 func (n *Network) ConvergeFrom(prev Rib) (Rib, int, error) {
-	state := n.freshState()
+	return n.converge(n.seededState(prev), n.allCandidates(), prev)
+}
+
+// ConvergeDirty reconverges after a change known to touch only the links
+// incident to dirtyRouters: round 1 recomputes only those routers' VRF
+// entries instead of sweeping the whole fabric, and change propagation takes
+// over from there. When prev is a converged RIB of a network differing from
+// n only at sessions incident to dirtyRouters, the result — RIB and round
+// count — is identical to ConvergeFrom(prev), because every entry outside
+// the dirty region is at its fixpoint and a dense round 1 would not change
+// it either. prev must cover every node of n (use ConvergeFrom when it
+// might not, e.g. after adding routers).
+func (n *Network) ConvergeDirty(prev Rib, dirtyRouters []int) (Rib, int, error) {
 	nr := n.Topo.N()
 	for _, node := range n.Nodes() {
-		old, ok := prev[node]
-		if !ok || len(old) != nr {
+		if old, ok := prev[node]; !ok || len(old) != nr {
+			return nil, 0, fmt.Errorf("bgp: ConvergeDirty needs a complete previous RIB (missing %v); use ConvergeFrom", node)
+		}
+	}
+	routers := append([]int(nil), dirtyRouters...)
+	sort.Ints(routers)
+	var cands []int32
+	prevR := -1
+	for _, r := range routers {
+		if r < 0 || r >= nr {
+			return nil, 0, fmt.Errorf("bgp: dirty router %d out of range [0,%d)", r, nr)
+		}
+		if r == prevR {
 			continue
 		}
-		for d, r := range old {
-			if node.VRF == n.K && d == node.Router {
-				continue // keep the fresh origination
-			}
-			if r.ASPathLen < 0 {
-				continue
-			}
-			state[node][d] = entry{
-				len:      r.ASPathLen,
-				path:     append([]int(nil), r.ASPath...),
-				nextHops: append([]NodeID(nil), r.NextHops...),
+		prevR = r
+		for vrf := 1; vrf <= n.K; vrf++ {
+			x := r*n.K + vrf - 1
+			for d := 0; d < nr; d++ {
+				if vrf == n.K && d == r {
+					continue // originated locally; never replaced
+				}
+				cands = append(cands, int32(x*nr+d))
 			}
 		}
 	}
-	return n.converge(state)
+	return n.converge(n.seededState(prev), cands, prev)
 }
 
-func (n *Network) freshState() map[NodeID][]entry {
+// nodeIdx flattens a NodeID into the engine's dense index space.
+func (n *Network) nodeIdx(id NodeID) int { return id.Router*n.K + id.VRF - 1 }
+
+// nodeAt is the inverse of nodeIdx.
+func (n *Network) nodeAt(i int) NodeID { return NodeID{Router: i / n.K, VRF: i%n.K + 1} }
+
+// buildIndexes lays the session graph out as two CSR tables over dense node
+// indices: inStart/inSess lists each node's inbound sessions sorted by
+// advertiser (so ECMP hop sets come out pre-sorted), outStart/outDeps lists
+// the nodes depending on each advertiser (the dirty-set fan-out). Build
+// calls it eagerly so converge sweeps never mutate the Network.
+func (n *Network) buildIndexes() {
+	nn := n.Topo.N() * n.K
+	n.inStart = make([]int32, nn+1)
+	for _, s := range n.Sessions {
+		n.inStart[n.nodeIdx(s.From)+1]++
+	}
+	for i := 1; i <= nn; i++ {
+		n.inStart[i] += n.inStart[i-1]
+	}
+	n.inSess = make([]int32, len(n.Sessions))
+	fill := make([]int32, nn)
+	for si, s := range n.Sessions {
+		x := n.nodeIdx(s.From)
+		n.inSess[n.inStart[x]+fill[x]] = int32(si)
+		fill[x]++
+	}
+	for x := 0; x < nn; x++ {
+		seg := n.inSess[n.inStart[x]:n.inStart[x+1]]
+		sort.Slice(seg, func(a, b int) bool {
+			ta, tb := n.Sessions[seg[a]].To, n.Sessions[seg[b]].To
+			if ta.Router != tb.Router {
+				return ta.Router < tb.Router
+			}
+			return ta.VRF < tb.VRF
+		})
+	}
+
+	n.outStart = make([]int32, nn+1)
+	for _, s := range n.Sessions {
+		n.outStart[n.nodeIdx(s.To)+1]++
+	}
+	for i := 1; i <= nn; i++ {
+		n.outStart[i] += n.outStart[i-1]
+	}
+	n.outDeps = make([]int32, len(n.Sessions))
+	n.outSess = make([]int32, len(n.Sessions))
+	for i := range fill {
+		fill[i] = 0
+	}
+	for si, s := range n.Sessions {
+		w := n.nodeIdx(s.To)
+		n.outDeps[n.outStart[w]+fill[w]] = int32(n.nodeIdx(s.From))
+		n.outSess[n.outStart[w]+fill[w]] = int32(si)
+		fill[w]++
+	}
+	for w := 0; w < nn; w++ {
+		deps := n.outDeps[n.outStart[w]:n.outStart[w+1]]
+		sess := n.outSess[n.outStart[w]:n.outStart[w+1]]
+		sort.Sort(&depSessSort{deps, sess})
+	}
+}
+
+// depSessSort keeps the outSess column aligned with outDeps while sorting a
+// CSR segment by dependent node id.
+type depSessSort struct{ deps, sess []int32 }
+
+func (p *depSessSort) Len() int           { return len(p.deps) }
+func (p *depSessSort) Less(i, j int) bool { return p.deps[i] < p.deps[j] }
+func (p *depSessSort) Swap(i, j int) {
+	p.deps[i], p.deps[j] = p.deps[j], p.deps[i]
+	p.sess[i], p.sess[j] = p.sess[j], p.sess[i]
+}
+
+func (n *Network) freshState() []entry {
 	nr := n.Topo.N()
-	state := make(map[NodeID][]entry, n.K*nr)
-	for _, node := range n.Nodes() {
-		es := make([]entry, nr)
-		for d := range es {
-			es[d].len = inf
-		}
-		if node.VRF == n.K {
-			// Host interfaces live in VRF K: originate the rack prefix.
-			es[node.Router] = entry{len: 1, path: []int{node.Router}}
-		}
-		state[node] = es
+	nn := nr * n.K
+	state := make([]entry, nn*nr)
+	for i := range state {
+		state[i].len = inf
+	}
+	for r := 0; r < nr; r++ {
+		// Host interfaces live in VRF K: originate the rack prefix.
+		x := r*n.K + n.K - 1
+		state[x*nr+r] = entry{len: 1, path: []int{r}}
 	}
 	return state
 }
 
-func (n *Network) converge(state map[NodeID][]entry) (Rib, int, error) {
+// seededState overlays prev onto a fresh state. The seeded entries alias
+// prev's ASPath/NextHops slices: the sweep never mutates a slice in place
+// (recompute materializes fresh slices for every change), so the sharing is
+// read-only and the returned RIB of an incremental run may in turn share
+// unchanged routes with prev. Ribs are immutable by contract. Entries for
+// vanished nodes are ignored; local prefixes are re-originated.
+func (n *Network) seededState(prev Rib) []entry {
 	nr := n.Topo.N()
-	maxRounds := 4*n.K*nr + 16
-	for round := 1; round <= maxRounds; round++ {
-		changed := false
-		next := make(map[NodeID][]entry, len(state))
-		for _, node := range n.Nodes() {
-			cur := state[node]
-			es := make([]entry, nr)
-			copy(es, cur)
-			for d := 0; d < nr; d++ {
-				if node.VRF == n.K && d == node.Router {
-					continue // originated locally; never replaced
-				}
-				best := inf
-				var bestPath []int
-				var hops []NodeID
-				for _, si := range n.inbound[node] {
-					s := n.Sessions[si]
-					adv := state[s.To][d]
-					if adv.len >= inf {
-						continue
-					}
-					// Sender prepends its own AS 1+Prepend times.
-					cand := adv.len + 1 + s.Prepend
-					if containsRouter(adv.path, node.Router) || s.To.Router == node.Router {
-						continue // AS-path loop
-					}
-					if cand < best {
-						best = cand
-						bestPath = prependPath(s.To.Router, 1+s.Prepend, adv.path)
-						hops = []NodeID{s.To}
-					} else if cand == best {
-						p := prependPath(s.To.Router, 1+s.Prepend, adv.path)
-						if lexLessInts(p, bestPath) {
-							bestPath = p
-						}
-						hops = append(hops, s.To)
-					}
-				}
-				sort.Slice(hops, func(a, b int) bool {
-					if hops[a].Router != hops[b].Router {
-						return hops[a].Router < hops[b].Router
-					}
-					return hops[a].VRF < hops[b].VRF
-				})
-				ne := entry{len: best, path: bestPath, nextHops: hops}
-				if !entryEqual(cur[d], ne) {
-					changed = true
-				}
-				es[d] = ne
+	state := make([]entry, nr*n.K*nr)
+	for _, node := range n.Nodes() {
+		x := n.nodeIdx(node)
+		row := state[x*nr : (x+1)*nr]
+		old, ok := prev[node]
+		if !ok || len(old) != nr {
+			for d := range row {
+				row[d].len = inf
 			}
-			next[node] = es
+		} else {
+			for d, r := range old {
+				if r.ASPathLen < 0 {
+					row[d].len = inf
+					continue
+				}
+				row[d] = entry{len: r.ASPathLen, path: r.ASPath, nextHops: r.NextHops}
+			}
 		}
-		state = next
-		if !changed {
-			rib := make(Rib, len(state))
-			for node, es := range state {
-				rs := make([]Route, nr)
-				for d, e := range es {
-					if e.len >= inf {
-						rs[d] = Route{ASPathLen: -1}
-						continue
-					}
-					// nextHops are already sorted by the round computation.
-					rs[d] = Route{ASPathLen: e.len, ASPath: e.path, NextHops: append([]NodeID(nil), e.nextHops...)}
-				}
-				rib[node] = rs
-			}
-			return rib, round, nil
+		if node.VRF == n.K {
+			// Host interfaces live in VRF K: re-originate the rack prefix.
+			row[node.Router] = entry{len: 1, path: []int{node.Router}}
 		}
 	}
+	return state
+}
+
+// allCandidates lists every non-origination entry — the dense round-1 sweep
+// Converge and ConvergeFrom start from.
+func (n *Network) allCandidates() []int32 {
+	nr := n.Topo.N()
+	nn := nr * n.K
+	out := make([]int32, 0, nn*nr)
+	for x := 0; x < nn; x++ {
+		node := n.nodeAt(x)
+		for d := 0; d < nr; d++ {
+			if node.VRF == n.K && d == node.Router {
+				continue
+			}
+			out = append(out, int32(x*nr+d))
+		}
+	}
+	return out
+}
+
+// sweep holds the per-run scratch: pending writes (collect-then-commit
+// keeps rounds synchronous), the epoch-stamped dedup table for next-round
+// candidates, and a reusable ECMP hop buffer.
+type sweep struct {
+	n     *Network
+	nr    int
+	state []entry
+
+	pendIdx []int32
+	pendEnt []entry
+
+	mark  []uint32
+	epoch uint32
+
+	// Sparse-round event buckets: for a next-round candidate entry di,
+	// evBuf[evOff[di] : evOff[di]+evCnt[di]] lists exactly the inbound
+	// sessions whose advertiser committed this round. Buckets are laid out
+	// by a counting pass over the commit fan-out — no sorting.
+	evCnt, evOff []int32
+	evBuf        []int32
+
+	// rowDirty[x] records that node x committed at least one write, so
+	// buildRib knows which of prev's rows may be shared wholesale.
+	rowDirty []bool
+
+	hops []NodeID
+}
+
+func (n *Network) converge(state []entry, cands []int32, prev Rib) (Rib, int, error) {
+	nr := n.Topo.N()
+	s := &sweep{n: n, nr: nr, state: state, mark: make([]uint32, len(state)),
+		evCnt: make([]int32, len(state)), evOff: make([]int32, len(state)),
+		rowDirty: make([]bool, nr*n.K)}
+	maxRounds := 4*n.K*nr + 16
+	var next []int32
+	sparse := false
+	for round := 1; round <= maxRounds; round++ {
+		s.pendIdx = s.pendIdx[:0]
+		s.pendEnt = s.pendEnt[:0]
+		if sparse {
+			for _, di := range cands {
+				evs := s.evBuf[s.evOff[di] : s.evOff[di]+s.evCnt[di]]
+				if ne, changed := s.recomputeDelta(di, evs); changed {
+					s.pendIdx = append(s.pendIdx, di)
+					s.pendEnt = append(s.pendEnt, ne)
+				}
+			}
+		} else {
+			for _, ei := range cands {
+				if ne, changed := s.recompute(ei); changed {
+					s.pendIdx = append(s.pendIdx, ei)
+					s.pendEnt = append(s.pendEnt, ne)
+				}
+			}
+		}
+		if len(s.pendIdx) == 0 {
+			return n.buildRib(state, prev, s.rowDirty), round, nil
+		}
+		for i, ei := range s.pendIdx {
+			state[ei] = s.pendEnt[i]
+			s.rowDirty[int(ei)/nr] = true
+		}
+		// Dirty propagation: only entries reading a changed (node, dst) can
+		// move next round — the out-dependents of each write, same dst,
+		// mark-deduplicated. The next round goes sparse when visiting just
+		// the moved candidates (nEv session events) is cheaper than fully
+		// rescanning every candidate (scanCost inbound sessions); both
+		// paths evaluate the same fixpoint function, so the choice cannot
+		// change results.
+		s.epoch++
+		next = next[:0]
+		nEv, scanCost := 0, 0
+		for _, ei := range s.pendIdx {
+			x, d := int(ei)/nr, int(ei)%nr
+			for _, dep := range n.outDeps[n.outStart[x]:n.outStart[x+1]] {
+				node := n.nodeAt(int(dep))
+				if node.VRF == n.K && d == node.Router {
+					continue // origination is never recomputed
+				}
+				di := int32(int(dep)*nr + d)
+				if s.mark[di] != s.epoch {
+					s.mark[di] = s.epoch
+					next = append(next, di)
+					s.evCnt[di] = 0
+					scanCost += int(n.inStart[dep+1] - n.inStart[dep])
+				}
+				s.evCnt[di]++
+				nEv++
+			}
+		}
+		// The factor 3 prices sparse's overheads beyond the event visits
+		// themselves: two bucket-building passes over the fan-out plus the
+		// per-entry full rescans when an incumbent contributor moved (the
+		// common case in dense early rounds, where almost everything is
+		// still in motion).
+		sparse = 3*nEv < scanCost
+		if sparse {
+			// Counting layout: evOff starts at each bucket's end and the
+			// scatter pass walks it back to the bucket's start.
+			off := int32(0)
+			for _, di := range next {
+				off += s.evCnt[di]
+				s.evOff[di] = off
+			}
+			if cap(s.evBuf) < int(off) {
+				s.evBuf = make([]int32, off)
+			}
+			for _, ei := range s.pendIdx {
+				x, d := int(ei)/nr, int(ei)%nr
+				for k := n.outStart[x]; k < n.outStart[x+1]; k++ {
+					dep := int(n.outDeps[k])
+					node := n.nodeAt(dep)
+					if node.VRF == n.K && d == node.Router {
+						continue // origination is never recomputed
+					}
+					di := dep*nr + d
+					s.evOff[di]--
+					s.evBuf[s.evOff[di]] = n.outSess[k]
+				}
+			}
+		}
+		cands, next = next, cands
+	}
 	return nil, maxRounds, fmt.Errorf("bgp: no convergence after %d rounds", maxRounds)
+}
+
+// recomputeDelta reevaluates one entry given exactly the inbound candidates
+// that moved last round (evs holds their session indexes). If a moved
+// advertiser was contributing to the incumbent ECMP set, the entry is fully
+// rescanned; otherwise merging the moved candidates into the incumbent
+// reaches the same fixpoint a full rescan would, because an unmoved
+// non-contributing candidate it already lost to cannot start influencing
+// the entry.
+func (s *sweep) recomputeDelta(ei int32, evs []int32) (entry, bool) {
+	n := s.n
+	old := &s.state[ei]
+	for _, si := range evs {
+		if hopContains(old.nextHops, n.Sessions[si].To) {
+			return s.recompute(ei)
+		}
+	}
+	x, d := int(ei)/s.nr, int(ei)%s.nr
+	router := x / n.K
+	mLen := old.len
+	mPath := old.path // incumbent canonical path; nil once a virtual best leads
+	var mR, mT int
+	var mRest []int
+	hops := old.nextHops
+	changed := false
+	for _, si := range evs {
+		sess := &n.Sessions[si]
+		adv := &s.state[n.nodeIdx(sess.To)*s.nr+d]
+		if adv.len >= inf {
+			continue
+		}
+		cand := adv.len + 1 + sess.Prepend
+		if cand > mLen {
+			continue // cannot win or tie; the loop check is moot
+		}
+		if sess.To.Router == router || containsRouter(adv.path, router) {
+			continue // AS-path loop
+		}
+		if cand < mLen {
+			mLen = cand
+			mPath, mR, mT, mRest = nil, sess.To.Router, 1+sess.Prepend, adv.path
+			s.hops = append(s.hops[:0], sess.To)
+			hops = s.hops
+			changed = true
+			continue
+		}
+		// Tie with the incumbent: the hop set gains sess.To and the
+		// canonical path takes the lexicographic minimum.
+		if mPath != nil {
+			if lexLessVirtualMat(sess.To.Router, 1+sess.Prepend, adv.path, mPath) {
+				mPath, mR, mT, mRest = nil, sess.To.Router, 1+sess.Prepend, adv.path
+			}
+		} else if lexLessVirtual(sess.To.Router, 1+sess.Prepend, adv.path, mR, mT, mRest) {
+			mR, mT, mRest = sess.To.Router, 1+sess.Prepend, adv.path
+		}
+		if !changed {
+			s.hops = append(s.hops[:0], old.nextHops...)
+			hops = s.hops
+		}
+		// Sorted insert keeps the advertiser order a full rescan produces.
+		pos := len(hops)
+		for i, h := range hops {
+			if h.Router > sess.To.Router || (h.Router == sess.To.Router && h.VRF > sess.To.VRF) {
+				pos = i
+				break
+			}
+		}
+		hops = append(hops, NodeID{})
+		copy(hops[pos+1:], hops[pos:])
+		hops[pos] = sess.To
+		s.hops = hops
+		changed = true
+	}
+	if !changed {
+		return entry{}, false
+	}
+	ne := entry{len: mLen, nextHops: append([]NodeID(nil), hops...)}
+	if mPath != nil {
+		ne.path = mPath
+	} else {
+		ne.path = prependPath(mR, mT, mRest)
+	}
+	return ne, true
+}
+
+// hopContains reports membership of t in an ECMP hop set.
+func hopContains(hops []NodeID, t NodeID) bool {
+	for _, h := range hops {
+		if h == t {
+			return true
+		}
+	}
+	return false
+}
+
+// lexLessVirtualMat compares a virtual candidate path (router repeated
+// times, then the advertised rest) against a materialized path of the same
+// length.
+func lexLessVirtualMat(rA, tA int, restA []int, b []int) bool {
+	for i, v := range b {
+		a := rA
+		if i >= tA {
+			a = restA[i-tA]
+		}
+		if a != v {
+			return a < v
+		}
+	}
+	return false
+}
+
+// recompute evaluates one (node, dst) entry against the current state and
+// reports whether it changed, materializing the new entry only if so. The
+// best path is tracked virtually as (advertiser router, prepend count,
+// advertised path) until the comparison against the incumbent demands bytes.
+func (s *sweep) recompute(ei int32) (entry, bool) {
+	n := s.n
+	x, d := int(ei)/s.nr, int(ei)%s.nr
+	router := x / n.K
+	best := inf
+	var bestR, bestT int
+	var bestRest []int
+	s.hops = s.hops[:0]
+	for _, si := range n.inSess[n.inStart[x]:n.inStart[x+1]] {
+		sess := &n.Sessions[si]
+		adv := &s.state[n.nodeIdx(sess.To)*s.nr+d]
+		if adv.len >= inf {
+			continue
+		}
+		// Sender prepends its own AS 1+Prepend times.
+		cand := adv.len + 1 + sess.Prepend
+		if cand > best {
+			continue // cannot win or tie; the loop check is moot
+		}
+		if sess.To.Router == router || containsRouter(adv.path, router) {
+			continue // AS-path loop
+		}
+		if cand < best {
+			best = cand
+			bestR, bestT, bestRest = sess.To.Router, 1+sess.Prepend, adv.path
+			s.hops = append(s.hops[:0], sess.To)
+		} else if cand == best {
+			if lexLessVirtual(sess.To.Router, 1+sess.Prepend, adv.path, bestR, bestT, bestRest) {
+				bestR, bestT, bestRest = sess.To.Router, 1+sess.Prepend, adv.path
+			}
+			// Inbound sessions are advertiser-sorted, so hops stay sorted.
+			s.hops = append(s.hops, sess.To)
+		}
+	}
+	old := &s.state[ei]
+	if entryEqualVirtual(old, best, bestR, bestT, bestRest, s.hops) {
+		return entry{}, false
+	}
+	ne := entry{len: best}
+	if best < inf {
+		ne.path = prependPath(bestR, bestT, bestRest)
+		ne.nextHops = append([]NodeID(nil), s.hops...)
+	}
+	return ne, true
+}
+
+// buildRib materializes the converged state. When reconverging from a
+// previous RIB, a node that never committed a write still holds exactly
+// prev's routes (its entries were seeded from them), so its whole row is
+// returned shared — Ribs are immutable by contract, and prev must be in
+// this package's canonical form (as Converge produces) for the shared rows
+// to match a fresh build bit for bit.
+func (n *Network) buildRib(state []entry, prev Rib, rowDirty []bool) Rib {
+	nr := n.Topo.N()
+	nn := nr * n.K
+	rib := make(Rib, nn)
+	for x := 0; x < nn; x++ {
+		node := n.nodeAt(x)
+		if prev != nil && !rowDirty[x] {
+			if old, ok := prev[node]; ok && len(old) == nr {
+				rib[node] = old
+				continue
+			}
+		}
+		rs := make([]Route, nr)
+		for d := 0; d < nr; d++ {
+			e := &state[x*nr+d]
+			if e.len >= inf {
+				rs[d] = Route{ASPathLen: -1}
+				continue
+			}
+			// nextHops are already advertiser-sorted by the sweep. The
+			// state's slices move into the RIB unchanged — the sweep is
+			// done with them, and Ribs are immutable by contract.
+			rs[d] = Route{ASPathLen: e.len, ASPath: e.path, NextHops: e.nextHops}
+		}
+		rib[node] = rs
+	}
+	return rib
 }
 
 func containsRouter(path []int, r int) bool {
@@ -172,13 +581,57 @@ func prependPath(router, times int, rest []int) []int {
 	return append(out, rest...)
 }
 
-func lexLessInts(a, b []int) bool {
-	for i := 0; i < len(a) && i < len(b); i++ {
-		if a[i] != b[i] {
-			return a[i] < b[i]
+// lexLessVirtual compares two prepended candidate paths — router repeated
+// times, then the advertised rest — without materializing either, with the
+// same shorter-prefix rule as a materialized lexicographic compare.
+func lexLessVirtual(rA, tA int, restA []int, rB, tB int, restB []int) bool {
+	lA, lB := tA+len(restA), tB+len(restB)
+	l := lA
+	if lB < l {
+		l = lB
+	}
+	for i := 0; i < l; i++ {
+		a, b := rA, rB
+		if i >= tA {
+			a = restA[i-tA]
+		}
+		if i >= tB {
+			b = restB[i-tB]
+		}
+		if a != b {
+			return a < b
 		}
 	}
-	return len(a) < len(b)
+	return lA < lB
+}
+
+// entryEqualVirtual reports whether the incumbent entry equals the virtual
+// candidate (len, prepended path, hop set) — the materialize-on-change test.
+func entryEqualVirtual(old *entry, bLen, bR, bT int, bRest []int, hops []NodeID) bool {
+	if old.len != bLen || len(old.nextHops) != len(hops) {
+		return false
+	}
+	if bLen >= inf {
+		return len(old.path) == 0 && len(old.nextHops) == 0
+	}
+	if len(old.path) != bT+len(bRest) {
+		return false
+	}
+	for i, p := range old.path {
+		c := bR
+		if i >= bT {
+			c = bRest[i-bT]
+		}
+		if p != c {
+			return false
+		}
+	}
+	for i := range hops {
+		if old.nextHops[i] != hops[i] {
+			return false
+		}
+	}
+	return true
 }
 
 // entry is one node's working route for one prefix during convergence.
@@ -186,23 +639,6 @@ type entry struct {
 	len      int
 	path     []int // router ids, nearest first
 	nextHops []NodeID
-}
-
-func entryEqual(a, b entry) bool {
-	if a.len != b.len || len(a.path) != len(b.path) || len(a.nextHops) != len(b.nextHops) {
-		return false
-	}
-	for i := range a.path {
-		if a.path[i] != b.path[i] {
-			return false
-		}
-	}
-	for i := range a.nextHops {
-		if a.nextHops[i] != b.nextHops[i] {
-			return false
-		}
-	}
-	return true
 }
 
 // Distance returns the converged routing distance (AS-path length minus the

@@ -1,0 +1,320 @@
+package bgp
+
+import (
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+
+	"spineless/internal/topology"
+)
+
+// denseConverge is the pre-dirty-set reference engine, kept verbatim as a
+// test oracle: every round recomputes every entry from a full copy of the
+// previous state. The incremental engine must match it bit for bit — RIB
+// contents AND round counts — on both cold convergence and warm-start
+// reconvergence.
+func denseConverge(n *Network, seed Rib) (Rib, int, error) {
+	nr := n.Topo.N()
+	inbound := map[NodeID][]int{}
+	for si, s := range n.Sessions {
+		inbound[s.From] = append(inbound[s.From], si)
+	}
+	state := map[NodeID][]entry{}
+	for _, node := range n.Nodes() {
+		es := make([]entry, nr)
+		for d := range es {
+			es[d].len = inf
+		}
+		if node.VRF == n.K {
+			es[node.Router] = entry{len: 1, path: []int{node.Router}}
+		}
+		state[node] = es
+	}
+	if seed != nil {
+		for _, node := range n.Nodes() {
+			old, ok := seed[node]
+			if !ok || len(old) != nr {
+				continue
+			}
+			for d, r := range old {
+				if node.VRF == n.K && d == node.Router {
+					continue
+				}
+				if r.ASPathLen < 0 {
+					continue
+				}
+				state[node][d] = entry{
+					len:      r.ASPathLen,
+					path:     append([]int(nil), r.ASPath...),
+					nextHops: append([]NodeID(nil), r.NextHops...),
+				}
+			}
+		}
+	}
+	lexLess := func(a, b []int) bool {
+		for i := 0; i < len(a) && i < len(b); i++ {
+			if a[i] != b[i] {
+				return a[i] < b[i]
+			}
+		}
+		return len(a) < len(b)
+	}
+	equal := func(a, b entry) bool {
+		if a.len != b.len || len(a.path) != len(b.path) || len(a.nextHops) != len(b.nextHops) {
+			return false
+		}
+		for i := range a.path {
+			if a.path[i] != b.path[i] {
+				return false
+			}
+		}
+		for i := range a.nextHops {
+			if a.nextHops[i] != b.nextHops[i] {
+				return false
+			}
+		}
+		return true
+	}
+	maxRounds := 4*n.K*nr + 16
+	for round := 1; round <= maxRounds; round++ {
+		changed := false
+		next := map[NodeID][]entry{}
+		for _, node := range n.Nodes() {
+			cur := state[node]
+			es := make([]entry, nr)
+			copy(es, cur)
+			for d := 0; d < nr; d++ {
+				if node.VRF == n.K && d == node.Router {
+					continue
+				}
+				best := inf
+				var bestPath []int
+				var hops []NodeID
+				for _, si := range inbound[node] {
+					s := n.Sessions[si]
+					adv := state[s.To][d]
+					if adv.len >= inf {
+						continue
+					}
+					cand := adv.len + 1 + s.Prepend
+					if containsRouter(adv.path, node.Router) || s.To.Router == node.Router {
+						continue
+					}
+					if cand < best {
+						best = cand
+						bestPath = prependPath(s.To.Router, 1+s.Prepend, adv.path)
+						hops = []NodeID{s.To}
+					} else if cand == best {
+						p := prependPath(s.To.Router, 1+s.Prepend, adv.path)
+						if lexLess(p, bestPath) {
+							bestPath = p
+						}
+						hops = append(hops, s.To)
+					}
+				}
+				sort.Slice(hops, func(a, b int) bool {
+					if hops[a].Router != hops[b].Router {
+						return hops[a].Router < hops[b].Router
+					}
+					return hops[a].VRF < hops[b].VRF
+				})
+				ne := entry{len: best, path: bestPath, nextHops: hops}
+				if !equal(cur[d], ne) {
+					changed = true
+				}
+				es[d] = ne
+			}
+			next[node] = es
+		}
+		state = next
+		if !changed {
+			rib := make(Rib, len(state))
+			for node, es := range state {
+				rs := make([]Route, nr)
+				for d, e := range es {
+					if e.len >= inf {
+						rs[d] = Route{ASPathLen: -1}
+						continue
+					}
+					rs[d] = Route{ASPathLen: e.len, ASPath: e.path, NextHops: append([]NodeID(nil), e.nextHops...)}
+				}
+				rib[node] = rs
+			}
+			return rib, round, nil
+		}
+	}
+	return nil, maxRounds, nil
+}
+
+func convergeTestFabrics(t *testing.T) map[string]*topology.Graph {
+	t.Helper()
+	out := map[string]*topology.Graph{}
+	dring, err := topology.DRing(topology.Uniform(5, 2, 16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out["dring"] = dring
+	degs := make([]int, 12)
+	for i := range degs {
+		degs[i] = 4
+	}
+	rrg, err := topology.RRG("rrg12", degs, rand.New(rand.NewSource(3)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out["rrg"] = rrg
+	return out
+}
+
+// TestConvergeMatchesDenseReference pins the incremental engine against the
+// dense oracle on cold starts: same RIB, same round count.
+func TestConvergeMatchesDenseReference(t *testing.T) {
+	for name, g := range convergeTestFabrics(t) {
+		for _, K := range []int{2, 3} {
+			n, err := Build(g, K)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rib, rounds, err := n.Converge()
+			if err != nil {
+				t.Fatal(err)
+			}
+			wantRib, wantRounds, err := denseConverge(n, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if rounds != wantRounds {
+				t.Fatalf("%s K=%d: incremental took %d rounds, dense %d", name, K, rounds, wantRounds)
+			}
+			if !reflect.DeepEqual(rib, wantRib) {
+				t.Fatalf("%s K=%d: incremental RIB differs from dense reference", name, K)
+			}
+		}
+	}
+}
+
+// failOneLink clones g without its i-th distinct adjacency, returning the
+// failed graph and the link's endpoints.
+func failOneLink(t *testing.T, g *topology.Graph, u int) (*topology.Graph, int, int) {
+	t.Helper()
+	v := g.Neighbors(u)[0]
+	failed := g.Clone()
+	for failed.RemoveLink(u, v) {
+		// drop every parallel copy so the session set actually changes
+	}
+	return failed, u, v
+}
+
+// TestConvergeFromMatchesDenseReference pins warm-start reconvergence after
+// a link failure against the oracle.
+func TestConvergeFromMatchesDenseReference(t *testing.T) {
+	for name, g := range convergeTestFabrics(t) {
+		n, err := Build(g, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		base, _, err := n.Converge()
+		if err != nil {
+			t.Fatal(err)
+		}
+		failed, _, _ := failOneLink(t, g, 0)
+		fn, err := Build(failed, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rib, rounds, err := fn.ConvergeFrom(base)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantRib, wantRounds, err := denseConverge(fn, base)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rounds != wantRounds {
+			t.Fatalf("%s: ConvergeFrom took %d rounds, dense %d", name, rounds, wantRounds)
+		}
+		if !reflect.DeepEqual(rib, wantRib) {
+			t.Fatalf("%s: ConvergeFrom RIB differs from dense reference", name)
+		}
+	}
+}
+
+// TestConvergeDirtyMatchesConvergeFrom is the incremental-reconvergence
+// contract: seeding only the failure-incident routers must reproduce the
+// full warm-start sweep exactly — RIB and round count — for single and
+// multi-link failures on every test fabric.
+func TestConvergeDirtyMatchesConvergeFrom(t *testing.T) {
+	for name, g := range convergeTestFabrics(t) {
+		for _, K := range []int{2, 3} {
+			n, err := Build(g, K)
+			if err != nil {
+				t.Fatal(err)
+			}
+			base, _, err := n.Converge()
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, cut := range [][]int{{0}, {3}, {0, 3}} {
+				failed := g.Clone()
+				var dirty []int
+				for _, u := range cut {
+					v := g.Neighbors(u)[0]
+					for failed.RemoveLink(u, v) {
+					}
+					dirty = append(dirty, u, v)
+				}
+				fn, err := Build(failed, K)
+				if err != nil {
+					t.Fatal(err)
+				}
+				wantRib, wantRounds, err := fn.ConvergeFrom(base)
+				if err != nil {
+					t.Fatal(err)
+				}
+				rib, rounds, err := fn.ConvergeDirty(base, dirty)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if rounds != wantRounds {
+					t.Fatalf("%s K=%d cut=%v: ConvergeDirty took %d rounds, ConvergeFrom %d",
+						name, K, cut, rounds, wantRounds)
+				}
+				if !reflect.DeepEqual(rib, wantRib) {
+					t.Fatalf("%s K=%d cut=%v: ConvergeDirty RIB differs from ConvergeFrom", name, K, cut)
+				}
+			}
+		}
+	}
+}
+
+// TestConvergeDirtyRejectsBadInput pins the guard rails: incomplete
+// previous RIBs and out-of-range routers are errors, not silent staleness.
+func TestConvergeDirtyRejectsBadInput(t *testing.T) {
+	g := ringFabric(t)
+	n, err := Build(g, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, _, err := n.Converge()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := n.ConvergeDirty(Rib{}, []int{0}); err == nil {
+		t.Fatal("incomplete previous RIB accepted")
+	}
+	if _, _, err := n.ConvergeDirty(base, []int{g.N()}); err == nil {
+		t.Fatal("out-of-range dirty router accepted")
+	}
+	// An empty dirty set on an unchanged network is already converged.
+	rib, rounds, err := n.ConvergeDirty(base, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rounds != 1 {
+		t.Fatalf("no-op reconvergence took %d rounds, want 1", rounds)
+	}
+	if !reflect.DeepEqual(rib, base) {
+		t.Fatal("no-op reconvergence changed the RIB")
+	}
+}

@@ -39,6 +39,15 @@ type FCTConfig struct {
 	// Workers bounds trial-level parallelism (0 = one per CPU). A pure
 	// throughput knob: it never affects results.
 	Workers int
+	// Shards > 0 runs each trial's packet simulation on the sharded
+	// conservative-window engine (netsim.NewSharded) with that many worker
+	// goroutines — intra-trial parallelism for the single-trial drivers that
+	// can't fan out across windows. Like Workers it never affects results:
+	// the sharded engine is byte-identical at every shard count, though it
+	// differs from the serial engine in two documented partition-local ways
+	// (DESIGN.md §13). 0 keeps the serial engine. Incompatible with Audit —
+	// the invariant auditor needs the serial engine's single event stream.
+	Shards int
 	// CapacityBps overrides the reference capacity the offered load is
 	// scaled against. 0 derives it from the fabric set's leaf-spine spec
 	// (the paper's spine-utilization rule).
@@ -243,19 +252,32 @@ func runFCT(fs *FabricSet, combo Combo, m *workload.Matrix, placement []int, cfg
 	if err != nil {
 		return FCTResult{}, err
 	}
-	sim, err := netsim.New(combo.Fabric, combo.Scheme, cfg.Net)
-	if err != nil {
-		return FCTResult{}, err
-	}
+	var res netsim.Results
 	var aud *audit.Auditor
-	if cfg.Audit {
-		if aud, err = audit.Attach(sim, flows); err != nil {
+	if cfg.Shards > 0 {
+		if cfg.Audit {
+			return FCTResult{}, fmt.Errorf("core: Audit needs the serial engine's event stream; set Shards=0")
+		}
+		ss, err := netsim.NewSharded(combo.Fabric, combo.Scheme, cfg.Net, cfg.Shards)
+		if err != nil {
 			return FCTResult{}, err
 		}
-	}
-	res, err := sim.Run(flows)
-	if err != nil {
-		return FCTResult{}, err
+		if res, err = ss.Run(flows); err != nil {
+			return FCTResult{}, err
+		}
+	} else {
+		sim, err := netsim.New(combo.Fabric, combo.Scheme, cfg.Net)
+		if err != nil {
+			return FCTResult{}, err
+		}
+		if cfg.Audit {
+			if aud, err = audit.Attach(sim, flows); err != nil {
+				return FCTResult{}, err
+			}
+		}
+		if res, err = sim.Run(flows); err != nil {
+			return FCTResult{}, err
+		}
 	}
 	if aud != nil {
 		if err := aud.Finish(res); err != nil {

@@ -231,7 +231,7 @@ func (m *Manager) Submit(sp Spec) (*Job, bool, error) {
 	if err := sp.Validate(); err != nil {
 		return nil, false, err
 	}
-	hash, err := store.Key(sp)
+	hash, err := sp.Hash()
 	if err != nil {
 		return nil, false, err
 	}

@@ -73,6 +73,34 @@ func TestSpecNormalizeHashStable(t *testing.T) {
 	}
 }
 
+// TestSpecHashShardExemption pins the shard-count cache exemption: every
+// positive shard count shares one key (results are shard-count-invariant),
+// but the serial engine keys separately from the sharded one.
+func TestSpecHashShardExemption(t *testing.T) {
+	base := Spec{Seed: 5}
+	h0, err := base.Hash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sharded := base
+	sharded.Shards = 2
+	h2, err := sharded.Hash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sharded.Shards = 8
+	h8, err := sharded.Hash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h2 != h8 {
+		t.Fatalf("shard counts fragment the cache: %s vs %s", h2, h8)
+	}
+	if h0 == h2 {
+		t.Fatal("serial and sharded engines share a cache key")
+	}
+}
+
 func TestSpecValidate(t *testing.T) {
 	bad := []Spec{
 		{Kind: "nope"},

@@ -81,6 +81,7 @@ func executeFCT(ctx context.Context, sp Spec, workers int, onTrial func(done, to
 	cfg.Seed = sp.Seed
 	cfg.Trials = sp.Trials
 	cfg.MaxFlows = sp.MaxFlows
+	cfg.Shards = sp.Shards
 	cfg.Workers = workers
 	cfg.Ctx = ctx
 	cfg.OnTrial = onTrial
@@ -126,6 +127,7 @@ func executeLive(ctx context.Context, sp Spec, onTrial func(done, total int)) (*
 	cfg.PreserveConnectivity = f.PreserveConnectivity
 	cfg.Net = netsim.DefaultConfig()
 	cfg.Seed = sp.Seed
+	cfg.Shards = sp.Shards
 	res, err := resilience.RunLive(g, cfg)
 	if err != nil {
 		return nil, err

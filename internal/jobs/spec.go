@@ -56,6 +56,15 @@ type Spec struct {
 	Trials int `json:"trials,omitempty"`
 	// MaxFlows caps generated flows per window (0 = uncapped).
 	MaxFlows int `json:"max_flows,omitempty"`
+	// Shards > 0 runs packet simulations on the sharded conservative-window
+	// engine with that many workers (netsim.NewSharded). Results are
+	// byte-identical at every positive shard count, so the store key
+	// collapses all of them to 1 — different counts share cache entries and
+	// dedupe in flight. Serial (0) keys separately: the sharded engine has
+	// two documented micro-departures from the serial event stream
+	// (DESIGN.md §13), so the two engines must not share
+	// determinism-audited cache entries.
+	Shards int `json:"shards,omitempty"`
 	// Faults is the live-run fault schedule (required iff Kind == "live").
 	Faults *FaultSpec `json:"faults,omitempty"`
 }
@@ -100,6 +109,9 @@ func (s Spec) Normalized() Spec {
 	s.Version = SpecVersion
 	if s.Kind == "" {
 		s.Kind = "fct"
+	}
+	if s.Shards < 0 {
+		s.Shards = 0
 	}
 	switch s.Kind {
 	case "fct":
@@ -246,9 +258,16 @@ func (s Spec) Validate() error {
 	return nil
 }
 
-// Hash returns the spec's store key (normalizing first).
+// Hash returns the spec's store key (normalizing first). The shard count
+// is exempt from the preimage beyond the engine choice: every Shards > 0
+// hashes as Shards = 1, because the sharded engine's results are
+// shard-count-invariant by construction.
 func (s Spec) Hash() (string, error) {
-	return store.Key(s.Normalized())
+	n := s.Normalized()
+	if n.Shards > 0 {
+		n.Shards = 1
+	}
+	return store.Key(n)
 }
 
 func validTM(tm string) bool {

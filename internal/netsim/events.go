@@ -8,6 +8,11 @@ const (
 	evRTO                  // a flow's retransmission timer fires (idx = flow)
 	evFault                // the next batch of scheduled fault events applies
 	evReroute              // a time-varying routing phase boundary is reached
+
+	// evRecvStart is used only by the sharded engine: the receiver half of a
+	// flow resolves its ACK path in the partition owning the destination
+	// rack. The serial Simulator never schedules it.
+	evRecvStart
 )
 
 // event is one scheduled occurrence. seq breaks time ties so the event
@@ -25,10 +30,12 @@ type event struct {
 // avoids container/heap's interface boxing on the simulator's hottest path.
 type eventHeap []event
 
+// heapPush/heapPop are engine-agnostic: the serial Simulator and the sharded
+// engine's per-partition sub-simulators both layer their own seq assignment
+// on top.
+
 //lint:hotpath
-func (s *Simulator) push(ev event) {
-	ev.seq = s.nextSeq()
-	h := &s.events
+func heapPush(h *eventHeap, ev event) {
 	*h = append(*h, ev)
 	i := len(*h) - 1
 	for i > 0 {
@@ -42,8 +49,7 @@ func (s *Simulator) push(ev event) {
 }
 
 //lint:hotpath
-func (s *Simulator) pop() event {
-	h := &s.events
+func heapPop(h *eventHeap) event {
 	top := (*h)[0]
 	last := len(*h) - 1
 	(*h)[0] = (*h)[last]
@@ -66,6 +72,17 @@ func (s *Simulator) pop() event {
 		i = smallest
 	}
 	return top
+}
+
+//lint:hotpath
+func (s *Simulator) push(ev event) {
+	ev.seq = s.nextSeq()
+	heapPush(&s.events, ev)
+}
+
+//lint:hotpath
+func (s *Simulator) pop() event {
+	return heapPop(&s.events)
 }
 
 func less(a, b event) bool {

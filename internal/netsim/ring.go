@@ -1,0 +1,47 @@
+package netsim
+
+// ringItem is one cross-partition packet handoff: an evDeliver that fires at
+// t in the destination VP. The packet travels by value — the producer frees
+// its *packet back to its own pool immediately after the copy, the consumer
+// re-materializes it from its own pool — so packet pools stay VP-local and
+// no pooled pointer ever crosses a partition. The links slice inside the
+// copy is shared, which is safe: expanded paths are immutable once built
+// (reroutes install a fresh slice, they never edit the old one).
+type ringItem struct {
+	t   int64
+	pkt packet
+}
+
+// spscRing is the single-producer/single-consumer handoff queue between one
+// ordered VP pair. It is double-buffered by window parity instead of using
+// atomics: during window k the producer appends to bufs[k&1] while the
+// consumer drains (and truncates) bufs[1-(k&1)], which was filled during
+// window k-1. The coordinator's barrier between windows publishes every
+// producer write before any consumer read — each window boundary is a
+// channel send/receive pair, so the race detector sees the happens-before
+// edge — leaving the hot path itself lock-free and atomics-free.
+//
+// Buffers grow geometrically and are reused across windows, so steady-state
+// handoff does not allocate.
+type spscRing struct {
+	bufs [2][]ringItem
+}
+
+// put appends a handoff firing at t. Called only by the producer VP, only
+// during its processing phase.
+//
+//lint:hotpath
+func (r *spscRing) put(parity int, t int64, pkt *packet) {
+	r.bufs[parity] = append(r.bufs[parity], ringItem{t: t, pkt: *pkt})
+}
+
+// take returns the buffer filled in the previous window. Called only by the
+// consumer VP, only during its drain phase.
+func (r *spscRing) take(parity int) []ringItem {
+	return r.bufs[parity]
+}
+
+// reset truncates the drained buffer for reuse two windows later.
+func (r *spscRing) reset(parity int) {
+	r.bufs[parity] = r.bufs[parity][:0]
+}

@@ -1,0 +1,1023 @@
+package netsim
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sync"
+
+	"spineless/internal/faults"
+	"spineless/internal/routing"
+	"spineless/internal/topology"
+	"spineless/internal/workload"
+)
+
+// ShardedSimulator is the conservative parallel counterpart of Simulator:
+// the fabric is split into shardVPs virtual partitions (see partition.go),
+// each with its own event heap, packet pool, path arena, RNG stream and
+// Stats accumulator, and P worker goroutines execute the partitions in
+// lock-step lookahead windows of Config.LinkDelayNS. Cross-partition packet
+// handoff goes through per-pair SPSC rings (ring.go) drained at window
+// barriers in (time, source VP, ring position) order, so the merged event
+// order is a total order independent of the worker count.
+//
+// Results are byte-identical for every shards value: shards only sets how
+// many goroutines multiplex the fixed partitions. Relative to the serial
+// Simulator the engine makes two deliberately small semantic departures,
+// both partition-local and therefore shard-count-invariant (DESIGN.md §13):
+// a receiver keeps acknowledging late retransmissions after its sender has
+// finished (real receivers cannot see the sender's state either), and
+// gray-failure loss draws come from per-partition RNG streams instead of
+// one global stream.
+//
+// The sharded engine does not support tracers or the audit harness — those
+// observe a single totally-ordered event stream. Use the serial Simulator
+// (shards=0 throughout the config plumbing) for audited runs.
+type ShardedSimulator struct {
+	g      *topology.Graph
+	scheme routing.Scheme
+	cfg    Config
+	tv     routing.TimeScheme
+
+	workers   int
+	lookahead int64
+
+	// Shared immutable fabric tables, laid out exactly as in Simulator.
+	nSwitch  int
+	nlStart  []int32
+	nlLinks  []int32
+	hostUp   []int32
+	hostDown []int32
+
+	// links[i] is touched only by the goroutine running linkOwner[i]'s VP;
+	// window barriers order those accesses across goroutines.
+	links     []link
+	linkOwner []uint8
+
+	// Flow state, split at the wire: the sender half (congestion control,
+	// retransmission, FCT) lives in the VP of the source rack, the receiver
+	// half (reassembly, ACK path) in the VP of the destination rack. specs
+	// is immutable shared input.
+	specs []workload.Flow
+	snd   []senderState
+	rcv   []recvState
+
+	vps   [shardVPs]vpSim
+	rings [shardVPs * shardVPs]spscRing
+
+	ran bool
+}
+
+// senderState is the source-side half of a flow: everything the serial
+// flowState keeps except reassembly. Each element is owned by the VP of the
+// flow's source rack.
+type senderState struct {
+	dataLinks []int32
+
+	sndUna, sndNxt int64
+	cwnd, ssthresh float64
+	dupacks        int
+	inRecovery     bool
+	recover        int64
+	srtt, rttvar   float64
+	rto            int64
+	rtoEpoch       uint64
+
+	alpha       float64
+	ceAcked     int64
+	ceMarked    int64
+	ceWindowEnd int64
+
+	lastSendNS int64
+	flowletID  uint64
+
+	started bool
+	done    bool
+	rtoHit  bool
+	fct     int64
+}
+
+// recvState is the destination-side half: reassembly cursor, out-of-order
+// buffer and the ACK return path. Owned by the VP of the destination rack.
+type recvState struct {
+	ackLinks []int32
+	rcvNxt   int64
+	ooo      map[int64]int32
+	started  bool
+}
+
+// vpSim is one virtual partition's sequential sub-simulator. All its fields
+// are touched only by the worker goroutine that owns the partition during a
+// window; the coordinator reads them only between windows.
+type vpSim struct {
+	id int
+	ss *ShardedSimulator
+
+	events     eventHeap
+	seqCounter uint64
+	now        int64
+	maxT       int64
+	parity     int
+
+	pool      []*packet
+	poolChunk []packet
+	poolNext  int
+
+	arena     []int32
+	arenaNext int
+
+	faultEvents []faults.Event // events touching links this VP owns
+	faultIdx    int
+	rng         *rand.Rand
+
+	activeScheme routing.Scheme
+
+	// flowsSnd/flowsRcv list the flows whose sender/receiver half this VP
+	// owns, in ascending flow order, for reroute sweeps.
+	flowsSnd []int32
+	flowsRcv []int32
+
+	stats          Stats
+	blackholeFirst int64
+	blackholeLast  int64
+
+	doneDelta   int   // completions since the last window report
+	producedMin int64 // min handoff time pushed into rings this window
+}
+
+// NewSharded builds a sharded simulator for fabric g routed by scheme,
+// executed by `shards` worker goroutines (clamped to [1, 16], the fixed
+// virtual-partition count). Results are identical for every shards value.
+func NewSharded(g *topology.Graph, scheme routing.Scheme, cfg Config, shards int) (*ShardedSimulator, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if cfg.LinkDelayNS < 1 {
+		return nil, fmt.Errorf("netsim: sharded engine needs LinkDelayNS >= 1 (the lookahead bound), got %d", cfg.LinkDelayNS)
+	}
+	if shards < 1 {
+		shards = 1
+	}
+	if shards > shardVPs {
+		shards = shardVPs
+	}
+	g.Reindex() // RackOf must be a pure read once workers fork
+	ss := &ShardedSimulator{g: g, scheme: scheme, cfg: cfg,
+		workers: shards, lookahead: cfg.LinkDelayNS}
+	if tv, ok := scheme.(routing.TimeScheme); ok {
+		ss.tv = tv
+	}
+
+	addLink := func(rateBps float64, delayNS int64, owner uint8) int32 {
+		id := int32(len(ss.links))
+		ss.links = append(ss.links, link{
+			bytesPerNS:        rateBps / 8 / 1e9,
+			nominalBytesPerNS: rateBps / 8 / 1e9,
+			delayNS:           delayNS,
+			capBytes:          cfg.QueueBytes,
+		})
+		ss.linkOwner = append(ss.linkOwner, owner)
+		return id
+	}
+	// Same two-pass prefix-sum adjacency as the serial New, so per-pair copy
+	// order — and hence flow hashing — matches across engines.
+	ns := g.N()
+	ss.nSwitch = ns
+	ss.nlStart = make([]int32, ns*ns+1)
+	for u := 0; u < ns; u++ {
+		for _, v := range g.Neighbors(u) {
+			ss.nlStart[u*ns+v+1]++
+		}
+	}
+	for i := 1; i < len(ss.nlStart); i++ {
+		ss.nlStart[i] += ss.nlStart[i-1]
+	}
+	ss.nlLinks = make([]int32, ss.nlStart[len(ss.nlStart)-1])
+	ss.links = make([]link, 0, len(ss.nlLinks)+2*g.Servers())
+	ss.linkOwner = make([]uint8, 0, cap(ss.links))
+	fill := make([]int32, ns*ns)
+	for u := 0; u < ns; u++ {
+		for _, v := range g.Neighbors(u) {
+			k := u*ns + v
+			ss.nlLinks[ss.nlStart[k]+fill[k]] = addLink(cfg.LinkRateBps, cfg.LinkDelayNS, vpOfSwitch(u))
+			fill[k]++
+		}
+	}
+	n := g.Servers()
+	ss.hostUp = make([]int32, n)
+	ss.hostDown = make([]int32, n)
+	for h := 0; h < n; h++ {
+		owner := vpOfSwitch(g.RackOf(h))
+		ss.hostUp[h] = addLink(cfg.hostRate(), cfg.hostDelay(), owner)
+		ss.hostDown[h] = addLink(cfg.hostRate(), cfg.hostDelay(), owner)
+	}
+
+	for vp := range ss.vps {
+		v := &ss.vps[vp]
+		v.id = vp
+		v.ss = ss
+		v.maxT = int64(cfg.MaxSimTime)
+		v.blackholeFirst = -1
+		v.blackholeLast = -1
+		v.activeScheme = scheme
+		if ss.tv != nil {
+			v.activeScheme = ss.tv.SchemeAt(0)
+		}
+	}
+	return ss, nil
+}
+
+// InstallFaults arms a fault schedule. Validation matches the serial
+// engine; each event is then filed with the partitions owning the affected
+// link directions, and each partition draws gray-failure losses from its
+// own RNG stream seeded by (schedule seed, partition id).
+func (ss *ShardedSimulator) InstallFaults(sched *faults.Schedule) error {
+	if sched == nil {
+		return nil
+	}
+	if ss.ran {
+		return fmt.Errorf("netsim: InstallFaults after Run")
+	}
+	if err := sched.Validate(); err != nil {
+		return err
+	}
+	events := sched.Sorted()
+	for _, e := range events {
+		if e.A < 0 || e.B < 0 || e.A >= ss.nSwitch || e.B >= ss.nSwitch ||
+			len(ss.pairLinks(e.A, e.B)) == 0 {
+			return fmt.Errorf("netsim: fault %s on non-existent link %d-%d", e.Kind, e.A, e.B)
+		}
+	}
+	for vp := range ss.vps {
+		ss.vps[vp].faultEvents = nil
+		ss.vps[vp].faultIdx = 0
+		ss.vps[vp].rng = rand.New(rand.NewSource(int64(uint64(sched.Seed) ^ (uint64(vp)+1)*0x9e3779b97f4a7c15)))
+	}
+	for _, e := range events {
+		a, b := vpOfSwitch(e.A), vpOfSwitch(e.B)
+		ss.vps[a].faultEvents = append(ss.vps[a].faultEvents, e)
+		if b != a {
+			ss.vps[b].faultEvents = append(ss.vps[b].faultEvents, e)
+		}
+	}
+	return nil
+}
+
+type windowCmd struct {
+	w1     int64 // exclusive upper bound on event times this window
+	parity int
+}
+
+type windowReply struct {
+	minNext   int64 // min over heap tops and ring handoffs produced
+	maxNow    int64
+	doneDelta int
+}
+
+// Run simulates the flows to completion (or MaxSimTime) under the window
+// protocol and returns per-flow results. Run may be called once.
+func (ss *ShardedSimulator) Run(flows []workload.Flow) (Results, error) {
+	if ss.ran {
+		return Results{}, fmt.Errorf("netsim: Run called twice")
+	}
+	if len(flows) == 0 {
+		return Results{}, fmt.Errorf("netsim: no flows")
+	}
+	for i, f := range flows {
+		if f.SizeBytes <= 0 {
+			return Results{}, fmt.Errorf("netsim: flow %d has size %d", i, f.SizeBytes)
+		}
+		if f.Src == f.Dst {
+			return Results{}, fmt.Errorf("netsim: flow %d is host-local", i)
+		}
+		if f.Src < 0 || f.Src >= ss.g.Servers() || f.Dst < 0 || f.Dst >= ss.g.Servers() {
+			return Results{}, fmt.Errorf("netsim: flow %d endpoints out of range", i)
+		}
+	}
+	ss.ran = true
+	ss.specs = flows
+	ss.snd = make([]senderState, len(flows))
+	ss.rcv = make([]recvState, len(flows))
+	for i, f := range flows {
+		ss.snd[i].fct = -1
+		sv := &ss.vps[vpOfSwitch(ss.g.RackOf(f.Src))]
+		rv := &ss.vps[vpOfSwitch(ss.g.RackOf(f.Dst))]
+		sv.flowsSnd = append(sv.flowsSnd, int32(i))
+		rv.flowsRcv = append(rv.flowsRcv, int32(i))
+		sv.push(event{t: f.StartNS, kind: evStart, idx: int32(i)})
+		rv.push(event{t: f.StartNS, kind: evRecvStart, idx: int32(i)})
+	}
+	for vp := range ss.vps {
+		v := &ss.vps[vp]
+		if len(v.faultEvents) > 0 {
+			v.push(event{t: v.faultEvents[0].TimeNS, kind: evFault})
+		}
+		if ss.tv != nil {
+			for _, b := range ss.tv.Boundaries() {
+				v.push(event{t: b, kind: evReroute})
+			}
+		}
+	}
+
+	p := ss.workers
+	cmds := make([]chan windowCmd, p)
+	replies := make(chan windowReply, p)
+	var wg sync.WaitGroup
+	for w := 0; w < p; w++ {
+		cmds[w] = make(chan windowCmd, 1)
+		var mine []*vpSim
+		for vp := w; vp < shardVPs; vp += p {
+			mine = append(mine, &ss.vps[vp])
+		}
+		wg.Add(1)
+		go func(mine []*vpSim, c chan windowCmd) {
+			defer wg.Done()
+			ss.worker(mine, c, replies)
+		}(mine, cmds[w])
+	}
+
+	maxT := int64(ss.cfg.MaxSimTime)
+	w0 := int64(math.MaxInt64)
+	for vp := range ss.vps {
+		if h := ss.vps[vp].events; len(h) > 0 && h[0].t < w0 {
+			w0 = h[0].t
+		}
+	}
+	done := 0
+	endNS := int64(0)
+	for round := 0; ; round++ {
+		if done >= len(flows) || w0 == math.MaxInt64 || w0 > maxT {
+			break
+		}
+		cmd := windowCmd{w1: w0 + ss.lookahead, parity: round & 1}
+		for w := 0; w < p; w++ {
+			cmds[w] <- cmd
+		}
+		gMin := int64(math.MaxInt64)
+		for i := 0; i < p; i++ {
+			r := <-replies
+			done += r.doneDelta
+			if r.minNext < gMin {
+				gMin = r.minNext
+			}
+			if r.maxNow > endNS {
+				endNS = r.maxNow
+			}
+		}
+		w0 = gMin
+	}
+	for w := 0; w < p; w++ {
+		close(cmds[w])
+	}
+	wg.Wait()
+
+	res := Results{FCTNS: make([]int64, len(flows)), EndNS: endNS,
+		BlackholeFirstNS: -1, BlackholeLastNS: -1}
+	for vp := range ss.vps {
+		v := &ss.vps[vp]
+		res.Stats.Accumulate(v.stats)
+		if v.blackholeFirst >= 0 &&
+			(res.BlackholeFirstNS < 0 || v.blackholeFirst < res.BlackholeFirstNS) {
+			res.BlackholeFirstNS = v.blackholeFirst
+		}
+		if v.blackholeLast > res.BlackholeLastNS {
+			res.BlackholeLastNS = v.blackholeLast
+		}
+	}
+	for i := range ss.snd {
+		res.FCTNS[i] = ss.snd[i].fct
+		if ss.snd[i].done {
+			res.Completed++
+		}
+		if ss.snd[i].rtoHit {
+			res.FlowsWithRTO++
+		}
+	}
+	return res, nil
+}
+
+// worker executes one goroutine's share of partitions, one lookahead window
+// per command: drain last window's incoming rings, run local events below
+// the window bound, report the new horizon.
+func (ss *ShardedSimulator) worker(mine []*vpSim, cmds <-chan windowCmd, replies chan<- windowReply) {
+	for cmd := range cmds {
+		rep := windowReply{minNext: math.MaxInt64}
+		for _, v := range mine {
+			v.parity = cmd.parity
+			v.producedMin = math.MaxInt64
+			v.drainRings(1 - cmd.parity)
+			v.runWindow(cmd.w1)
+			rep.doneDelta += v.doneDelta
+			v.doneDelta = 0
+			if len(v.events) > 0 && v.events[0].t < rep.minNext {
+				rep.minNext = v.events[0].t
+			}
+			if v.producedMin < rep.minNext {
+				rep.minNext = v.producedMin
+			}
+			if v.now > rep.maxNow {
+				rep.maxNow = v.now
+			}
+		}
+		replies <- rep
+	}
+}
+
+// drainRings merges the handoffs every peer produced for this VP last
+// window into the local heap. The per-source buffers are time-sorted by
+// construction (producers emit in event order with a constant delay), so a
+// 16-way head scan with strict-less comparison yields the deterministic
+// (time, source VP, ring position) total order the determinism contract
+// requires. Packets are re-materialized from the local pool.
+//
+//lint:hotpath
+func (v *vpSim) drainRings(parity int) {
+	var heads [shardVPs][]ringItem
+	any := false
+	for src := 0; src < shardVPs; src++ {
+		r := &v.ss.rings[src*shardVPs+v.id]
+		heads[src] = r.take(parity)
+		if len(heads[src]) > 0 {
+			any = true
+		}
+	}
+	if any {
+		for {
+			best := -1
+			var bt int64
+			for src := 0; src < shardVPs; src++ {
+				if len(heads[src]) > 0 && (best < 0 || heads[src][0].t < bt) {
+					best = src
+					bt = heads[src][0].t
+				}
+			}
+			if best < 0 {
+				break
+			}
+			it := &heads[best][0]
+			heads[best] = heads[best][1:]
+			p := v.alloc()
+			*p = it.pkt
+			p.pooled = false
+			p.qnext = nil
+			v.push(event{t: it.t, kind: evDeliver, pkt: p})
+		}
+	}
+	for src := 0; src < shardVPs; src++ {
+		v.ss.rings[src*shardVPs+v.id].reset(parity)
+	}
+}
+
+// runWindow executes every local event strictly below w1 (and within the
+// simulation horizon). This is the sharded engine's inner loop.
+//
+//lint:hotpath
+func (v *vpSim) runWindow(w1 int64) {
+	for len(v.events) > 0 {
+		if v.events[0].t >= w1 || v.events[0].t > v.maxT {
+			break
+		}
+		ev := v.pop()
+		v.now = ev.t
+		v.stats.Events++
+		switch ev.kind {
+		case evStart:
+			v.startSender(ev.idx)
+		case evRecvStart:
+			v.startRecv(ev.idx)
+		case evTxDone:
+			v.txDone(ev.idx, ev.pkt)
+		case evDeliver:
+			v.deliver(ev.pkt)
+		case evRTO:
+			v.timeout(ev.idx, ev.epoch)
+		case evFault:
+			v.applyDueFaults()
+		case evReroute:
+			v.reroute()
+		}
+	}
+}
+
+//lint:hotpath
+func (v *vpSim) push(ev event) {
+	v.seqCounter++
+	ev.seq = v.seqCounter
+	heapPush(&v.events, ev)
+}
+
+//lint:hotpath
+func (v *vpSim) pop() event {
+	return heapPop(&v.events)
+}
+
+func (v *vpSim) pairLinks(u, w int) []int32 {
+	k := u*v.ss.nSwitch + w
+	return v.ss.nlLinks[v.ss.nlStart[k]:v.ss.nlStart[k+1]]
+}
+
+func (ss *ShardedSimulator) pairLinks(u, v int) []int32 {
+	k := u*ss.nSwitch + v
+	return ss.nlLinks[ss.nlStart[k]:ss.nlStart[k+1]]
+}
+
+// allocLinkIDs mirrors the serial arena carve, per partition.
+func (v *vpSim) allocLinkIDs(n int) []int32 {
+	if v.arenaNext+n > len(v.arena) {
+		sz := linkIDArenaChunk
+		if n > sz {
+			sz = n
+		}
+		v.arena = make([]int32, sz) //lint:allow hotpath (arena refill: one allocation per 4096 link ids, amortized away)
+		v.arenaNext = 0
+	}
+	out := v.arena[v.arenaNext : v.arenaNext : v.arenaNext+n]
+	v.arenaNext += n
+	return out
+}
+
+func (v *vpSim) expandPath(srcHost, dstHost int, swPath []int, flowID uint64) []int32 {
+	ss := v.ss
+	out := v.allocLinkIDs(len(swPath) + 1)
+	out = append(out, ss.hostUp[srcHost])
+	for h := 0; h+1 < len(swPath); h++ {
+		copies := v.pairLinks(swPath[h], swPath[h+1])
+		out = append(out, copies[(flowID>>uint(h%32))%uint64(len(copies))])
+	}
+	out = append(out, ss.hostDown[dstHost])
+	return out
+}
+
+// startSender resolves the data path and begins transmitting — the sender
+// half of the serial startFlow. The reverse-path lookup is repeated here
+// purely for its nil-ness: the serial engine refuses to start a flow whose
+// ACK path is unreachable, and both halves must agree on that decision.
+func (v *vpSim) startSender(idx int32) {
+	sn := &v.ss.snd[idx]
+	if sn.started {
+		return
+	}
+	sn.started = true
+	spec := v.ss.specs[idx]
+	srcRack, dstRack := v.ss.g.RackOf(spec.Src), v.ss.g.RackOf(spec.Dst)
+	fwd := v.activeScheme.Path(srcRack, dstRack, spec.ID)
+	rev := v.activeScheme.Path(dstRack, srcRack, spec.ID^0x5ca1ab1e)
+	if fwd == nil || rev == nil {
+		return // unreachable racks: the flow stays incomplete
+	}
+	sn.dataLinks = v.expandPath(spec.Src, spec.Dst, fwd, spec.ID)
+	v.initSender(sn)
+	v.trySend(sn, idx)
+}
+
+// startRecv resolves the ACK return path — the receiver half of startFlow,
+// executed in the destination rack's partition at the same simulated time
+// (both partitions see the same activeScheme at any instant, so the two
+// halves of the decision agree).
+func (v *vpSim) startRecv(idx int32) {
+	rc := &v.ss.rcv[idx]
+	if rc.started {
+		return
+	}
+	rc.started = true
+	spec := v.ss.specs[idx]
+	srcRack, dstRack := v.ss.g.RackOf(spec.Src), v.ss.g.RackOf(spec.Dst)
+	fwd := v.activeScheme.Path(srcRack, dstRack, spec.ID)
+	rev := v.activeScheme.Path(dstRack, srcRack, spec.ID^0x5ca1ab1e)
+	if fwd == nil || rev == nil {
+		return
+	}
+	rc.ackLinks = v.expandPath(spec.Dst, spec.Src, rev, spec.ID^0x5ca1ab1e)
+}
+
+func (v *vpSim) initSender(sn *senderState) {
+	sn.cwnd = v.ss.cfg.InitCwnd
+	sn.ssthresh = math.MaxFloat64
+	if v.ss.cfg.InitSsthresh > 0 {
+		sn.ssthresh = v.ss.cfg.InitSsthresh
+	}
+	sn.rto = int64(v.ss.cfg.MinRTO)
+}
+
+//lint:hotpath
+func (v *vpSim) trySend(sn *senderState, idx int32) {
+	mss := int64(v.ss.cfg.MSS)
+	size := v.ss.specs[idx].SizeBytes
+	for sn.sndNxt < size && sn.sndNxt-sn.sndUna < int64(sn.cwnd*float64(mss)) {
+		v.sendSegment(sn, idx, sn.sndNxt)
+		sn.sndNxt += min(mss, size-sn.sndNxt)
+	}
+	if sn.sndNxt > sn.sndUna {
+		v.armRTO(sn, idx)
+	}
+}
+
+//lint:hotpath
+func (v *vpSim) sendSegment(sn *senderState, idx int32, seq int64) {
+	spec := &v.ss.specs[idx]
+	if t := int64(v.ss.cfg.FlowletTimeout); t > 0 {
+		if sn.lastSendNS > 0 && v.now-sn.lastSendNS > t {
+			sn.flowletID++
+			v.stats.FlowletSwitches++
+			srcRack, dstRack := v.ss.g.RackOf(spec.Src), v.ss.g.RackOf(spec.Dst)
+			h := spec.ID ^ (sn.flowletID * 0x9e3779b97f4a7c15)
+			if fwd := v.activeScheme.Path(srcRack, dstRack, h); fwd != nil {
+				sn.dataLinks = v.expandPath(spec.Src, spec.Dst, fwd, h)
+			}
+		}
+		sn.lastSendNS = v.now
+	}
+	payload := min(int64(v.ss.cfg.MSS), spec.SizeBytes-seq)
+	p := v.alloc()
+	p.flow = idx
+	p.hop = 0
+	p.isAck = false
+	p.ce = false
+	p.seq = seq
+	p.payload = int32(payload)
+	p.wireSize = int32(payload) + int32(v.ss.cfg.HeaderBytes)
+	p.echo = v.now
+	p.links = sn.dataLinks
+	v.stats.DataPackets++
+	v.enterLink(p)
+}
+
+//lint:hotpath
+func (v *vpSim) sendAck(rc *recvState, idx int32, echo int64, ce bool) {
+	if rc.ackLinks == nil {
+		return // defensive: no return path resolved (unreachable at start)
+	}
+	p := v.alloc()
+	p.flow = idx
+	p.hop = 0
+	p.isAck = true
+	p.ce = ce
+	p.seq = rc.rcvNxt
+	p.payload = 0
+	p.wireSize = int32(v.ss.cfg.AckBytes)
+	p.echo = echo
+	p.links = rc.ackLinks
+	v.stats.AckPackets++
+	v.enterLink(p)
+}
+
+//lint:hotpath
+func (v *vpSim) enterLink(p *packet) {
+	id := p.links[p.hop]
+	l := &v.ss.links[id]
+	if l.down {
+		v.blackhole(p)
+		return
+	}
+	if l.lossProb > 0 && v.rng.Float64() < l.lossProb {
+		v.stats.GrayDrops++
+		v.free(p)
+		return
+	}
+	if v.ss.cfg.ECN && !p.isAck && !p.ce && l.queueBytes >= v.ss.cfg.ECNThresholdBytes {
+		p.ce = true
+		v.stats.ECNMarks++
+	}
+	if !l.busy {
+		l.busy = true
+		v.push(event{t: v.now + l.txTimeNS(p.wireSize), kind: evTxDone, idx: id, pkt: p})
+		return
+	}
+	if !l.push(p) {
+		v.stats.Drops++
+		v.free(p)
+		return
+	}
+}
+
+//lint:hotpath
+func (v *vpSim) txDone(linkID int32, p *packet) {
+	l := &v.ss.links[linkID]
+	if l.down {
+		v.blackhole(p)
+		for l.queued() > 0 {
+			v.blackhole(l.pop())
+		}
+		l.busy = false
+		return
+	}
+	l.txBytes += uint64(p.wireSize)
+	t := v.now + l.delayNS
+	// The delivery executes in the partition owning the next link (or, on
+	// the final hop, this one — host downlinks are endpoint-owned).
+	dst := v.ss.linkOwner[linkID]
+	if int(p.hop)+1 < len(p.links) {
+		dst = v.ss.linkOwner[p.links[p.hop+1]]
+	}
+	if int(dst) == v.id {
+		v.push(event{t: t, kind: evDeliver, pkt: p})
+	} else {
+		v.ringPut(dst, t, p)
+	}
+	if l.queued() > 0 {
+		next := l.pop()
+		v.push(event{t: v.now + l.txTimeNS(next.wireSize), kind: evTxDone, idx: linkID, pkt: next})
+	} else {
+		l.busy = false
+	}
+}
+
+// ringPut hands a delivery to another partition: copy the packet into the
+// pair's ring, note the handoff time for the coordinator's horizon, and
+// recycle the local packet.
+//
+//lint:hotpath
+func (v *vpSim) ringPut(dst uint8, t int64, p *packet) {
+	v.ss.rings[v.id*shardVPs+int(dst)].put(v.parity, t, p)
+	if t < v.producedMin {
+		v.producedMin = t
+	}
+	v.free(p)
+}
+
+//lint:hotpath
+func (v *vpSim) deliver(p *packet) {
+	p.hop++
+	if int(p.hop) < len(p.links) {
+		v.enterLink(p)
+		return
+	}
+	idx := p.flow
+	if p.isAck {
+		ack, echo, ce := p.seq, p.echo, p.ce
+		v.free(p)
+		v.handleAck(&v.ss.snd[idx], idx, ack, echo, ce)
+		return
+	}
+	// Receiver side. Unlike the serial engine there is no sender-done check:
+	// the receiver half cannot see the sender half's state, so it keeps
+	// acknowledging late retransmissions — shard-count-invariant either way.
+	rc := &v.ss.rcv[idx]
+	seq, payload, echo, ce := p.seq, int64(p.payload), p.echo, p.ce
+	v.free(p)
+	if seq == rc.rcvNxt {
+		rc.rcvNxt += payload
+		for {
+			pl, ok := rc.ooo[rc.rcvNxt]
+			if !ok {
+				break
+			}
+			delete(rc.ooo, rc.rcvNxt)
+			rc.rcvNxt += int64(pl)
+		}
+	} else if seq > rc.rcvNxt {
+		if rc.ooo == nil {
+			rc.ooo = make(map[int64]int32, 8) //lint:allow hotpath (lazy: only the first reordered packet of a flow pays)
+		}
+		rc.ooo[seq] = int32(payload)
+	}
+	v.sendAck(rc, idx, echo, ce)
+}
+
+//lint:hotpath
+func (v *vpSim) handleAck(sn *senderState, idx int32, ack, echo int64, ce bool) {
+	if sn.done {
+		return
+	}
+	v.updateRTT(sn, v.now-echo)
+	mss := float64(v.ss.cfg.MSS)
+	switch {
+	case ack > sn.sndUna:
+		ackedBytes := ack - sn.sndUna
+		sn.sndUna = ack
+		if sn.sndNxt < sn.sndUna {
+			sn.sndNxt = sn.sndUna
+		}
+		sn.dupacks = 0
+		if v.ss.cfg.ECN {
+			v.dctcpUpdate(sn, ackedBytes, ce)
+		}
+		if sn.inRecovery {
+			if ack >= sn.recover {
+				sn.inRecovery = false
+				sn.cwnd = sn.ssthresh
+			} else {
+				v.stats.Retransmits++
+				v.sendSegment(sn, idx, sn.sndUna)
+			}
+		} else {
+			ackedSegs := float64(ackedBytes) / mss
+			if sn.cwnd < sn.ssthresh {
+				sn.cwnd += ackedSegs
+			} else {
+				sn.cwnd += ackedSegs / sn.cwnd
+			}
+		}
+		if sn.sndUna >= v.ss.specs[idx].SizeBytes {
+			sn.done = true
+			sn.fct = v.now - v.ss.specs[idx].StartNS
+			sn.rtoEpoch++ // cancel timer
+			v.doneDelta++
+			return
+		}
+		v.armRTO(sn, idx)
+		v.trySend(sn, idx)
+	case ack == sn.sndUna && sn.sndNxt > sn.sndUna:
+		sn.dupacks++
+		if sn.inRecovery {
+			sn.cwnd++
+			v.trySend(sn, idx)
+		} else if sn.dupacks == 3 {
+			flightSegs := float64(sn.sndNxt-sn.sndUna) / mss
+			sn.ssthresh = math.Max(flightSegs/2, 2)
+			sn.recover = sn.sndNxt
+			sn.inRecovery = true
+			sn.cwnd = sn.ssthresh + 3
+			v.stats.Retransmits++
+			v.sendSegment(sn, idx, sn.sndUna)
+			v.armRTO(sn, idx)
+		}
+	}
+}
+
+//lint:hotpath
+func (v *vpSim) timeout(idx int32, epoch uint64) {
+	sn := &v.ss.snd[idx]
+	if sn.done || epoch != sn.rtoEpoch || sn.sndNxt == sn.sndUna {
+		return
+	}
+	v.stats.Timeouts++
+	sn.rtoHit = true
+	flightSegs := float64(sn.sndNxt-sn.sndUna) / float64(v.ss.cfg.MSS)
+	sn.ssthresh = math.Max(flightSegs/2, 2)
+	sn.cwnd = 1
+	sn.inRecovery = false
+	sn.dupacks = 0
+	sn.sndNxt = sn.sndUna
+	sn.rto = min(2*sn.rto, int64(v.ss.cfg.MaxRTO))
+	v.stats.Retransmits++
+	v.trySend(sn, idx)
+}
+
+func (v *vpSim) dctcpUpdate(sn *senderState, ackedBytes int64, ce bool) {
+	sn.ceAcked += ackedBytes
+	if ce {
+		sn.ceMarked += ackedBytes
+	}
+	if sn.sndUna < sn.ceWindowEnd {
+		return
+	}
+	if sn.ceAcked > 0 {
+		frac := float64(sn.ceMarked) / float64(sn.ceAcked)
+		g := v.ss.cfg.DCTCPGain
+		sn.alpha = (1-g)*sn.alpha + g*frac
+		if sn.ceMarked > 0 && !sn.inRecovery {
+			sn.cwnd *= 1 - sn.alpha/2
+			if sn.cwnd < 1 {
+				sn.cwnd = 1
+			}
+		}
+	}
+	sn.ceAcked, sn.ceMarked = 0, 0
+	sn.ceWindowEnd = sn.sndNxt
+}
+
+func (v *vpSim) updateRTT(sn *senderState, sample int64) {
+	if sample <= 0 {
+		sample = 1
+	}
+	sa := float64(sample)
+	if sn.srtt <= 0 {
+		sn.srtt = sa
+		sn.rttvar = sa / 2
+	} else {
+		d := sn.srtt - sa
+		if d < 0 {
+			d = -d
+		}
+		sn.rttvar = 0.75*sn.rttvar + 0.25*d
+		sn.srtt = 0.875*sn.srtt + 0.125*sa
+	}
+	rto := int64(sn.srtt + 4*sn.rttvar)
+	sn.rto = max(int64(v.ss.cfg.MinRTO), min(rto, int64(v.ss.cfg.MaxRTO)))
+}
+
+func (v *vpSim) armRTO(sn *senderState, idx int32) {
+	sn.rtoEpoch++
+	v.push(event{t: v.now + sn.rto, kind: evRTO, idx: idx, epoch: sn.rtoEpoch})
+}
+
+func (v *vpSim) applyDueFaults() {
+	for v.faultIdx < len(v.faultEvents) && v.faultEvents[v.faultIdx].TimeNS <= v.now {
+		v.applyFault(v.faultEvents[v.faultIdx])
+		v.faultIdx++
+	}
+	if v.faultIdx < len(v.faultEvents) {
+		v.push(event{t: v.faultEvents[v.faultIdx].TimeNS, kind: evFault})
+	}
+}
+
+// applyFault applies the directions of a fault event whose links this
+// partition owns; the peer partition applies the opposite directions at the
+// same simulated time from its own filed copy.
+func (v *vpSim) applyFault(e faults.Event) {
+	for _, key := range [2][2]int{{e.A, e.B}, {e.B, e.A}} {
+		for _, id := range v.pairLinks(key[0], key[1]) {
+			if int(v.ss.linkOwner[id]) != v.id {
+				continue
+			}
+			l := &v.ss.links[id]
+			switch e.Kind {
+			case faults.LinkDown:
+				l.down = true
+				for l.queued() > 0 {
+					v.blackhole(l.pop())
+				}
+			case faults.LinkUp:
+				l.down = false
+			case faults.GraySet:
+				l.lossProb = e.LossProb
+				l.bytesPerNS = l.nominalBytesPerNS * e.RateFactor
+			case faults.GrayClear:
+				l.lossProb = 0
+				l.bytesPerNS = l.nominalBytesPerNS
+			}
+		}
+	}
+}
+
+//lint:hotpath
+func (v *vpSim) blackhole(p *packet) {
+	v.stats.Blackholed++
+	if v.blackholeFirst < 0 {
+		v.blackholeFirst = v.now
+	}
+	v.blackholeLast = v.now
+	v.free(p)
+}
+
+// reroute advances this partition's scheme phase and re-resolves the flow
+// halves it owns, mirroring the serial reroute flow by flow: the sender
+// half re-expands data paths (counting Reroutes and restarting stranded
+// flows), the receiver half re-expands ACK paths. Path reachability is
+// flow-hash-independent, so the two halves agree on which flows re-path.
+func (v *vpSim) reroute() {
+	v.activeScheme = v.ss.tv.SchemeAt(v.now)
+	for _, i := range v.flowsSnd {
+		sn := &v.ss.snd[i]
+		if !sn.started || sn.done {
+			continue
+		}
+		spec := v.ss.specs[i]
+		srcRack, dstRack := v.ss.g.RackOf(spec.Src), v.ss.g.RackOf(spec.Dst)
+		h := spec.ID ^ (sn.flowletID * 0x9e3779b97f4a7c15)
+		fwd := v.activeScheme.Path(srcRack, dstRack, h)
+		rev := v.activeScheme.Path(dstRack, srcRack, spec.ID^0x5ca1ab1e)
+		if fwd == nil || rev == nil {
+			continue // keep the stale path (genuinely partitioned fabric)
+		}
+		stranded := sn.dataLinks == nil
+		sn.dataLinks = v.expandPath(spec.Src, spec.Dst, fwd, h)
+		v.stats.Reroutes++
+		if stranded {
+			v.initSender(sn)
+			v.trySend(sn, i)
+		}
+	}
+	for _, i := range v.flowsRcv {
+		rc := &v.ss.rcv[i]
+		if !rc.started {
+			continue
+		}
+		spec := v.ss.specs[i]
+		srcRack, dstRack := v.ss.g.RackOf(spec.Src), v.ss.g.RackOf(spec.Dst)
+		fwd := v.activeScheme.Path(srcRack, dstRack, spec.ID)
+		rev := v.activeScheme.Path(dstRack, srcRack, spec.ID^0x5ca1ab1e)
+		if fwd == nil || rev == nil {
+			continue
+		}
+		rc.ackLinks = v.expandPath(spec.Dst, spec.Src, rev, spec.ID^0x5ca1ab1e)
+	}
+}
+
+//lint:hotpath
+func (v *vpSim) alloc() *packet {
+	if n := len(v.pool); n > 0 {
+		p := v.pool[n-1]
+		v.pool = v.pool[:n-1]
+		p.pooled = false
+		return p
+	}
+	if v.poolNext == len(v.poolChunk) {
+		v.poolChunk = make([]packet, poolChunkSize) //lint:allow hotpath (pool refill: one allocation per 256 packets, amortized away)
+		v.poolNext = 0
+	}
+	p := &v.poolChunk[v.poolNext]
+	v.poolNext++
+	return p
+}
+
+//lint:hotpath
+func (v *vpSim) free(p *packet) {
+	if p.pooled {
+		return
+	}
+	p.pooled = true
+	p.links = nil
+	v.pool = append(v.pool, p)
+}

@@ -1,0 +1,62 @@
+package netsim
+
+import (
+	"testing"
+
+	"spineless/internal/routing"
+)
+
+// TestShardHotPathAddsNoAllocs pins the sharded engine's per-event
+// primitives — heap push/pop, packet pool alloc/free, and the cross-partition
+// ring put/take/reset cycle — at zero steady-state allocations, the runtime
+// complement of spinelint's static //lint:hotpath walk over runWindow and
+// drainRings. Warmup grows every buffer (heap backing array, pool chunk,
+// ring buffers) to capacity first; after that, one full handoff round trip
+// must not touch the allocator at all.
+func TestShardHotPathAddsNoAllocs(t *testing.T) {
+	g := pairFabric(t, 1, 2)
+	ss, err := NewSharded(g, routing.NewECMP(g), DefaultConfig(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := &ss.vps[0]
+	r := &ss.rings[0*shardVPs+1]
+
+	const n = 64
+	warm := make([]*packet, 0, n)
+	for i := 0; i < n; i++ {
+		warm = append(warm, v.alloc())
+	}
+	for _, p := range warm {
+		v.free(p)
+	}
+	for i := 0; i < n; i++ {
+		p := v.alloc()
+		r.put(0, int64(i), p)
+		v.free(p)
+		v.push(event{t: int64(i), kind: evDeliver})
+	}
+	for len(v.events) > 0 {
+		v.pop()
+	}
+	r.reset(0)
+
+	allocs := testing.AllocsPerRun(200, func() {
+		p := v.alloc()
+		r.put(0, 1, p)
+		v.free(p)
+		v.push(event{t: 2, kind: evRTO})
+		v.push(event{t: 1, kind: evRTO})
+		if ev := v.pop(); ev.t != 1 {
+			t.Fatalf("heap order broken: popped t=%d", ev.t)
+		}
+		v.pop()
+		if items := r.take(0); len(items) != 1 {
+			t.Fatalf("ring lost the handoff: %d items", len(items))
+		}
+		r.reset(0)
+	})
+	if allocs != 0 {
+		t.Fatalf("sharded hot-path primitives allocate %.1f per round trip; want 0", allocs)
+	}
+}

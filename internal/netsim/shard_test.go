@@ -1,0 +1,239 @@
+package netsim
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"time"
+
+	"spineless/internal/faults"
+	"spineless/internal/routing"
+	"spineless/internal/topology"
+	"spineless/internal/workload"
+)
+
+// These tests pin the sharded engine's determinism contract, mirroring the
+// PR 3 workers tests in internal/core: the same fabric, scheme, config,
+// flows and fault schedule run at shards=1 and shards=N must produce
+// bit-identical Results — Stats counters, per-flow FCTs, blackhole window
+// and all. Run them under -race (make check does) to certify the window
+// protocol's happens-before edges as well as its value determinism.
+
+func shardTestFabrics(t *testing.T) map[string]*topology.Graph {
+	t.Helper()
+	out := map[string]*topology.Graph{}
+
+	dring, err := topology.DRing(topology.Uniform(6, 2, 24))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out["dring"] = dring
+
+	degs := make([]int, 18)
+	for i := range degs {
+		degs[i] = 5
+	}
+	rrg, err := topology.RRG("rrg18", degs, rand.New(rand.NewSource(7)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := 0; v < rrg.N(); v++ {
+		rrg.SetServers(v, 2)
+	}
+	out["rrg"] = rrg
+
+	xp, err := topology.Xpander(16, 4, rand.New(rand.NewSource(9)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := 0; v < xp.N(); v++ {
+		xp.SetServers(v, 2)
+	}
+	out["xpander"] = xp
+	return out
+}
+
+func shardTestFlows(t *testing.T, g *topology.Graph, n int, seed int64) []workload.Flow {
+	t.Helper()
+	gen := workload.GenConfig{
+		Flows:    n,
+		WindowNS: int64(2 * time.Millisecond),
+		Sizes:    workload.Pareto{MeanBytes: 20e3, Alpha: 1.05, Cap: 200e3},
+	}
+	flows, err := workload.GenerateFlows(g, workload.Uniform(len(g.Racks())), gen, rand.New(rand.NewSource(seed)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return flows
+}
+
+func runSharded(t *testing.T, g *topology.Graph, scheme routing.Scheme, cfg Config,
+	flows []workload.Flow, sched *faults.Schedule, shards int) Results {
+	t.Helper()
+	ss, err := NewSharded(g, scheme, cfg, shards)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ss.InstallFaults(sched); err != nil {
+		t.Fatal(err)
+	}
+	res, err := ss.Run(flows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// TestShardedInvariantAcrossShardCounts is the headline equivalence matrix:
+// DRing, RRG and Xpander fabrics, plain TCP and DCTCP+flowlets, compared at
+// shards ∈ {2, 3, 4, 8} against shards=1.
+func TestShardedInvariantAcrossShardCounts(t *testing.T) {
+	cfgPlain := DefaultConfig()
+	cfgPlain.MaxSimTime = 50 * time.Millisecond
+	cfgDctcp := cfgPlain.WithDCTCP().WithFlowlets(0)
+	for name, g := range shardTestFabrics(t) {
+		for _, tc := range []struct {
+			transport string
+			cfg       Config
+		}{{"reno", cfgPlain}, {"dctcp-flowlet", cfgDctcp}} {
+			scheme := routing.NewECMP(g)
+			flows := shardTestFlows(t, g, 150, 11)
+			base := runSharded(t, g, scheme, tc.cfg, flows, nil, 1)
+			if base.Completed == 0 || base.Stats.DataPackets == 0 {
+				t.Fatalf("%s/%s: degenerate baseline %+v", name, tc.transport, base.Stats)
+			}
+			for _, shards := range []int{2, 3, 4, 8} {
+				got := runSharded(t, g, scheme, tc.cfg, flows, nil, shards)
+				if !reflect.DeepEqual(base, got) {
+					t.Fatalf("%s/%s: shards=%d differs from shards=1\nbase: %+v\ngot:  %+v",
+						name, tc.transport, shards, base, got)
+				}
+			}
+		}
+	}
+}
+
+// TestShardedInvariantWithFaults adds the mid-run fault schedule case: a
+// link cut during the window plus a gray failure, with a time-varying
+// scheme swapping to the post-failure FIB at the repair boundary — the full
+// resilience/live.go shape. Blackholes, gray drops and reroutes must all be
+// byte-identical across shard counts.
+func TestShardedInvariantWithFaults(t *testing.T) {
+	g, err := topology.DRing(topology.Uniform(6, 2, 24))
+	if err != nil {
+		t.Fatal(err)
+	}
+	su, err := routing.NewShortestUnion(g, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	failed := g.Clone()
+	a, b := 0, g.Neighbors(0)[0]
+	if !failed.RemoveLink(a, b) {
+		t.Fatalf("link %d-%d not present", a, b)
+	}
+	failedSU, err := routing.NewShortestUnion(failed, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const failNS, repairNS = 200_000, 900_000
+	tv, err := routing.NewTimeVarying(
+		routing.Phase{StartNS: 0, Scheme: su},
+		routing.Phase{StartNS: repairNS, Scheme: failedSU},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sched faults.Schedule
+	sched.Seed = 42
+	sched.Cut(failNS, a, b)
+	c, d := 3, g.Neighbors(3)[0]
+	sched.Gray(300_000, c, d, 0.02, 0.5)
+	sched.ClearGray(1_500_000, c, d)
+
+	cfg := DefaultConfig()
+	cfg.MaxSimTime = 50 * time.Millisecond
+	flows := shardTestFlows(t, g, 200, 23)
+	base := runSharded(t, g, tv, cfg, flows, &sched, 1)
+	if base.Stats.Blackholed == 0 && base.Stats.GrayDrops == 0 {
+		t.Fatalf("fault schedule had no observable effect: %+v", base.Stats)
+	}
+	if base.Stats.Reroutes == 0 {
+		t.Fatalf("no reroutes at the phase boundary: %+v", base.Stats)
+	}
+	for _, shards := range []int{2, 4, 8} {
+		got := runSharded(t, g, tv, cfg, flows, &sched, shards)
+		if !reflect.DeepEqual(base, got) {
+			t.Fatalf("faulted run: shards=%d differs from shards=1\nbase: %+v\ngot:  %+v",
+				shards, base, got)
+		}
+	}
+}
+
+// TestShardedRepeatable pins run-to-run determinism at a fixed shard count.
+func TestShardedRepeatable(t *testing.T) {
+	g, err := topology.DRing(topology.Uniform(5, 2, 24))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig()
+	cfg.MaxSimTime = 50 * time.Millisecond
+	flows := shardTestFlows(t, g, 120, 5)
+	scheme := routing.NewECMP(g)
+	first := runSharded(t, g, scheme, cfg, flows, nil, 4)
+	second := runSharded(t, g, scheme, cfg, flows, nil, 4)
+	if !reflect.DeepEqual(first, second) {
+		t.Fatalf("same shard count, different results:\n%+v\n%+v", first, second)
+	}
+}
+
+// TestShardedPhysicsSanity cross-checks the sharded engine against known
+// physics on an uncontended path, the same bound the serial engine's
+// TestSingleFlowNearLineRate pins: an isolated flow must finish no faster
+// than line rate and within 2× of ideal.
+func TestShardedPhysicsSanity(t *testing.T) {
+	g := pairFabric(t, 1, 2)
+	cfg := DefaultConfig()
+	size := int64(4 << 20)
+	ss, err := NewSharded(g, routing.NewECMP(g), cfg, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := ss.Run([]workload.Flow{{ID: 1, Src: 0, Dst: 2, SizeBytes: size}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Completed != 1 {
+		t.Fatalf("flow incomplete: %+v", res)
+	}
+	fct := float64(res.FCTNS[0])
+	ideal := float64(size) * (1500.0 / 1460.0) * 8 / 10e9 * 1e9
+	if fct < ideal {
+		t.Fatalf("FCT %.3fms beats line rate %.3fms", fct/1e6, ideal/1e6)
+	}
+	if fct > 2*ideal {
+		t.Fatalf("FCT %.3fms more than 2× ideal %.3fms for an uncontended flow", fct/1e6, ideal/1e6)
+	}
+}
+
+// TestShardedRejectsBadConfig pins the constructor's guard rails: the
+// lookahead bound needs a positive link delay, and Run is once-only.
+func TestShardedRejectsBadConfig(t *testing.T) {
+	g := pairFabric(t, 1, 2)
+	cfg := DefaultConfig()
+	cfg.LinkDelayNS = 0
+	if _, err := NewSharded(g, routing.NewECMP(g), cfg, 2); err == nil {
+		t.Fatal("zero LinkDelayNS accepted — lookahead bound would be empty")
+	}
+	ss, err := NewSharded(g, routing.NewECMP(g), DefaultConfig(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	flows := []workload.Flow{{ID: 1, Src: 0, Dst: 2, SizeBytes: 10_000}}
+	if _, err := ss.Run(flows); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ss.Run(flows); err == nil {
+		t.Fatal("second Run accepted")
+	}
+}

@@ -71,6 +71,12 @@ type LiveConfig struct {
 	// Audit runs the packet simulation under the runtime invariant auditor
 	// (internal/audit); any violation fails the run. Results are unchanged.
 	Audit bool
+	// Shards > 0 runs the packet simulation on the sharded
+	// conservative-window engine with that many workers. Byte-identical at
+	// every shard count >= 1, but a distinct engine from the serial one
+	// (DESIGN.md §13 documents the two partition-local departures), so
+	// compare sharded runs with sharded runs. Incompatible with Audit.
+	Shards int
 }
 
 // DefaultLiveConfig fails 5% of trunks 2 ms into a 20 ms run, with 1 ms
@@ -154,7 +160,12 @@ func RunLive(g *topology.Graph, cfg LiveConfig) (LiveResult, error) {
 	}
 	res := LiveResult{Fraction: cfg.Fraction, FailedPairs: len(pairs), FailedLinks: removed}
 
-	failedFib, err := routing.NewShortestUnion(failedG, cfg.K)
+	// The failed fabric differs from g only at the drawn pairs, so both the
+	// FIB and the BGP reconvergence go through the incremental paths: Rebase
+	// shares every unaffected per-destination column, and ConvergeDirty
+	// seeds the dirty set with just the failure-incident routers. Both are
+	// bit-identical (state and round counts) to the from-scratch versions.
+	failedFib, err := baseFib.Rebase(failedG)
 	if err != nil {
 		return LiveResult{}, err
 	}
@@ -162,7 +173,11 @@ func RunLive(g *topology.Graph, cfg LiveConfig) (LiveResult, error) {
 	if err != nil {
 		return LiveResult{}, err
 	}
-	rib, rounds, err := failedNet.ConvergeFrom(baseRib)
+	dirty := make([]int, 0, 2*len(pairs))
+	for _, p := range pairs {
+		dirty = append(dirty, p.A, p.B)
+	}
+	rib, rounds, err := failedNet.ConvergeDirty(baseRib, dirty)
 	if err != nil {
 		return LiveResult{}, err
 	}
@@ -207,26 +222,42 @@ func RunLive(g *topology.Graph, cfg LiveConfig) (LiveResult, error) {
 		return LiveResult{}, err
 	}
 
-	sim, err := netsim.New(g, tv, cfg.Net)
-	if err != nil {
-		return LiveResult{}, err
-	}
-	if err := sim.InstallFaults(sched); err != nil {
-		return LiveResult{}, err
-	}
-	var aud *audit.Auditor
-	if cfg.Audit {
-		if aud, err = audit.Attach(sim, flows); err != nil {
+	var out netsim.Results
+	if cfg.Shards > 0 {
+		if cfg.Audit {
+			return LiveResult{}, fmt.Errorf("resilience: Audit needs the serial engine; set Shards=0")
+		}
+		ss, err := netsim.NewSharded(g, tv, cfg.Net, cfg.Shards)
+		if err != nil {
 			return LiveResult{}, err
 		}
-	}
-	out, err := sim.Run(flows)
-	if err != nil {
-		return LiveResult{}, err
-	}
-	if aud != nil {
-		if err := aud.Finish(out); err != nil {
-			return LiveResult{}, fmt.Errorf("resilience: live run at fraction %.3f: %w", cfg.Fraction, err)
+		if err := ss.InstallFaults(sched); err != nil {
+			return LiveResult{}, err
+		}
+		if out, err = ss.Run(flows); err != nil {
+			return LiveResult{}, err
+		}
+	} else {
+		sim, err := netsim.New(g, tv, cfg.Net)
+		if err != nil {
+			return LiveResult{}, err
+		}
+		if err := sim.InstallFaults(sched); err != nil {
+			return LiveResult{}, err
+		}
+		var aud *audit.Auditor
+		if cfg.Audit {
+			if aud, err = audit.Attach(sim, flows); err != nil {
+				return LiveResult{}, err
+			}
+		}
+		if out, err = sim.Run(flows); err != nil {
+			return LiveResult{}, err
+		}
+		if aud != nil {
+			if err := aud.Finish(out); err != nil {
+				return LiveResult{}, fmt.Errorf("resilience: live run at fraction %.3f: %w", cfg.Fraction, err)
+			}
 		}
 	}
 

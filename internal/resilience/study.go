@@ -37,6 +37,11 @@ type StudyConfig struct {
 	// Audit runs each fraction's FCT replay under the runtime invariant
 	// auditor (internal/audit); violations fail that fraction's trial.
 	Audit bool
+	// Shards > 0 runs each fraction's FCT replay on the sharded
+	// conservative-window engine with that many workers. Results are
+	// byte-identical at every shard count; incompatible with Audit, which
+	// observes the serial engine's event stream.
+	Shards int
 }
 
 // DefaultStudyConfig sweeps 1%, 5% and 10% link failures under SU(2).
@@ -90,8 +95,8 @@ func Study(g *topology.Graph, cfg StudyConfig) ([]StudyRow, error) {
 	}
 
 	// Fractions are independent trials: each reseeds from cfg.Seed and
-	// reads only the immutable baseFib/baseRib (ConvergeFrom copies RIB
-	// entries before mutating). Each writes its own row slot and error
+	// reads only the immutable baseFib/baseRib (ConvergeDirty never writes
+	// through prev's slices). Each writes its own row slot and error
 	// slot, so rows and the TrialErrors order match the serial sweep at
 	// any worker count.
 	rows := make([]StudyRow, len(cfg.Fractions))
@@ -145,7 +150,10 @@ func studyFraction(g *topology.Graph, cfg StudyConfig, f float64, baseFib *routi
 		return nil
 	}
 
-	failedFib, err := routing.NewShortestUnion(failed, cfg.K)
+	// Incremental recomputation against the immutable base state: Rebase
+	// shares the unaffected FIB columns, ConvergeDirty reconverges from the
+	// failure-incident routers only. Both are bit-identical to full builds.
+	failedFib, err := baseFib.Rebase(failed)
 	if err != nil {
 		return err
 	}
@@ -155,7 +163,11 @@ func studyFraction(g *topology.Graph, cfg StudyConfig, f float64, baseFib *routi
 	if err != nil {
 		return err
 	}
-	rib, rounds, err := failedNet.ConvergeFrom(baseRib)
+	dirty := make([]int, 0, 2*len(failures))
+	for _, fl := range failures {
+		dirty = append(dirty, fl.A, fl.B)
+	}
+	rib, rounds, err := failedNet.ConvergeDirty(baseRib, dirty)
 	if err != nil {
 		return err
 	}
@@ -184,6 +196,20 @@ func replayUniform(g *topology.Graph, scheme routing.Scheme, cfg StudyConfig, rn
 	}, rng)
 	if err != nil {
 		return metrics.FCTStats{}, err
+	}
+	if cfg.Shards > 0 {
+		if cfg.Audit {
+			return metrics.FCTStats{}, fmt.Errorf("resilience: Audit needs the serial engine's event stream; set Shards=0")
+		}
+		ss, err := netsim.NewSharded(g, scheme, cfg.Net, cfg.Shards)
+		if err != nil {
+			return metrics.FCTStats{}, err
+		}
+		res, err := ss.Run(flows)
+		if err != nil {
+			return metrics.FCTStats{}, err
+		}
+		return metrics.SummarizeFCT(res.FCTNS), nil
 	}
 	sim, err := netsim.New(g, scheme, cfg.Net)
 	if err != nil {

@@ -90,27 +90,34 @@ func (f *Fib) addArc(from, to, cost int) {
 	f.rev[to] = append(f.rev[to], varc{to: int32(from), cost: int8(cost)})
 }
 
+// pairArcs emits the virtual arcs one occurrence of the directed physical
+// adjacency u→w induces — the single source of truth shared by buildEdges
+// and Rebase's arc diff.
+func (f *Fib) pairArcs(u, w int, emit func(x, y, cost int)) {
+	if f.K == 0 {
+		emit(f.vnode(0, u), f.vnode(0, w), 1)
+		return
+	}
+	top := f.deliveryLayer()
+	// (VRF K, u) → (VRF i, w) cost i.
+	for i := 1; i <= f.K; i++ {
+		emit(f.vnode(top, u), f.vnode(i-1, w), i)
+	}
+	// (VRF i, u) → (VRF i+1, w) cost 1 for i < K.
+	for l := 0; l < top; l++ {
+		emit(f.vnode(l, u), f.vnode(l+1, w), 1)
+	}
+	// (VRF 1, u) → (VRF 1, w) cost 1.
+	emit(f.vnode(0, u), f.vnode(0, w), 1)
+}
+
 func (f *Fib) buildEdges() {
 	v := f.layers * f.n
 	f.fwd = make([][]varc, v)
 	f.rev = make([][]varc, v)
 	for u := 0; u < f.n; u++ {
 		for _, w := range f.g.Neighbors(u) {
-			if f.K == 0 {
-				f.addArc(f.vnode(0, u), f.vnode(0, w), 1)
-				continue
-			}
-			top := f.deliveryLayer()
-			// (VRF K, u) → (VRF i, w) cost i.
-			for i := 1; i <= f.K; i++ {
-				f.addArc(f.vnode(top, u), f.vnode(i-1, w), i)
-			}
-			// (VRF i, u) → (VRF i+1, w) cost 1 for i < K.
-			for l := 0; l < top; l++ {
-				f.addArc(f.vnode(l, u), f.vnode(l+1, w), 1)
-			}
-			// (VRF 1, u) → (VRF 1, w) cost 1.
-			f.addArc(f.vnode(0, u), f.vnode(0, w), 1)
+			f.pairArcs(u, w, f.addArc)
 		}
 	}
 }
@@ -204,6 +211,170 @@ func (f *Fib) buildDst(dst int) {
 		counts[u] = c
 	}
 	f.npaths[dst] = counts
+}
+
+// deltaArc is one virtual arc a link change adds to or removes from the
+// virtual graph, with the tightness test Rebase runs per destination.
+type deltaArc struct {
+	x, y    int32
+	cost    int32
+	removed bool
+}
+
+// Rebase builds forwarding state for g2 — the same fabric with some links
+// changed — by reusing every per-destination column of this FIB the changes
+// provably cannot affect, and re-running Dijkstra only for the rest. The
+// returned Fib is independent of this one for all queries (columns are
+// immutable after build; unaffected ones are shared, not copied), and is
+// bit-identical to a from-scratch build on g2.
+//
+// The affectedness test is per destination d, against this FIB's cost-to-go:
+// a removed virtual arc x→y matters iff it is tight (ctg[x] == cost+ctg[y] —
+// it carries an equal-cost shortest path, so next sets or distances change);
+// an added arc matters iff ctg[x] >= cost+ctg[y] (it creates a shorter or
+// tying path). If no changed arc passes its test for d, every shortest path
+// and tight-arc set for d is untouched and the old column is reused —
+// reconvergence work is proportional to the affected region, not the fabric.
+//
+// The affectedness test has two parts, run against this FIB's cost-to-go.
+// First, distance validity: a removed virtual arc x→y matters iff it is
+// tight (ctg[x] == cost+ctg[y] — it carried an equal-cost shortest path), an
+// added arc iff it strictly improves (ctg[x] > cost+ctg[y]); if neither
+// fires, every shortest distance for d is unchanged. Second, order: hashed
+// next-hop choice indexes into next[·], whose order follows adjacency order,
+// and RemoveLink swap-removes — it reorders the endpoint's whole neighbor
+// list. So for every router whose adjacency sequence changed, the tight-arc
+// sequences at its vnodes are compared between old and new adjacency; any
+// difference (content or order, including parallel-trunk multiplicity)
+// forces a rebuild. g2 must have the same switch count as the original.
+func (f *Fib) Rebase(g2 *topology.Graph) (*Fib, error) {
+	if g2.N() != f.n {
+		return nil, fmt.Errorf("routing: Rebase needs an identical switch set (have %d switches, got %d)", f.n, g2.N())
+	}
+	nf := &Fib{g: g2, name: f.name, K: f.K, layers: f.layers, n: f.n}
+	nf.buildEdges()
+
+	var delta []deltaArc
+	var seqVnodes []int32
+	for u := 0; u < f.n; u++ {
+		old, now := f.g.Neighbors(u), g2.Neighbors(u)
+		if sameIntSeq(old, now) {
+			continue
+		}
+		for l := 0; l < f.layers; l++ {
+			seqVnodes = append(seqVnodes, int32(f.vnode(l, u)))
+		}
+		for _, w := range diffOccurrences(old, now) {
+			f.pairArcs(u, w, func(x, y, cost int) {
+				delta = append(delta, deltaArc{x: int32(x), y: int32(y), cost: int32(cost), removed: true})
+			})
+		}
+		for _, w := range diffOccurrences(now, old) {
+			f.pairArcs(u, w, func(x, y, cost int) {
+				delta = append(delta, deltaArc{x: int32(x), y: int32(y), cost: int32(cost)})
+			})
+		}
+	}
+
+	nf.ctg = make([][]int32, f.n)
+	nf.next = make([][][]int32, f.n)
+	nf.npaths = make([][]int64, f.n)
+	_ = parallel.ForEach(0, f.n, func(dst int) error {
+		if f.dstAffected(nf, dst, delta, seqVnodes) {
+			nf.buildDst(dst)
+		} else {
+			nf.ctg[dst] = f.ctg[dst]
+			nf.next[dst] = f.next[dst]
+			nf.npaths[dst] = f.npaths[dst]
+		}
+		return nil
+	})
+	return nf, nil
+}
+
+func sameIntSeq(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// diffOccurrences returns the neighbors (one entry per surplus copy) that a
+// has more occurrences of than b.
+func diffOccurrences(a, b []int) []int {
+	counts := map[int]int{}
+	for _, w := range a {
+		counts[w]++
+	}
+	for _, w := range b {
+		counts[w]--
+	}
+	var out []int
+	for _, w := range a { // iterate a, not the map, for determinism
+		if counts[w] > 0 {
+			counts[w]--
+			out = append(out, w)
+		}
+	}
+	return out
+}
+
+// dstAffected reports whether the link changes can alter destination dst's
+// forwarding column. The order of checks matters: the sequence comparison
+// trusts this FIB's ctg for the new graph, which the distance checks
+// establish by returning early when any distance could move.
+func (f *Fib) dstAffected(nf *Fib, dst int, delta []deltaArc, seqVnodes []int32) bool {
+	ctg := f.ctg[dst]
+	for _, a := range delta {
+		d := a.cost + ctg[a.y] // ctg is capped at MaxInt32/2, no overflow
+		if a.removed {
+			if ctg[a.x] == d {
+				return true
+			}
+		} else if ctg[a.x] > d {
+			return true
+		}
+	}
+	const inf = int32(math.MaxInt32 / 2)
+	target := int32(f.vnode(f.deliveryLayer(), dst))
+	for _, x := range seqVnodes {
+		if ctg[x] >= inf || x == target {
+			continue // buildDst records no next hops here in either build
+		}
+		oldF, newF := f.fwd[x], nf.fwd[x]
+		i := 0
+		mismatch := false
+		for _, a := range newF {
+			if ctg[x] != int32(a.cost)+ctg[a.to] {
+				continue
+			}
+			for i < len(oldF) && ctg[x] != int32(oldF[i].cost)+ctg[oldF[i].to] {
+				i++
+			}
+			if i >= len(oldF) || oldF[i] != a {
+				mismatch = true
+				break
+			}
+			i++
+		}
+		if !mismatch {
+			for ; i < len(oldF); i++ {
+				if ctg[x] == int32(oldF[i].cost)+ctg[oldF[i].to] {
+					mismatch = true
+					break
+				}
+			}
+		}
+		if mismatch {
+			return true
+		}
+	}
+	return false
 }
 
 type vitem struct {

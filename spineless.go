@@ -229,6 +229,14 @@ func NewSimulator(g *Graph, scheme Scheme, cfg NetConfig) (*netsim.Simulator, er
 	return netsim.New(g, scheme, cfg)
 }
 
+// NewShardedSimulator builds the conservative-window parallel simulator
+// with the given worker count (clamped to [1, 16]). Results are
+// byte-identical at every shard count; DESIGN.md §13 documents its two
+// micro-departures from the serial engine's event stream.
+func NewShardedSimulator(g *Graph, scheme Scheme, cfg NetConfig, shards int) (*netsim.ShardedSimulator, error) {
+	return netsim.NewSharded(g, scheme, cfg, shards)
+}
+
 // DefaultNetConfig returns the §5.3 packet-simulator defaults.
 func DefaultNetConfig() NetConfig { return netsim.DefaultConfig() }
 
