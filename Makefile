@@ -1,12 +1,12 @@
 GO ?= go
 
 # PR number stamped into the committed benchmark baseline (BENCH_$(BENCH_PR).json).
-BENCH_PR ?= 8
-# The key benchmarks the baseline records: the netsim hot path (serial and
-# sharded at 1/2/4/8 workers), one Figure 4 row, the Figure 5 panel in serial
-# and parallel variants, FIB construction, and paper-scale BGP convergence
-# (full and single-link-delta).
-BENCH_RE = ^(BenchmarkNetsimEvents|BenchmarkNetsimEventsSharded(1|2|4|8)|BenchmarkFig4_A2A|BenchmarkFig5_SmallSU2|BenchmarkFig5_SmallSU2_Workers1|BenchmarkFig5_SmallSU2_WorkersMax|BenchmarkFibConstruction|BenchmarkBGPConvergePaperScale|BenchmarkBGPReconvergeDelta)$$
+BENCH_PR ?= 9
+# The key benchmarks the baseline records: the netsim hot path (serial,
+# serial with a telemetry sink attached, and sharded at 1/2/4/8 workers),
+# one Figure 4 row, the Figure 5 panel in serial and parallel variants, FIB
+# construction, and paper-scale BGP convergence (full and single-link-delta).
+BENCH_RE = ^(BenchmarkNetsimEvents|BenchmarkNetsimEventsTelemetry|BenchmarkNetsimEventsSharded(1|2|4|8)|BenchmarkFig4_A2A|BenchmarkFig5_SmallSU2|BenchmarkFig5_SmallSU2_Workers1|BenchmarkFig5_SmallSU2_WorkersMax|BenchmarkFibConstruction|BenchmarkBGPConvergePaperScale|BenchmarkBGPReconvergeDelta)$$
 
 .PHONY: check build test vet fmt lint race bench audit serve serve-smoke fleet-smoke
 
@@ -21,7 +21,10 @@ serve:
 # End-to-end determinism-cache proof: build spinelessd, boot it on an
 # ephemeral port with a throwaway store, push one tiny fig4-style cell
 # through the HTTP API, and assert the second submit is a cache hit with
-# byte-identical result JSON and zero new simulator events.
+# byte-identical result JSON and zero new simulator events. Ends with the
+# telemetry smoke: an observed run must appear with traffic on the
+# /v1/telemetry stream and drain from it after cancel, and the telemetry
+# flag must be hash-exempt (observed resubmit of a cached spec is a hit).
 serve-smoke:
 	@tmp=$$(mktemp -d) && \
 	$(GO) build -o $$tmp/spinelessd ./cmd/spinelessd && \

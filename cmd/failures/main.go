@@ -34,6 +34,7 @@ import (
 	"spineless/internal/memo"
 	"spineless/internal/parallel"
 	"spineless/internal/resilience"
+	"spineless/internal/telemetry"
 	"spineless/internal/topology"
 )
 
@@ -51,6 +52,7 @@ func main() {
 		seed      = flag.Int64("seed", 1, "random seed")
 		workers   = flag.Int("workers", 0, "parallel workers across fractions (0 = one per CPU); results are identical at any value")
 		doAudit   = flag.Bool("audit", false, "run packet simulations under the runtime invariant auditor (violations fail the trial)")
+		doTel     = flag.Bool("telemetry", false, "record per-link/per-flow telemetry and print a digest after the sweep (needs the serial engine; incompatible with -shards and -audit)")
 		shards    = flag.Int("shards", 0, "intra-trial netsim shards (0 = serial engine); results are identical at any count, incompatible with -audit")
 		storeDir  = flag.String("store", "", "content-addressed result cache directory; repeated runs reuse per-fraction rows")
 
@@ -106,6 +108,23 @@ func main() {
 	if *doAudit && *shards > 0 {
 		log.Fatal("-audit needs the serial engine's event stream; drop -shards")
 	}
+	var rec *telemetry.Recorder
+	if *doTel {
+		if *shards > 0 {
+			log.Fatal("-telemetry needs the serial engine's event stream; drop -shards")
+		}
+		if *doAudit {
+			log.Fatal("-audit and -telemetry both need the simulator's single tracer slot; run them separately")
+		}
+		rec = telemetry.NewRecorder(telemetry.Config{})
+		if cache != nil {
+			// Cache hits execute no simulation, so the digest would read
+			// as an idle fabric; run fresh instead. The deferred Close
+			// still runs on the original handle.
+			log.Printf("-telemetry requested: result cache bypassed for this run")
+			cache = nil
+		}
+	}
 
 	if *live {
 		cfg := resilience.DefaultLiveConfig()
@@ -124,6 +143,7 @@ func main() {
 		cfg.Workers = *workers
 		cfg.Audit = *doAudit
 		cfg.Shards = *shards
+		cfg.Telemetry = rec
 
 		fmt.Printf("fabric: %v, Shortest-Union(%d), seed=%d\n", g, *k, *seed)
 		fmt.Printf("live faults: fail at %v, detect %v, %v/round; flap=%d gray=%d (loss %.1f%%, rate ×%.2f)\n\n",
@@ -141,6 +161,9 @@ func main() {
 		rows, err := cachedLiveSweep(cache, g, cfg, fracs, base)
 		fmt.Println(resilience.LiveTable(rows))
 		fmt.Println("repair = fail-at + detect + reconv × round-delay; blackhole = measured first→last packet lost into a down link.")
+		if rec != nil {
+			fmt.Println(rec.Snapshot().Digest(5))
+		}
 		exitSweep(err)
 		return
 	}
@@ -153,6 +176,7 @@ func main() {
 	cfg.Workers = *workers
 	cfg.Audit = *doAudit
 	cfg.Shards = *shards
+	cfg.Telemetry = rec
 
 	base.Mode = "static"
 	fmt.Printf("fabric: %v, Shortest-Union(%d), seed=%d\n\n", g, *k, *seed)
@@ -160,6 +184,9 @@ func main() {
 	if rows != nil {
 		fmt.Println(resilience.Table(rows))
 		fmt.Println("reconv rounds = synchronous BGP rounds to re-settle from the pre-failure RIB.")
+	}
+	if rec != nil {
+		fmt.Println(rec.Snapshot().Digest(5))
 	}
 	exitSweep(err)
 }

@@ -23,6 +23,7 @@ import (
 	"spineless/internal/metrics"
 	"spineless/internal/parallel"
 	"spineless/internal/prof"
+	"spineless/internal/telemetry"
 	"spineless/internal/trace"
 	"spineless/internal/viz"
 	"spineless/internal/workload"
@@ -42,6 +43,7 @@ func main() {
 		dump     = flag.String("dump", "", "write per-flow FCT CSVs for every cell into this directory")
 		svgOut   = flag.String("svg", "", "write fig4a.svg and fig4b.svg into this directory")
 		doAudit  = flag.Bool("audit", false, "run every cell under the runtime invariant auditor (violations abort)")
+		doTel    = flag.Bool("telemetry", false, "record per-link/per-flow telemetry and print a digest after the run (needs the serial engine; incompatible with -shards and -audit)")
 		trials   = flag.Int("trials", 1, "independently seeded arrival windows pooled per cell")
 		workers  = flag.Int("workers", 0, "parallel workers per fan-out (0 = one per CPU); results are identical at any value")
 		shards   = flag.Int("shards", 0, "intra-trial netsim shards (0 = serial engine); results are identical at any count, incompatible with -audit")
@@ -91,6 +93,17 @@ func main() {
 		}
 		log.Printf("invariant auditing enabled: any conservation/FIFO/TCP violation aborts the run")
 	}
+	var rec *telemetry.Recorder
+	if *doTel {
+		if *shards > 0 {
+			log.Fatal("-telemetry needs the serial engine's event stream; drop -shards")
+		}
+		if *doAudit {
+			log.Fatal("-audit and -telemetry both need the simulator's single tracer slot; run them separately")
+		}
+		rec = telemetry.NewRecorder(telemetry.Config{})
+		cfg.Telemetry = rec
+	}
 	if *dump != "" {
 		if err := os.MkdirAll(*dump, 0o755); err != nil {
 			log.Fatal(err)
@@ -106,6 +119,12 @@ func main() {
 		// Per-flow dumps would bloat cache entries by orders of magnitude;
 		// run fresh instead.
 		log.Printf("-dump requested: result cache bypassed for this run")
+		cache = nil
+	}
+	if cache != nil && rec != nil {
+		// Cache hits execute no simulation, so the digest would read as an
+		// idle fabric; run fresh instead.
+		log.Printf("-telemetry requested: result cache bypassed for this run")
 		cache = nil
 	}
 
@@ -147,6 +166,12 @@ func main() {
 	fmt.Println(median.String())
 	fmt.Println("(b) 99th percentile FCT (ms)")
 	fmt.Println(p99.String())
+
+	if rec != nil {
+		// Cells span three differently shaped fabrics, so the merged
+		// snapshot is totals-only (Mixed) by construction.
+		fmt.Println(rec.Snapshot().Digest(5))
+	}
 
 	if *svgOut != "" {
 		if err := os.MkdirAll(*svgOut, 0o755); err != nil {

@@ -10,6 +10,7 @@
 //	spineless cabling [-paper]                                §1 wiring & lifecycle comparison
 //	spineless fct     [-fabric ...] [-tm KIND|@file.csv]      ad-hoc FCT experiment
 //	spineless burst   [-mb N] [-fanout N]                     §3 microburst drain
+//	spineless jobclass [-fabric ...] [-trials N]              Poisson job-class mix + SLA + telemetry
 package main
 
 import (
@@ -25,6 +26,7 @@ import (
 	"spineless/internal/metrics"
 	"spineless/internal/netsim"
 	"spineless/internal/routing"
+	"spineless/internal/telemetry"
 	"spineless/internal/topology"
 	"spineless/internal/trace"
 	"spineless/internal/workload"
@@ -49,14 +51,84 @@ func main() {
 		cmdFCT(os.Args[2:])
 	case "burst":
 		cmdBurst(os.Args[2:])
+	case "jobclass":
+		cmdJobClass(os.Args[2:])
 	default:
 		usage()
 	}
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: spineless {topo|udf|paths|cabling|fct|burst} [flags]")
+	fmt.Fprintln(os.Stderr, "usage: spineless {topo|udf|paths|cabling|fct|burst|jobclass} [flags]")
 	os.Exit(2)
+}
+
+// cmdJobClass runs the Poisson-arrival job-class workload — the
+// training/batch/latency tiers a flat fabric multiplexes onto one layer —
+// with a classed telemetry recorder attached, and reports per-class FCT
+// percentiles, SLA attainment, and the twin's per-class goodput totals.
+func cmdJobClass(args []string) {
+	fl := flag.NewFlagSet("jobclass", flag.ExitOnError)
+	fabric := fl.String("fabric", "dring", "fabric: dring, rrg, or leafspine (from the scaled trio)")
+	scheme := fl.String("scheme", "su2", "routing: ecmp, suK, kspK, vlb")
+	scale := fl.Int("scale", 4, "scale-down factor")
+	paper := fl.Bool("paper", false, "full-scale §5.1 fabrics")
+	window := fl.Float64("window", 0.005, "arrival window, seconds")
+	util := fl.Float64("util", 0.3, "offered load fraction")
+	seed := fl.Int64("seed", 1, "random seed")
+	maxFlows := fl.Int("maxflows", 0, "expected flow cap (0 = derived from util)")
+	trials := fl.Int("trials", 1, "independently seeded arrival windows pooled into one result")
+	workers := fl.Int("workers", 0, "parallel trial workers (0 = one per CPU); results are identical at any value")
+	_ = fl.Parse(args)
+
+	rng := rand.New(rand.NewSource(*seed))
+	var fs *core.FabricSet
+	var err error
+	if *paper {
+		fs, err = core.PaperFabrics(rng)
+	} else {
+		fs, err = core.ScaledFabrics(*scale, rng)
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+	var g *topology.Graph
+	switch *fabric {
+	case "dring":
+		g = fs.DRing
+	case "rrg":
+		g = fs.RRG
+	case "leafspine":
+		g = fs.LeafSpine
+	default:
+		log.Fatalf("unknown fabric %q", *fabric)
+	}
+	combo, err := core.NewCombo(*fabric+" "+*scheme, g, *scheme)
+	if err != nil {
+		log.Fatal(err)
+	}
+	classes := workload.ThreeTier()
+	cfg := core.DefaultFCTConfig()
+	cfg.WindowSec = *window
+	cfg.Util = *util
+	cfg.Seed = *seed
+	cfg.MaxFlows = *maxFlows
+	cfg.Trials = *trials
+	cfg.Workers = *workers
+	cfg.JobClasses = classes
+	rec := telemetry.NewRecorder(telemetry.Config{Classes: len(classes)})
+	cfg.Telemetry = rec
+
+	res, err := core.RunFCT(fs, combo, core.TMA2A, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%s on %v: Poisson job-class mix, %d flows over %d trial(s)\n\n",
+		combo.Scheme.Name(), g, res.Flows, *trials)
+	fmt.Println(workload.ClassTable(res.Classes))
+	fmt.Println("SLA attained counts incomplete flows as misses.")
+	fmt.Println()
+	fmt.Print(rec.Snapshot().Digest(5))
 }
 
 // cmdFCT runs an ad-hoc FCT experiment: any built-in workload, or an

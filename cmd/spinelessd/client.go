@@ -2,6 +2,7 @@ package main
 
 import (
 	"bufio"
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -106,6 +107,81 @@ func (c smokeClient) metric(name string) (float64, error) {
 		return 0, err
 	}
 	return 0, fmt.Errorf("metric %s not found", name)
+}
+
+// cancel issues DELETE /v1/jobs/{id}.
+func (c smokeClient) cancel(id string) error {
+	req, err := http.NewRequest(http.MethodDelete, c.base+"/v1/jobs/"+id, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(resp.Body)
+		return fmt.Errorf("status %d: %s", resp.StatusCode, body)
+	}
+	return nil
+}
+
+// watchTelemetry follows the /v1/telemetry NDJSON stream until a frame
+// shows job transmitting traffic, then returns nil. Cancelled or ended
+// streams return an error: the twin never showed the run.
+func (c smokeClient) watchTelemetry(ctx context.Context, job string) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/v1/telemetry?interval_ms=20", nil)
+	if err != nil {
+		return err
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("status %d", resp.StatusCode)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, ":") {
+			continue
+		}
+		var fr serve.TelemetryFrame
+		if err := json.Unmarshal([]byte(line), &fr); err != nil {
+			return fmt.Errorf("bad telemetry line %q: %v", line, err)
+		}
+		for _, j := range fr.Jobs {
+			if j.Job == job && j.Totals.TxBytes > 0 {
+				return nil
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	return fmt.Errorf("telemetry stream ended before job %s appeared with traffic", job)
+}
+
+// telemetryActive polls one bounded telemetry frame and returns its active
+// job count.
+func (c smokeClient) telemetryActive() (int, error) {
+	resp, err := http.Get(c.base + "/v1/telemetry?frames=1")
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return 0, err
+	}
+	var fr serve.TelemetryFrame
+	if err := json.Unmarshal([]byte(strings.TrimSpace(string(body))), &fr); err != nil {
+		return 0, fmt.Errorf("bad telemetry frame %q: %v", body, err)
+	}
+	return fr.Active, nil
 }
 
 func (c smokeClient) simEvents() (uint64, error) {

@@ -9,10 +9,11 @@
 // they are cancelled), the store index is flushed, and the process exits.
 //
 // -smoke runs a self-contained end-to-end check instead of serving: it
-// boots the server on an ephemeral port, submits a tiny experiment twice
-// through the real HTTP API, and verifies the second submission is a cache
-// hit whose result bytes are identical to the first run's — with no new
-// simulator work.
+// boots the server on an ephemeral port, submits a tiny telemetry-enabled
+// experiment twice through the real HTTP API, streams /v1/telemetry while
+// the first run executes (the live twin must show the job's traffic), and
+// verifies the second submission is a cache hit whose result bytes are
+// identical to the first run's — with no new simulator work.
 package main
 
 import (
@@ -25,6 +26,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -118,8 +120,14 @@ func newManager(dir string, maxBytes int64, cfg jobs.Config) (*jobs.Manager, err
 }
 
 // smokeSpec is the tiny experiment the self-check runs: a scaled-down
-// Figure 4 cell small enough to finish in about a second.
+// Figure 4 cell small enough to finish in about a second. The first
+// submission uses smokeTelemetrySpec — the same spec with live telemetry
+// on — so the later plain resubmissions double as an end-to-end check that
+// the telemetry flag is hash-exempt (they must hit the first run's cache
+// entry).
 const smokeSpec = `{"kind":"fct","topo":{"scale":8},"fabric":"rrg","scheme":"ecmp","tm":"A2A","util":0.2,"window_sec":0.002,"seed":1,"max_flows":40,"trials":2}`
+
+var smokeTelemetrySpec = strings.Replace(smokeSpec, `{"kind":"fct"`, `{"kind":"fct","telemetry":true`, 1)
 
 // runSmoke boots a server on an ephemeral port backed by a temp store and
 // drives the real HTTP API: submit, wait via the event stream (which runs a
@@ -260,5 +268,68 @@ func runSmoke(workers int, tamper func(st *store.Store, hash string) error) erro
 		return fmt.Errorf("cache hit counter = %v, want 2", hits)
 	}
 	log.Printf("smoke: cache verified — byte-identical result, audit clean, %d sim events saved per hit", events1)
+
+	if err := smokeTelemetry(c, sub1.Hash); err != nil {
+		return fmt.Errorf("telemetry: %w", err)
+	}
+	log.Printf("smoke: live telemetry verified — hash-exempt flag, job visible on the twin while running, hub idle after settle")
 	return nil
+}
+
+// smokeTelemetry drives the digital-twin surface: the telemetry flag must
+// be hash-exempt (its spec hits the plain run's cache entry), a slow
+// telemetry-enabled run must appear on the /v1/telemetry stream with live
+// traffic while it executes, and the hub must drain once the job settles.
+func smokeTelemetry(c smokeClient, plainHash string) error {
+	subT, err := c.submit(smokeTelemetrySpec)
+	if err != nil {
+		return fmt.Errorf("telemetry-spec submit: %w", err)
+	}
+	if !subT.Cached || subT.Hash != plainHash {
+		return fmt.Errorf("telemetry flag fragments the cache: cached=%v hash %.12s vs %.12s",
+			subT.Cached, subT.Hash, plainHash)
+	}
+
+	// A slow observed run (fresh seed, many trial windows) so the stream
+	// has time to catch it live; cancelled once seen.
+	slow := strings.Replace(smokeTelemetrySpec, `"trials":2`, `"trials":2000`, 1)
+	slow = strings.Replace(slow, `"seed":1`, `"seed":7`, 1)
+	telCtx, telCancel := context.WithCancel(context.Background())
+	defer telCancel()
+	subL, err := c.submit(slow)
+	if err != nil {
+		return fmt.Errorf("slow submit: %w", err)
+	}
+	if subL.Cached {
+		return errors.New("fresh telemetry run claims to be cached")
+	}
+	telCh := make(chan error, 1)
+	go func() { telCh <- c.watchTelemetry(telCtx, subL.Job) }()
+	select {
+	case err := <-telCh:
+		if err != nil {
+			return fmt.Errorf("stream: %w", err)
+		}
+	case <-time.After(time.Minute):
+		telCancel()
+		return errors.New("stream never showed the running job")
+	}
+	if err := c.cancel(subL.Job); err != nil {
+		return fmt.Errorf("cancelling observed job: %w", err)
+	}
+	// Settled jobs leave the hub: a bounded poll must drain to idle.
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		active, err := c.telemetryActive()
+		if err != nil {
+			return fmt.Errorf("poll: %w", err)
+		}
+		if active == 0 {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("hub still reports %d active jobs after settle", active)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
 }

@@ -8,6 +8,7 @@ import (
 	"spineless/internal/fluid"
 	"spineless/internal/netsim"
 	"spineless/internal/routing"
+	"spineless/internal/telemetry"
 	"spineless/internal/topology"
 	"spineless/internal/workload"
 )
@@ -39,6 +40,12 @@ type DiffConfig struct {
 	// tolerance bands still apply, which makes the differential a
 	// cross-engine physics check on the sharded engine itself.
 	Shards int
+	// Telemetry is rejected in both engine modes and exists only so callers
+	// that thread one recorder through every run config get a loud error
+	// instead of a silently event-less sink: the sharded leg has no tracer
+	// slot at all, and the serial leg's slot is always occupied by the
+	// invariant Auditor — the differential's whole point.
+	Telemetry *telemetry.Recorder
 }
 
 func (c *DiffConfig) defaults() {
@@ -101,6 +108,12 @@ func Differential(g *topology.Graph, scheme routing.Scheme, flows []workload.Flo
 	var rep DiffReport
 	if len(flows) == 0 {
 		return rep, fmt.Errorf("audit: differential needs at least one flow")
+	}
+	if cfg.Telemetry != nil {
+		if cfg.Shards > 0 {
+			return rep, fmt.Errorf("audit: Telemetry needs the serial engine's event stream; set Shards=0")
+		}
+		return rep, fmt.Errorf("audit: the differential's serial leg runs under the invariant Auditor, which owns the simulator's single tracer slot; run Telemetry separately")
 	}
 
 	// Packet level — audited on the serial engine, band-checked only on the

@@ -11,6 +11,7 @@ import (
 	"spineless/internal/netsim"
 	"spineless/internal/parallel"
 	"spineless/internal/routing"
+	"spineless/internal/telemetry"
 	"spineless/internal/workload"
 )
 
@@ -75,6 +76,21 @@ type FCTConfig struct {
 	// monotone); it must not block for long and must not mutate experiment
 	// state. Single-window runs report (1, 1) on completion.
 	OnTrial func(done, total int)
+	// Telemetry, when non-nil, attaches one telemetry sink per trial window
+	// and the recorder merges them live (trials share the [0, WindowSec)
+	// time origin, so pooled series read as aggregate offered load). A
+	// recorder is scoped to one fabric: reuse across combos with different
+	// link counts is rejected at merge time. Purely observational — results
+	// are unchanged. Incompatible with Shards (the sharded engine has no
+	// totally-ordered event stream to observe) and with Audit (the
+	// invariant auditor owns the simulator's single tracer slot).
+	Telemetry *telemetry.Recorder
+	// JobClasses, when non-empty, replaces the cfg.Sizes uniform-start
+	// workload with the Poisson-arrival job-class mix
+	// (workload.GenerateClassedFlows): per-class sizes and arrival shares,
+	// per-class FCT attribution in FCTResult.Classes, and — with Telemetry
+	// whose Config.Classes covers the mix — per-class goodput series.
+	JobClasses []workload.Class
 }
 
 // DefaultFCTConfig mirrors §5/§6: 30% spine load, Pareto(100KB, 1.05)
@@ -98,11 +114,17 @@ type FCTResult struct {
 	Flows    int
 	Stats    metrics.FCTStats
 	SimStats netsim.Stats
+	// Classes is the per-class FCT/SLA attribution, present only when
+	// FCTConfig.JobClasses ran the job-class workload. Under Trials > 1 it
+	// re-attributes the concatenated per-flow FCTs of every trial.
+	Classes []workload.ClassFCT `json:",omitempty"`
 	// RawFlows and RawFCTNS are populated only when FCTConfig.KeepFlows is
 	// set, for per-flow export via the trace package. Under Trials > 1 they
-	// concatenate the trials in trial order.
-	RawFlows []workload.Flow
-	RawFCTNS []int64
+	// concatenate the trials in trial order. RawClassOf parallels RawFCTNS
+	// with flow→class attributions on job-class runs.
+	RawFlows   []workload.Flow
+	RawFCTNS   []int64
+	RawClassOf []uint8 `json:",omitempty"`
 }
 
 // RunFCT generates the workload on the combo's fabric, scales it to the
@@ -154,6 +176,15 @@ func RunFCTMatrix(fs *FabricSet, combo Combo, m *workload.Matrix, cfg FCTConfig)
 // serialize workers on a mutex), and trial t's result lands in slot t — so
 // the pooled output is byte-identical from workers=1 to workers=N.
 func runTrials(cfg FCTConfig, combo Combo, one func(seed int64) (FCTResult, error)) (FCTResult, error) {
+	// The sharded engine rejects tracers at netsim.SetTracer too, but an
+	// early structured error beats a per-trial failure — and mirrors the
+	// Shards+Audit guard so no layer silently drops an observer again.
+	if cfg.Shards > 0 && cfg.Telemetry != nil {
+		return FCTResult{}, fmt.Errorf("core: Telemetry needs the serial engine's event stream; set Shards=0")
+	}
+	if cfg.Audit && cfg.Telemetry != nil {
+		return FCTResult{}, fmt.Errorf("core: Audit and Telemetry both need the simulator's single tracer slot; run them separately")
+	}
 	ctx := cfg.Ctx
 	if ctx == nil {
 		ctx = context.Background()
@@ -167,7 +198,7 @@ func runTrials(cfg FCTConfig, combo Combo, one func(seed int64) (FCTResult, erro
 			return FCTResult{}, err
 		}
 		if !cfg.KeepFlows {
-			res.RawFlows, res.RawFCTNS = nil, nil
+			res.RawFlows, res.RawFCTNS, res.RawClassOf = nil, nil, nil
 		}
 		if cfg.OnTrial != nil {
 			cfg.OnTrial(1, 1)
@@ -196,28 +227,39 @@ func runTrials(cfg FCTConfig, combo Combo, one func(seed int64) (FCTResult, erro
 	if err != nil {
 		return FCTResult{}, err
 	}
-	return mergeTrials(trials, cfg.KeepFlows), nil
+	return mergeTrials(cfg, trials)
 }
 
 // mergeTrials pools per-trial results in trial order: counts and simulator
-// stats sum, and the FCT distribution is re-summarized over the
-// concatenation of every trial's per-flow FCTs.
-func mergeTrials(trials []FCTResult, keep bool) FCTResult {
+// stats sum, the FCT distribution is re-summarized over the concatenation
+// of every trial's per-flow FCTs, and job-class runs re-attribute the
+// concatenation per class (percentiles cannot be pooled from summaries).
+func mergeTrials(cfg FCTConfig, trials []FCTResult) (FCTResult, error) {
 	out := FCTResult{Combo: trials[0].Combo}
 	var all []int64
+	var allClass []uint8
 	for _, r := range trials {
 		out.Flows += r.Flows
 		out.SimStats.Accumulate(r.SimStats)
 		all = append(all, r.RawFCTNS...)
-		if keep {
+		allClass = append(allClass, r.RawClassOf...)
+		if cfg.KeepFlows {
 			out.RawFlows = append(out.RawFlows, r.RawFlows...)
 		}
 	}
 	out.Stats = metrics.SummarizeFCT(all)
-	if keep {
-		out.RawFCTNS = all
+	if len(cfg.JobClasses) > 0 {
+		classes, err := workload.ClassAttribution(cfg.JobClasses, allClass, all)
+		if err != nil {
+			return FCTResult{}, fmt.Errorf("core: pooling class attribution: %w", err)
+		}
+		out.Classes = classes
 	}
-	return out
+	if cfg.KeepFlows {
+		out.RawFCTNS = all
+		out.RawClassOf = allClass
+	}
+	return out, nil
 }
 
 // runFCT measures one arrival window. It always records the raw per-flow
@@ -236,19 +278,35 @@ func runFCT(fs *FabricSet, combo Combo, m *workload.Matrix, placement []int, cfg
 	// workloads) the factor is exactly 1, so applying it unconditionally
 	// reproduces the paper's rule.
 	load := cfg.Util * workload.ParticipationScale(m)
-	count := workload.FlowCountForLoad(capacity, load, cfg.Sizes.Mean(), cfg.WindowSec)
+	meanBytes := cfg.Sizes.Mean()
+	if len(cfg.JobClasses) > 0 {
+		meanBytes = workload.ClassMean(cfg.JobClasses)
+	}
+	count := workload.FlowCountForLoad(capacity, load, meanBytes, cfg.WindowSec)
 	if count < 1 {
 		count = 1
 	}
 	if cfg.MaxFlows > 0 && count > cfg.MaxFlows {
 		count = cfg.MaxFlows
 	}
-	flows, err := workload.GenerateFlows(combo.Fabric, m, workload.GenConfig{
-		Flows:     count,
-		Sizes:     cfg.Sizes,
-		WindowNS:  int64(cfg.WindowSec * 1e9),
-		Placement: placement,
-	}, rng)
+	var flows []workload.Flow
+	var classOf []uint8
+	var err error
+	if len(cfg.JobClasses) > 0 {
+		flows, classOf, err = workload.GenerateClassedFlows(combo.Fabric, m, workload.ClassedConfig{
+			Classes:   cfg.JobClasses,
+			Flows:     count,
+			WindowNS:  int64(cfg.WindowSec * 1e9),
+			Placement: placement,
+		}, rng)
+	} else {
+		flows, err = workload.GenerateFlows(combo.Fabric, m, workload.GenConfig{
+			Flows:     count,
+			Sizes:     cfg.Sizes,
+			WindowNS:  int64(cfg.WindowSec * 1e9),
+			Placement: placement,
+		}, rng)
+	}
 	if err != nil {
 		return FCTResult{}, err
 	}
@@ -257,6 +315,9 @@ func runFCT(fs *FabricSet, combo Combo, m *workload.Matrix, placement []int, cfg
 	if cfg.Shards > 0 {
 		if cfg.Audit {
 			return FCTResult{}, fmt.Errorf("core: Audit needs the serial engine's event stream; set Shards=0")
+		}
+		if cfg.Telemetry != nil {
+			return FCTResult{}, fmt.Errorf("core: Telemetry needs the serial engine's event stream; set Shards=0")
 		}
 		ss, err := netsim.NewSharded(combo.Fabric, combo.Scheme, cfg.Net, cfg.Shards)
 		if err != nil {
@@ -275,6 +336,16 @@ func runFCT(fs *FabricSet, combo Combo, m *workload.Matrix, placement []int, cfg
 				return FCTResult{}, err
 			}
 		}
+		if cfg.Telemetry != nil {
+			if classOf != nil {
+				_, err = cfg.Telemetry.AttachClassed(sim, classOf)
+			} else {
+				_, err = cfg.Telemetry.Attach(sim, len(flows))
+			}
+			if err != nil {
+				return FCTResult{}, err
+			}
+		}
 		if res, err = sim.Run(flows); err != nil {
 			return FCTResult{}, err
 		}
@@ -284,14 +355,22 @@ func runFCT(fs *FabricSet, combo Combo, m *workload.Matrix, placement []int, cfg
 			return FCTResult{}, fmt.Errorf("core: %s: %w", combo.Label, err)
 		}
 	}
-	return FCTResult{
-		Combo:    combo.Label,
-		Flows:    len(flows),
-		Stats:    metrics.SummarizeFCT(res.FCTNS),
-		SimStats: res.Stats,
-		RawFlows: flows,
-		RawFCTNS: res.FCTNS,
-	}, nil
+	out := FCTResult{
+		Combo:      combo.Label,
+		Flows:      len(flows),
+		Stats:      metrics.SummarizeFCT(res.FCTNS),
+		SimStats:   res.Stats,
+		RawFlows:   flows,
+		RawFCTNS:   res.FCTNS,
+		RawClassOf: classOf,
+	}
+	if classOf != nil {
+		out.Classes, err = workload.ClassAttribution(cfg.JobClasses, classOf, res.FCTNS)
+		if err != nil {
+			return FCTResult{}, err
+		}
+	}
+	return out, nil
 }
 
 // Fig4Row runs one workload across all combos — one group of bars in

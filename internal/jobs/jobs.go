@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"spineless/internal/store"
+	"spineless/internal/telemetry"
 )
 
 // State is a job's lifecycle position. The machine is strictly forward:
@@ -158,6 +159,7 @@ var LatencyBoundsMS = []float64{10, 30, 100, 300, 1000, 3000, 10000, 30000, 1000
 type Manager struct {
 	st  *store.Store
 	cfg Config
+	hub *telemetry.Hub
 
 	ctx    context.Context
 	stop   context.CancelFunc
@@ -201,6 +203,7 @@ func New(st *store.Store, cfg Config) *Manager {
 	m := &Manager{
 		st:        st,
 		cfg:       cfg,
+		hub:       telemetry.NewHub(),
 		ctx:       ctx,
 		stop:      stop,
 		queue:     make(chan *Job, cfg.QueueDepth),
@@ -385,6 +388,10 @@ func (m *Manager) Cancel(id string) bool {
 // Store exposes the underlying result store (may be nil).
 func (m *Manager) Store() *store.Store { return m.st }
 
+// Hub exposes the live telemetry hub: one recorder per telemetry-enabled
+// running job, registered under the job ID for the duration of its run.
+func (m *Manager) Hub() *telemetry.Hub { return m.hub }
+
 // executor pulls jobs off the bounded queue and runs them.
 func (m *Manager) executor() {
 	defer m.wg.Done()
@@ -406,8 +413,19 @@ func (m *Manager) runJob(j *Job) {
 	j.publishLocked()
 	j.mu.Unlock()
 
+	// Telemetry-enabled jobs publish a live recorder on the hub for the
+	// duration of the run; /v1/telemetry streams it. Released on settle —
+	// the twin mirrors running fabric state, not history (results carry
+	// the durable outcome).
+	var rec *telemetry.Recorder
+	if j.Spec.Telemetry {
+		rec = telemetry.NewRecorder(telemetry.Config{})
+		release := m.hub.Register(j.ID, rec)
+		defer release()
+	}
+
 	start := time.Now()
-	res, err := Execute(ctx, j.Spec, m.cfg.TrialWorkers, func(done, total int) {
+	res, err := ExecuteObserved(ctx, j.Spec, m.cfg.TrialWorkers, rec, func(done, total int) {
 		j.progress(done, total)
 	})
 	elapsed := time.Since(start)
@@ -421,7 +439,10 @@ func (m *Manager) runJob(j *Job) {
 			break
 		}
 		if m.st != nil {
-			specRaw, cerr := store.Canonical(j.Spec)
+			// Commit the hash preimage, not the submitted spec: Put verifies
+			// the archived spec hashes to the key, and hash-exempt fields
+			// (Shards, Telemetry) would break that and lose the entry.
+			specRaw, cerr := store.Canonical(j.Spec.HashForm())
 			if cerr == nil {
 				if perr := m.st.Put(j.Hash, specRaw, raw); perr != nil {
 					m.logf("job %s: store put failed: %v", j.ID, perr)

@@ -3,6 +3,7 @@ package jobs
 import (
 	"context"
 	"encoding/json"
+	"strings"
 	"testing"
 	"time"
 
@@ -534,5 +535,129 @@ func TestDrainRejectsNewWork(t *testing.T) {
 	}
 	if _, _, err := m.Submit(tinySpec()); err != ErrDraining {
 		t.Fatalf("submit after drain: %v, want ErrDraining", err)
+	}
+}
+
+// TestSpecTelemetryValidationAndHash pins the jobs-layer half of the
+// Shards+tracer guard (failing-before: Telemetry used to be silently
+// meaningless with Shards>0) and the cache-key exemption: observation
+// must not fragment the store.
+func TestSpecTelemetryValidationAndHash(t *testing.T) {
+	sp := tinySpec()
+	sp.Telemetry = true
+	sp.Shards = 2
+	if err := sp.Normalized().Validate(); err == nil {
+		t.Fatal("telemetry+shards validated — the recorder would observe nothing")
+	} else if !strings.Contains(err.Error(), "serial engine") {
+		t.Fatalf("unhelpful error: %v", err)
+	}
+	sp.Shards = 0
+	if err := sp.Normalized().Validate(); err != nil {
+		t.Fatalf("telemetry on the serial engine rejected: %v", err)
+	}
+
+	plain := tinySpec()
+	h1, err := plain.Hash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	h2, err := sp.Hash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h1 != h2 {
+		t.Fatal("telemetry flag fragments the cache key")
+	}
+}
+
+// TestTelemetryJobPublishesOnHub: a telemetry-enabled job registers a live
+// recorder under its ID for the duration of the run and releases it on
+// settle; the recorder sees the run's traffic.
+func TestTelemetryJobPublishesOnHub(t *testing.T) {
+	m := newTestManager(t, Config{QueueDepth: 4, Executors: 1, TrialWorkers: 1})
+
+	// A slow job (many trial windows) so its hub registration is observable
+	// while it runs.
+	slow := tinySpec()
+	slow.Telemetry = true
+	slow.Trials = 500
+	j, cached, err := m.Submit(slow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cached {
+		t.Fatal("fresh telemetry job served from cache")
+	}
+	deadline := time.Now().Add(30 * time.Second)
+	for m.Hub().Get(j.ID) == nil && time.Now().Before(deadline) {
+		select {
+		case <-j.Terminal():
+			t.Fatalf("job settled before its recorder ever appeared on the hub (%+v)", j.Status())
+		default:
+		}
+		time.Sleep(time.Millisecond)
+	}
+	rec := m.Hub().Get(j.ID)
+	if rec == nil {
+		t.Fatal("recorder never appeared on the hub while the job ran")
+	}
+	// The live twin fills in while trials execute.
+	for rec.Snapshot().Totals.TxBytes == 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if rec.Snapshot().Totals.TxBytes == 0 {
+		t.Fatal("live recorder saw no traffic")
+	}
+	// Released on settle: the twin only mirrors running jobs.
+	m.Cancel(j.ID)
+	waitTerminal(t, j)
+	for m.Hub().Active() != 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if n := m.Hub().Active(); n != 0 {
+		t.Fatalf("%d recorders still on the hub after settle", n)
+	}
+
+	// A completed telemetry job shares its cache entry with the unobserved
+	// form of the same spec.
+	quick := tinySpec()
+	quick.Telemetry = true
+	jq, _, err := m.Submit(quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitTerminal(t, jq)
+	if st := jq.Status(); st.State != StateDone {
+		t.Fatalf("job ended %s (%s)", st.State, st.Error)
+	}
+	if _, cached, err := m.Submit(tinySpec()); err != nil || !cached {
+		t.Fatalf("unobserved resubmit: cached=%v err=%v", cached, err)
+	}
+}
+
+// TestShardedJobResultIsCached is the failing-before regression for the
+// hash-preimage store bug: runJob used to commit the submitted spec, whose
+// Shards field does not survive the hash exemption, so store.Put's
+// spec-hashes-to-key check failed and sharded results were silently never
+// cached.
+func TestShardedJobResultIsCached(t *testing.T) {
+	m := newTestManager(t, Config{QueueDepth: 4, Executors: 1, TrialWorkers: 1})
+	sp := tinySpec()
+	sp.Shards = 2
+	j, cached, err := m.Submit(sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cached {
+		t.Fatal("fresh sharded job served from cache")
+	}
+	waitTerminal(t, j)
+	if st := j.Status(); st.State != StateDone {
+		t.Fatalf("job ended %s (%s)", st.State, st.Error)
+	}
+	// Any positive shard count shares the entry.
+	sp.Shards = 4
+	if _, cached, err := m.Submit(sp); err != nil || !cached {
+		t.Fatalf("sharded resubmit: cached=%v err=%v", cached, err)
 	}
 }

@@ -8,6 +8,7 @@ import (
 	"spineless/internal/core"
 	"spineless/internal/netsim"
 	"spineless/internal/resilience"
+	"spineless/internal/telemetry"
 	"spineless/internal/topology"
 )
 
@@ -35,15 +36,24 @@ func (r Result) SimEvents() uint64 {
 // workers, onTrial nor ctx can affect the result of a run that completes —
 // that is the determinism contract the result cache relies on.
 func Execute(ctx context.Context, sp Spec, workers int, onTrial func(done, total int)) (Result, error) {
+	return ExecuteObserved(ctx, sp, workers, nil, onTrial)
+}
+
+// ExecuteObserved is Execute with a telemetry recorder attached to the
+// run's simulators (nil = unobserved, identical to Execute). The recorder
+// is write-only for the run and read-concurrently by streamers; like
+// workers and onTrial, it cannot affect the result — observation is the
+// one side effect the determinism contract permits.
+func ExecuteObserved(ctx context.Context, sp Spec, workers int, rec *telemetry.Recorder, onTrial func(done, total int)) (Result, error) {
 	switch sp.Kind {
 	case "fct":
-		res, err := executeFCT(ctx, sp, workers, onTrial)
+		res, err := executeFCT(ctx, sp, workers, rec, onTrial)
 		if err != nil {
 			return Result{}, err
 		}
 		return Result{Kind: sp.Kind, FCT: res}, nil
 	case "live":
-		res, err := executeLive(ctx, sp, onTrial)
+		res, err := executeLive(ctx, sp, rec, onTrial)
 		if err != nil {
 			return Result{}, err
 		}
@@ -52,7 +62,7 @@ func Execute(ctx context.Context, sp Spec, workers int, onTrial func(done, total
 	return Result{}, fmt.Errorf("jobs: unknown kind %q", sp.Kind)
 }
 
-func executeFCT(ctx context.Context, sp Spec, workers int, onTrial func(done, total int)) (*core.FCTResult, error) {
+func executeFCT(ctx context.Context, sp Spec, workers int, rec *telemetry.Recorder, onTrial func(done, total int)) (*core.FCTResult, error) {
 	rng := rand.New(rand.NewSource(sp.Seed))
 	var fs *core.FabricSet
 	var err error
@@ -85,6 +95,7 @@ func executeFCT(ctx context.Context, sp Spec, workers int, onTrial func(done, to
 	cfg.Workers = workers
 	cfg.Ctx = ctx
 	cfg.OnTrial = onTrial
+	cfg.Telemetry = rec
 	res, err := core.RunFCT(fs, combo, core.TMKind(sp.TM), cfg)
 	if err != nil {
 		return nil, err
@@ -92,7 +103,7 @@ func executeFCT(ctx context.Context, sp Spec, workers int, onTrial func(done, to
 	return &res, nil
 }
 
-func executeLive(ctx context.Context, sp Spec, onTrial func(done, total int)) (*resilience.LiveResult, error) {
+func executeLive(ctx context.Context, sp Spec, rec *telemetry.Recorder, onTrial func(done, total int)) (*resilience.LiveResult, error) {
 	// RunLive is a single indivisible trial: honor cancellation at the
 	// boundary and report one unit of progress on completion.
 	if err := ctx.Err(); err != nil {
@@ -128,6 +139,7 @@ func executeLive(ctx context.Context, sp Spec, onTrial func(done, total int)) (*
 	cfg.Net = netsim.DefaultConfig()
 	cfg.Seed = sp.Seed
 	cfg.Shards = sp.Shards
+	cfg.Telemetry = rec
 	res, err := resilience.RunLive(g, cfg)
 	if err != nil {
 		return nil, err

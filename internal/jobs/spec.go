@@ -65,6 +65,13 @@ type Spec struct {
 	// (DESIGN.md §13), so the two engines must not share
 	// determinism-audited cache entries.
 	Shards int `json:"shards,omitempty"`
+	// Telemetry attaches a live telemetry recorder to the run and publishes
+	// it on /v1/telemetry while the job executes. Purely observational: it
+	// never affects results, so — like worker counts — it is exempt from the
+	// store key. A cache hit executes nothing and therefore streams nothing.
+	// Requires the serial engine (Shards == 0): the sharded engine has no
+	// tracer slot, and a silently event-less recorder would be a lie.
+	Telemetry bool `json:"telemetry,omitempty"`
 	// Faults is the live-run fault schedule (required iff Kind == "live").
 	Faults *FaultSpec `json:"faults,omitempty"`
 }
@@ -206,6 +213,9 @@ func (s Spec) Validate() error {
 	if s.Version != SpecVersion {
 		return fmt.Errorf("jobs: unsupported spec version %d (want %d)", s.Version, SpecVersion)
 	}
+	if s.Telemetry && s.Shards > 0 {
+		return fmt.Errorf("jobs: telemetry needs the serial engine's event stream; set shards=0")
+	}
 	switch s.Kind {
 	case "fct":
 		switch s.Fabric {
@@ -261,13 +271,25 @@ func (s Spec) Validate() error {
 // Hash returns the spec's store key (normalizing first). The shard count
 // is exempt from the preimage beyond the engine choice: every Shards > 0
 // hashes as Shards = 1, because the sharded engine's results are
-// shard-count-invariant by construction.
+// shard-count-invariant by construction. Telemetry is exempt entirely:
+// observation never changes what a run computes, so an observed and an
+// unobserved run must share one cache entry.
 func (s Spec) Hash() (string, error) {
+	return store.Key(s.HashForm())
+}
+
+// HashForm returns the normalized spec with the hash exemptions applied —
+// the exact preimage of Hash. Store writers must commit this form, not the
+// submitted spec: store.Put verifies the spec it archives hashes to the
+// entry key, so an exempted field left in place (a sharded or telemetry
+// run) would fail the write and silently leave the result uncached.
+func (s Spec) HashForm() Spec {
 	n := s.Normalized()
 	if n.Shards > 0 {
 		n.Shards = 1
 	}
-	return store.Key(n)
+	n.Telemetry = false
+	return n
 }
 
 func validTM(tm string) bool {

@@ -1,0 +1,63 @@
+package lint
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestHotPathTelemetryAgreesWithAllocPins runs the hotpath checker over the
+// real telemetry package: the six Tracer hooks are annotated //lint:hotpath,
+// and telemetry's TestTelemetryAddsNoAllocs pins the same property
+// dynamically (AllocsPerRun), so the static walk reporting zero findings is
+// the two tools agreeing. The sanity assertions prove the walk actually
+// descends from the hooks into the ring machinery — a missing call edge
+// would make a clean report vacuous.
+func TestHotPathTelemetryAgreesWithAllocPins(t *testing.T) {
+	fset, pkgs, err := Load("../..", []string{"./internal/telemetry"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog := NewProgram(fset, pkgs)
+
+	wantReach := map[string]string{
+		"(*spineless/internal/telemetry.Sink).bucket":  "(*spineless/internal/telemetry.Sink).OnTxStart",
+		"(*spineless/internal/telemetry.Sink).advance": "(*spineless/internal/telemetry.Sink).bucket",
+	}
+	for want, from := range wantReach {
+		if prog.Graph.Nodes[from] == nil {
+			t.Fatalf("call graph has no node for %s; the walk would be vacuous", from)
+		}
+		found := false
+		for _, c := range prog.Graph.Callees(from) {
+			if c == want {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("%s's callees %v lack %s; telemetry hot-path reachability is broken",
+				from, prog.Graph.Callees(from), want)
+		}
+	}
+	for _, root := range []string{
+		"(*spineless/internal/telemetry.Sink).OnEnqueue",
+		"(*spineless/internal/telemetry.Sink).OnDeliver",
+		"(*spineless/internal/telemetry.Sink).OnDrop",
+		"(*spineless/internal/telemetry.Sink).OnCwnd",
+		"(*spineless/internal/telemetry.Sink).OnStateChange",
+	} {
+		if prog.Graph.Nodes[root] == nil {
+			t.Fatalf("call graph has no node for %s; the hook lost its annotation or was renamed", root)
+		}
+	}
+
+	var hot []string
+	for _, f := range prog.Run(nil, []ProgramChecker{&HotPath{}}) {
+		if f.Check == "hotpath" {
+			hot = append(hot, f.String())
+		}
+	}
+	if len(hot) > 0 {
+		t.Errorf("hotpath findings on telemetry contradict TestTelemetryAddsNoAllocs:\n%s",
+			strings.Join(hot, "\n"))
+	}
+}

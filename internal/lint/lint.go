@@ -191,6 +191,7 @@ var AllowPkgDeny = []string{
 	"internal/faults",
 	"internal/resilience",
 	"internal/workload",
+	"internal/telemetry",
 	"internal/core",
 	"internal/store",
 	"lint/testdata/allowpkgdeny",
@@ -259,6 +260,10 @@ var SimulatorScope = []string{
 	"internal/faults",
 	"internal/resilience",
 	"internal/workload",
+	// The telemetry twin is driven by the simulator's event stream, so its
+	// series must replay byte-identically too (the /v1/telemetry wall-clock
+	// pacing lives in serve, not here).
+	"internal/telemetry",
 	// The spinelessd layers: the store must be determinism-clean (its
 	// logical clock exists precisely so it can be), while jobs and serve
 	// carry an audited package-scope exemption for wall-clock telemetry.

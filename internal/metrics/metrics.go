@@ -178,7 +178,13 @@ func (h *Heatmap) CSV() string {
 	for yi, y := range h.YTicks {
 		fmt.Fprintf(&b, "%d", y)
 		for xi := range h.XTicks {
-			fmt.Fprintf(&b, ",%.4f", h.Cells[yi][xi])
+			// Unset cells (NaN since NewHeatmap) render as empty fields:
+			// a literal "NaN" poisons spreadsheet and numeric-CSV readers.
+			if v := h.Cells[yi][xi]; math.IsNaN(v) {
+				b.WriteString(",")
+			} else {
+				fmt.Fprintf(&b, ",%.4f", v)
+			}
 		}
 		b.WriteString("\n")
 	}

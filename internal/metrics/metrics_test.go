@@ -144,6 +144,26 @@ func TestHeatmap(t *testing.T) {
 	}
 }
 
+// TestHeatmapCSVUnsetCells is the regression test for the NaN-cell bug:
+// a partially filled heatmap used to render unset cells as literal "NaN",
+// which poisons spreadsheet and numeric-CSV readers. Unset cells must
+// become empty fields while set cells keep their numeric form.
+func TestHeatmapCSVUnsetCells(t *testing.T) {
+	h := NewHeatmap("partial", "t_us", "link", []int{100, 200, 300}, []int{7, 9})
+	h.Set(0, 0, 0.25)
+	h.Set(2, 1, 1.0)
+	csv := h.CSV()
+	if strings.Contains(csv, "NaN") {
+		t.Fatalf("CSV leaks literal NaN:\n%s", csv)
+	}
+	if !strings.Contains(csv, "7,0.2500,,\n") {
+		t.Fatalf("row 7 should keep its set cell and empty the rest:\n%s", csv)
+	}
+	if !strings.Contains(csv, "9,,,1.0000\n") {
+		t.Fatalf("row 9 should have two empty fields then the set cell:\n%s", csv)
+	}
+}
+
 func TestRatio(t *testing.T) {
 	if Ratio(4, 2) != 2 {
 		t.Fatal("ratio broken")

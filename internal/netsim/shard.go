@@ -227,6 +227,17 @@ func NewSharded(g *topology.Graph, scheme routing.Scheme, cfg Config, shards int
 	return ss, nil
 }
 
+// SetTracer always fails: the sharded engine has no single totally-ordered
+// event stream for a Tracer to observe (events interleave across partition
+// heaps inside a lookahead window). Before this method existed, a tracer
+// wired through a config layer that forgot to guard Shards>0 was silently
+// ignored; now the engine itself rejects the attachment, and every config
+// layer (core, resilience, audit, jobs) mirrors the error up front. Use the
+// serial Simulator (Shards=0) for traced or audited runs.
+func (ss *ShardedSimulator) SetTracer(Tracer) error {
+	return fmt.Errorf("netsim: the sharded engine does not support tracers; set Shards=0")
+}
+
 // InstallFaults arms a fault schedule. Validation matches the serial
 // engine; each event is then filed with the partitions owning the affected
 // link directions, and each partition draws gray-failure losses from its

@@ -749,6 +749,18 @@ func (s *Simulator) LinkDrops() uint64 {
 	return d
 }
 
+// NumLinks returns the number of unidirectional links in the built fabric
+// (host uplinks and downlinks plus every parallel copy of each switch
+// link). The link ids passed to Tracer hooks index this range.
+func (s *Simulator) NumLinks() int { return len(s.links) }
+
+// LinkRateBps returns the nominal (fault-free) capacity of link id in bits
+// per second — the denominator for turning observed tx bytes into
+// utilization. Gray-failure rate derating does not change the nominal rate.
+func (s *Simulator) LinkRateBps(id int32) float64 {
+	return s.links[id].nominalBytesPerNS * 8e9
+}
+
 // NetLinkTx returns the bytes transmitted on the directed switch link u→v,
 // summed over parallel copies. It reports 0 for non-existent links.
 func (s *Simulator) NetLinkTx(u, v int) uint64 {

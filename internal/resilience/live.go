@@ -12,6 +12,7 @@ import (
 	"spineless/internal/netsim"
 	"spineless/internal/parallel"
 	"spineless/internal/routing"
+	"spineless/internal/telemetry"
 	"spineless/internal/topology"
 	"spineless/internal/workload"
 )
@@ -77,6 +78,12 @@ type LiveConfig struct {
 	// (DESIGN.md §13 documents the two partition-local departures), so
 	// compare sharded runs with sharded runs. Incompatible with Audit.
 	Shards int
+	// Telemetry, when non-nil, binds a telemetry sink to the run so the
+	// outage is observable as time series (blackhole drop rate, link
+	// utilization) alongside the end-of-run transient summary. Purely
+	// observational. Incompatible with Shards and with Audit — see
+	// core.FCTConfig.Telemetry.
+	Telemetry *telemetry.Recorder
 }
 
 // DefaultLiveConfig fails 5% of trunks 2 ms into a 20 ms run, with 1 ms
@@ -138,6 +145,12 @@ func RunLive(g *topology.Graph, cfg LiveConfig) (LiveResult, error) {
 	}
 	if cfg.FailAtNS < 0 || cfg.DetectionDelayNS < 0 || cfg.RoundDelayNS < 0 {
 		return LiveResult{}, fmt.Errorf("resilience: negative fault timing")
+	}
+	if cfg.Shards > 0 && cfg.Telemetry != nil {
+		return LiveResult{}, fmt.Errorf("resilience: Telemetry needs the serial engine's event stream; set Shards=0")
+	}
+	if cfg.Audit && cfg.Telemetry != nil {
+		return LiveResult{}, fmt.Errorf("resilience: Audit and Telemetry both need the simulator's single tracer slot; run them separately")
 	}
 	rng := rand.New(rand.NewSource(cfg.Seed))
 
@@ -248,6 +261,11 @@ func RunLive(g *topology.Graph, cfg LiveConfig) (LiveResult, error) {
 		var aud *audit.Auditor
 		if cfg.Audit {
 			if aud, err = audit.Attach(sim, flows); err != nil {
+				return LiveResult{}, err
+			}
+		}
+		if cfg.Telemetry != nil {
+			if _, err = cfg.Telemetry.Attach(sim, len(flows)); err != nil {
 				return LiveResult{}, err
 			}
 		}

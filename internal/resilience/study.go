@@ -11,6 +11,7 @@ import (
 	"spineless/internal/netsim"
 	"spineless/internal/parallel"
 	"spineless/internal/routing"
+	"spineless/internal/telemetry"
 	"spineless/internal/topology"
 	"spineless/internal/workload"
 )
@@ -42,6 +43,11 @@ type StudyConfig struct {
 	// byte-identical at every shard count; incompatible with Audit, which
 	// observes the serial engine's event stream.
 	Shards int
+	// Telemetry, when non-nil, binds one telemetry sink per fraction's FCT
+	// replay (fractions share the fabric, so the merged snapshot is
+	// well-formed). Purely observational. Incompatible with Shards and
+	// with Audit — see core.FCTConfig.Telemetry.
+	Telemetry *telemetry.Recorder
 }
 
 // DefaultStudyConfig sweeps 1%, 5% and 10% link failures under SU(2).
@@ -80,6 +86,12 @@ type StudyRow struct {
 func Study(g *topology.Graph, cfg StudyConfig) ([]StudyRow, error) {
 	if cfg.K < 2 {
 		return nil, fmt.Errorf("resilience: K must be >= 2")
+	}
+	if cfg.Shards > 0 && cfg.Telemetry != nil {
+		return nil, fmt.Errorf("resilience: Telemetry needs the serial engine's event stream; set Shards=0")
+	}
+	if cfg.Audit && cfg.Telemetry != nil {
+		return nil, fmt.Errorf("resilience: Audit and Telemetry both need the simulator's single tracer slot; run them separately")
 	}
 	baseFib, err := routing.NewShortestUnion(g, cfg.K)
 	if err != nil {
@@ -201,6 +213,9 @@ func replayUniform(g *topology.Graph, scheme routing.Scheme, cfg StudyConfig, rn
 		if cfg.Audit {
 			return metrics.FCTStats{}, fmt.Errorf("resilience: Audit needs the serial engine's event stream; set Shards=0")
 		}
+		if cfg.Telemetry != nil {
+			return metrics.FCTStats{}, fmt.Errorf("resilience: Telemetry needs the serial engine's event stream; set Shards=0")
+		}
 		ss, err := netsim.NewSharded(g, scheme, cfg.Net, cfg.Shards)
 		if err != nil {
 			return metrics.FCTStats{}, err
@@ -218,6 +233,11 @@ func replayUniform(g *topology.Graph, scheme routing.Scheme, cfg StudyConfig, rn
 	var aud *audit.Auditor
 	if cfg.Audit {
 		if aud, err = audit.Attach(sim, flows); err != nil {
+			return metrics.FCTStats{}, err
+		}
+	}
+	if cfg.Telemetry != nil {
+		if _, err = cfg.Telemetry.Attach(sim, len(flows)); err != nil {
 			return metrics.FCTStats{}, err
 		}
 	}

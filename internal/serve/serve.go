@@ -3,13 +3,15 @@
 // progress as an NDJSON event stream, fetching content-addressed results,
 // and scraping operational metrics in Prometheus text format.
 //
-//	POST   /v1/jobs              submit a spec (200 cached / 202 accepted)
-//	GET    /v1/jobs/{id}         job status
-//	DELETE /v1/jobs/{id}         cancel
-//	GET    /v1/jobs/{id}/events  NDJSON progress stream until terminal
-//	GET    /v1/results/{hash}    raw result JSON from the store
-//	GET    /metrics              text metrics
-//	GET    /healthz              liveness probe
+//	POST   /v1/jobs               submit a spec (200 cached / 202 accepted)
+//	GET    /v1/jobs/{id}          job status
+//	DELETE /v1/jobs/{id}          cancel
+//	GET    /v1/jobs/{id}/events   NDJSON progress stream until terminal
+//	GET    /v1/results/{hash}     raw result JSON from the store
+//	GET    /v1/telemetry          NDJSON live-telemetry frames (digital twin)
+//	GET    /v1/telemetry/heatmap  link-utilization heatmap as CSV
+//	GET    /metrics               text metrics
+//	GET    /healthz               liveness probe
 //
 // Overload maps to HTTP status: admission-control shedding (the manager's
 // queue-depth/in-flight watermarks) is 429 + Retry-After, a saturated queue
@@ -36,11 +38,13 @@ import (
 	"io"
 	"net/http"
 	"sort"
+	"strconv"
 	"strings"
 	"time"
 
 	"spineless/internal/jobs"
 	"spineless/internal/store"
+	"spineless/internal/telemetry"
 )
 
 // maxSpecBytes bounds a POST /v1/jobs body; specs are small.
@@ -82,6 +86,8 @@ func New(m *jobs.Manager, logf func(format string, args ...any)) *Server {
 	mux.HandleFunc("DELETE /v1/jobs/{id}", s.cancel)
 	mux.HandleFunc("GET /v1/jobs/{id}/events", s.events)
 	mux.HandleFunc("GET /v1/results/{hash}", s.result)
+	mux.HandleFunc("GET /v1/telemetry", s.telemetry)
+	mux.HandleFunc("GET /v1/telemetry/heatmap", s.heatmap)
 	mux.HandleFunc("GET /metrics", s.metrics)
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
@@ -184,6 +190,63 @@ func (s *Server) cancel(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, j.Status())
 }
 
+// ndjson owns the wire framing shared by every streaming endpoint
+// (/v1/jobs/{id}/events, /v1/telemetry): NDJSON headers, one JSON document
+// per line, ':'-prefixed heartbeat comments, and a flush after every line
+// so frames cross proxies promptly. Every write happens on the single
+// handler goroutine that created it — that serialization is what makes the
+// heartbeat ticker safe against the terminal event and the subscription
+// close (the satellite audit of these paths found the framing correct
+// exactly because nothing here is ever shared across goroutines; keeping
+// both streams on this one helper keeps it that way).
+type ndjson struct {
+	w  http.ResponseWriter
+	fl http.Flusher
+	e  *json.Encoder
+}
+
+// startNDJSON writes the streaming headers and returns the framing writer.
+func startNDJSON(w http.ResponseWriter) *ndjson {
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.Header().Set("Cache-Control", "no-store")
+	w.WriteHeader(http.StatusOK)
+	fl, _ := w.(http.Flusher)
+	return &ndjson{w: w, fl: fl, e: json.NewEncoder(w)}
+}
+
+func (n *ndjson) flush() {
+	if n.fl != nil {
+		n.fl.Flush()
+	}
+}
+
+// send encodes one event line. A write error means the client is gone; the
+// caller must return and release its resources.
+func (n *ndjson) send(v any) error {
+	if err := n.e.Encode(v); err != nil {
+		return err
+	}
+	n.flush()
+	return nil
+}
+
+// heartbeat writes one comment line. Same error contract as send.
+func (n *ndjson) heartbeat() error {
+	if _, err := io.WriteString(n.w, ": hb\n"); err != nil {
+		return err
+	}
+	n.flush()
+	return nil
+}
+
+// heartbeatPeriod resolves the configured heartbeat.
+func (s *Server) heartbeatPeriod() time.Duration {
+	if s.Heartbeat > 0 {
+		return s.Heartbeat
+	}
+	return DefaultHeartbeat
+}
+
 // events streams the job's lifecycle as NDJSON: one event per line, the
 // current state first, closing after the terminal event (or when the
 // client goes away — the request context and heartbeat write errors both
@@ -197,26 +260,12 @@ func (s *Server) events(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	w.Header().Set("Content-Type", "application/x-ndjson")
-	w.Header().Set("Cache-Control", "no-store")
-	w.WriteHeader(http.StatusOK)
-	flusher, _ := w.(http.Flusher)
-	flush := func() {
-		if flusher != nil {
-			flusher.Flush()
-		}
-	}
-
-	hb := s.Heartbeat
-	if hb <= 0 {
-		hb = DefaultHeartbeat
-	}
-	ticker := time.NewTicker(hb)
+	stream := startNDJSON(w)
+	ticker := time.NewTicker(s.heartbeatPeriod())
 	defer ticker.Stop()
 
 	ch, stop := j.Subscribe()
 	defer stop()
-	enc := json.NewEncoder(w)
 	for {
 		select {
 		case ev, open := <-ch:
@@ -239,22 +288,166 @@ func (s *Server) events(w http.ResponseWriter, r *http.Request) {
 					break drain
 				}
 			}
-			if err := enc.Encode(ev); err != nil {
+			if err := stream.send(ev); err != nil {
 				return
 			}
-			flush()
 			if !open {
 				return
 			}
 		case <-ticker.C:
-			if _, err := io.WriteString(w, ": hb\n"); err != nil {
+			if err := stream.heartbeat(); err != nil {
 				return
 			}
-			flush()
 		case <-r.Context().Done():
 			return
 		}
 	}
+}
+
+// TelemetryFrame is one NDJSON line on /v1/telemetry: a point-in-time view
+// of every telemetry-enabled job in flight. Frames double as liveness —
+// one is sent every interval even when nothing is running — so the server
+// notices dead clients by write error, exactly like the events heartbeat.
+type TelemetryFrame struct {
+	Active int            `json:"active"`
+	Jobs   []TelemetryJob `json:"jobs,omitempty"`
+}
+
+// TelemetryJob digests one job's live telemetry window.
+type TelemetryJob struct {
+	Job      string           `json:"job"`
+	BucketNS int64            `json:"bucket_ns"`
+	Buckets  int              `json:"buckets"`
+	Mixed    bool             `json:"mixed,omitempty"`
+	Totals   telemetry.Totals `json:"totals"`
+	TopLinks []TelemetryLink  `json:"top_links,omitempty"`
+}
+
+// TelemetryLink is one busy link's utilization over the retained window.
+type TelemetryLink struct {
+	Link     int     `json:"link"`
+	MeanUtil float64 `json:"mean_util"`
+	PeakUtil float64 `json:"peak_util"`
+}
+
+// topLinkFrames digests the n busiest links of a snapshot.
+func topLinkFrames(sn *telemetry.Snapshot, n int) []TelemetryLink {
+	var out []TelemetryLink
+	for _, l := range sn.TopLinks(n) {
+		u := sn.Utilization(l)
+		if u == nil {
+			break
+		}
+		var sum, peak float64
+		for _, v := range u {
+			sum += v
+			if v > peak {
+				peak = v
+			}
+		}
+		out = append(out, TelemetryLink{Link: l, MeanUtil: sum / float64(len(u)), PeakUtil: peak})
+	}
+	return out
+}
+
+// telemetry streams the manager's live telemetry hub as NDJSON frames, one
+// frame per interval (?interval_ms, default 1000), until the client goes
+// away or ?frames=N frames have been sent (0 = unbounded). Each frame
+// digests every telemetry-enabled running job: lifetime totals plus the
+// busiest links' utilization over the retained window.
+func (s *Server) telemetry(w http.ResponseWriter, r *http.Request) {
+	interval := time.Second
+	if ms := r.URL.Query().Get("interval_ms"); ms != "" {
+		v, err := strconv.Atoi(ms)
+		if err != nil || v <= 0 {
+			writeError(w, http.StatusBadRequest, "bad interval_ms %q", ms)
+			return
+		}
+		if v < 10 {
+			v = 10
+		}
+		interval = time.Duration(v) * time.Millisecond
+	}
+	maxFrames := 0
+	if fs := r.URL.Query().Get("frames"); fs != "" {
+		v, err := strconv.Atoi(fs)
+		if err != nil || v < 0 {
+			writeError(w, http.StatusBadRequest, "bad frames %q", fs)
+			return
+		}
+		maxFrames = v
+	}
+
+	stream := startNDJSON(w)
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	sent := 0
+	for {
+		frame := TelemetryFrame{}
+		for _, e := range s.m.Hub().Snapshot() {
+			frame.Jobs = append(frame.Jobs, TelemetryJob{
+				Job:      e.ID,
+				BucketNS: e.Snap.BucketNS,
+				Buckets:  e.Snap.Buckets(),
+				Mixed:    e.Snap.Mixed,
+				Totals:   e.Snap.Totals,
+				TopLinks: topLinkFrames(e.Snap, 5),
+			})
+		}
+		frame.Active = len(frame.Jobs)
+		if err := stream.send(frame); err != nil {
+			return
+		}
+		sent++
+		if maxFrames > 0 && sent >= maxFrames {
+			return
+		}
+		select {
+		case <-ticker.C:
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
+
+// heatmap renders one running job's link-utilization window as CSV
+// (metrics.Heatmap, Y = link id, X = bucket start in µs). ?job selects the
+// job; with exactly one telemetry-enabled job running it may be omitted.
+// ?links bounds the busiest-links row count (default 16).
+func (s *Server) heatmap(w http.ResponseWriter, r *http.Request) {
+	maxLinks := 16
+	if ls := r.URL.Query().Get("links"); ls != "" {
+		v, err := strconv.Atoi(ls)
+		if err != nil || v <= 0 {
+			writeError(w, http.StatusBadRequest, "bad links %q", ls)
+			return
+		}
+		maxLinks = v
+	}
+	id := r.URL.Query().Get("job")
+	var rec *telemetry.Recorder
+	if id == "" {
+		entries := s.m.Hub().Snapshot()
+		if len(entries) != 1 {
+			writeError(w, http.StatusNotFound, "%d telemetry-enabled jobs running; pass ?job=", len(entries))
+			return
+		}
+		id = entries[0].ID
+	}
+	rec = s.m.Hub().Get(id)
+	if rec == nil {
+		writeError(w, http.StatusNotFound, "no live telemetry for job %q", id)
+		return
+	}
+	sn := rec.Snapshot()
+	if sn.Mixed {
+		writeError(w, http.StatusConflict, "job %q merged mixed fabric shapes; no per-link series", id)
+		return
+	}
+	w.Header().Set("Content-Type", "text/csv; charset=utf-8")
+	w.Header().Set("Cache-Control", "no-store")
+	w.WriteHeader(http.StatusOK)
+	_, _ = io.WriteString(w, sn.UtilHeatmap("link utilization "+id, maxLinks).CSV())
 }
 
 // result serves the raw result document for a content hash, straight from
@@ -326,6 +519,29 @@ func (s *Server) metrics(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintf(w, "spinelessd_job_latency_ms_bucket{le=\"+Inf\"} %d\n", snap.LatencyBuckets[len(snap.LatencyBuckets)-1])
 	fmt.Fprintf(w, "spinelessd_job_latency_ms_sum %g\n", snap.LatencySumMS)
 	fmt.Fprintf(w, "spinelessd_job_latency_ms_count %d\n", snap.LatencyCount)
+
+	// Live telemetry: one gauge set per telemetry-enabled running job.
+	// These are gauges, not counters — entries leave the hub when their job
+	// settles, so the series reflect the running fabric twin, not history.
+	entries := s.m.Hub().Snapshot()
+	gauge("spinelessd_telemetry_streams", "Telemetry-enabled jobs currently running.", float64(len(entries)))
+	if len(entries) > 0 {
+		fmt.Fprintf(w, "# HELP spinelessd_telemetry_tx_bytes Wire bytes transmitted so far by a running job's simulation.\n# TYPE spinelessd_telemetry_tx_bytes gauge\n")
+		for _, e := range entries {
+			fmt.Fprintf(w, "spinelessd_telemetry_tx_bytes{job=%q} %d\n", e.ID, e.Snap.Totals.TxBytes)
+		}
+		fmt.Fprintf(w, "# HELP spinelessd_telemetry_drops Packet drops so far by reason for a running job's simulation.\n# TYPE spinelessd_telemetry_drops gauge\n")
+		for _, e := range entries {
+			d := e.Snap.Totals.Drops()
+			for reason, name := range [...]string{"queue", "gray", "blackhole"} {
+				fmt.Fprintf(w, "spinelessd_telemetry_drops{job=%q,reason=%q} %d\n", e.ID, name, d[reason])
+			}
+		}
+		fmt.Fprintf(w, "# HELP spinelessd_telemetry_links_down Links currently down in a running job's fabric.\n# TYPE spinelessd_telemetry_links_down gauge\n")
+		for _, e := range entries {
+			fmt.Fprintf(w, "spinelessd_telemetry_links_down{job=%q} %d\n", e.ID, e.Snap.Totals.LinksDown)
+		}
+	}
 
 	if st := s.m.Store(); st != nil {
 		c := st.Snapshot()

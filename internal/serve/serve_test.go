@@ -490,3 +490,200 @@ func TestCancelOverHTTP(t *testing.T) {
 		t.Fatalf("double cancel: %d", resp.StatusCode)
 	}
 }
+
+// telemetrySpec is tinySpecJSON with live telemetry enabled and enough
+// trials to stay running while the test observes the stream.
+func telemetrySpec(trials int) string {
+	s := strings.Replace(tinySpecJSON, `"trials":2`, fmt.Sprintf(`"trials":%d`, trials), 1)
+	return strings.Replace(s, `{"kind":"fct"`, `{"kind":"fct","telemetry":true`, 1)
+}
+
+// TestTelemetryStreamAndHeatmap drives the digital-twin surface end to
+// end: a telemetry-enabled job appears in /v1/telemetry frames with live
+// traffic totals, its link-utilization window renders as CSV on
+// /v1/telemetry/heatmap, and /metrics carries the per-job gauges.
+func TestTelemetryStreamAndHeatmap(t *testing.T) {
+	ts, m := testServer(t, jobs.Config{QueueDepth: 4, Executors: 1, TrialWorkers: 1})
+	code, sub := postSpec(t, ts, telemetrySpec(500))
+	if code != http.StatusAccepted {
+		t.Fatalf("submit: %d", code)
+	}
+
+	resp, err := http.Get(ts.URL + "/v1/telemetry?interval_ms=20")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Fatalf("telemetry content type %q", ct)
+	}
+	var live TelemetryFrame
+	deadline := time.Now().Add(60 * time.Second)
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		line := sc.Text()
+		if line == "" || strings.HasPrefix(line, ":") {
+			continue
+		}
+		var fr TelemetryFrame
+		if err := json.Unmarshal([]byte(line), &fr); err != nil {
+			t.Fatalf("bad telemetry line %q: %v", line, err)
+		}
+		if fr.Active != len(fr.Jobs) {
+			t.Fatalf("frame active=%d with %d jobs", fr.Active, len(fr.Jobs))
+		}
+		if fr.Active >= 1 && fr.Jobs[0].Totals.TxBytes > 0 {
+			live = fr
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("no live telemetry frame before deadline")
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if live.Jobs[0].Job != sub.Job {
+		t.Fatalf("frame names job %q, submitted %q", live.Jobs[0].Job, sub.Job)
+	}
+	if live.Jobs[0].BucketNS <= 0 {
+		t.Fatalf("frame without bucket geometry: %+v", live.Jobs[0])
+	}
+	if len(live.Jobs[0].TopLinks) == 0 || live.Jobs[0].TopLinks[0].MeanUtil <= 0 {
+		t.Fatalf("no busy links in live frame: %+v", live.Jobs[0])
+	}
+
+	// The heatmap endpoint renders the same window as CSV. With a single
+	// running job the job param is optional.
+	code, body := get(t, ts.URL+"/v1/telemetry/heatmap")
+	if code != http.StatusOK {
+		t.Fatalf("heatmap: %d %s", code, body)
+	}
+	if !strings.HasPrefix(string(body), `link\t_us`) {
+		t.Fatalf("heatmap CSV header: %q", string(body)[:min(40, len(body))])
+	}
+	if strings.Contains(string(body), "NaN") {
+		t.Fatal("heatmap CSV leaks NaN cells")
+	}
+	if code, _ := get(t, ts.URL+"/v1/telemetry/heatmap?job=zzz"); code != http.StatusNotFound {
+		t.Fatalf("heatmap for unknown job: %d", code)
+	}
+
+	// Per-job gauges surface on /metrics while the job runs.
+	code, body = get(t, ts.URL+"/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("metrics: %d", code)
+	}
+	for _, want := range []string{
+		"spinelessd_telemetry_streams 1",
+		fmt.Sprintf("spinelessd_telemetry_tx_bytes{job=%q}", sub.Job),
+		fmt.Sprintf("spinelessd_telemetry_drops{job=%q,reason=\"blackhole\"}", sub.Job),
+	} {
+		if !strings.Contains(string(body), want) {
+			t.Errorf("metrics missing %q", want)
+		}
+	}
+
+	// A bounded one-frame poll (the smoke-mode shape) terminates by itself.
+	code, body = get(t, ts.URL+"/v1/telemetry?frames=1")
+	if code != http.StatusOK {
+		t.Fatalf("one-frame poll: %d", code)
+	}
+	var fr TelemetryFrame
+	if err := json.Unmarshal(bytes.TrimSpace(body), &fr); err != nil {
+		t.Fatalf("one-frame body %q: %v", body, err)
+	}
+
+	// Rejecting a sharded telemetry spec is the serve-visible half of the
+	// config-layer guard.
+	shardSpec := strings.Replace(telemetrySpec(2), `"seed":1`, `"seed":1,"shards":2`, 1)
+	if code, _ := postSpec(t, ts, shardSpec); code != http.StatusBadRequest {
+		t.Fatalf("telemetry+shards spec accepted with status %d", code)
+	}
+
+	m.Cancel(sub.Job)
+}
+
+// TestStreamsSurviveClientCloseMidHeartbeat is the satellite -race test:
+// both NDJSON streams (job events and telemetry) have their client vanish
+// while heartbeats/frames are in flight, and every handler must notice and
+// exit promptly — the test server's Close blocks on leaked handlers, so a
+// stuck stream fails the watchdog rather than leaking forever.
+func TestStreamsSurviveClientCloseMidHeartbeat(t *testing.T) {
+	st, err := store.Open(t.TempDir(), store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := jobs.New(st, jobs.Config{QueueDepth: 4, Executors: 1})
+	srv := New(m, nil)
+	srv.Heartbeat = 5 * time.Millisecond
+	ts := httptest.NewServer(srv)
+
+	code, sub := postSpec(t, ts, telemetrySpec(500))
+	if code != http.StatusAccepted {
+		t.Fatalf("submit: %d", code)
+	}
+	j, ok := m.Get(sub.Job)
+	if !ok {
+		t.Fatal("job vanished")
+	}
+
+	// Open both streams, read until each has written at least one
+	// heartbeat/frame, then cancel the clients mid-stream.
+	open := func(path string) (context.CancelFunc, *http.Response) {
+		ctx, cancel := context.WithCancel(context.Background())
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, ts.URL+path, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return cancel, resp
+	}
+	cancelEv, respEv := open("/v1/jobs/" + sub.Job + "/events")
+	defer respEv.Body.Close()
+	cancelTel, respTel := open("/v1/telemetry?interval_ms=5")
+	defer respTel.Body.Close()
+
+	buf := make([]byte, 256)
+	if _, err := respEv.Body.Read(buf); err != nil {
+		t.Fatalf("events stream dead on arrival: %v", err)
+	}
+	if _, err := respTel.Body.Read(buf); err != nil {
+		t.Fatalf("telemetry stream dead on arrival: %v", err)
+	}
+
+	// Let heartbeats tick, then yank both clients between beats.
+	time.Sleep(12 * time.Millisecond)
+	cancelEv()
+	cancelTel()
+
+	deadline := time.Now().Add(10 * time.Second)
+	for j.Subscribers() != 0 && time.Now().Before(deadline) {
+		time.Sleep(2 * time.Millisecond)
+	}
+	if n := j.Subscribers(); n != 0 {
+		t.Fatalf("events subscription leaked after disconnect: %d", n)
+	}
+
+	m.Cancel(sub.Job)
+	// Watchdog: Close blocks until every handler returns. A leaked stream
+	// handler turns into a visible failure here instead of a hung test.
+	closed := make(chan struct{})
+	go func() {
+		ts.Close()
+		close(closed)
+	}()
+	select {
+	case <-closed:
+	case <-time.After(30 * time.Second):
+		t.Fatal("server close timed out: a streaming handler leaked")
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	if err := m.Drain(ctx); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+}

@@ -1,0 +1,246 @@
+package workload
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"spineless/internal/metrics"
+	"spineless/internal/topology"
+)
+
+// Class is one tier of the job-class workload mix: a named flow population
+// with its own size distribution, share of the arrival process, and a
+// flow-completion-time SLA target. The mix models the three traffic tiers
+// a flat fabric multiplexes onto one layer — which is exactly why the
+// paper's operators need per-class telemetry to tell them apart.
+type Class struct {
+	Name string
+	// Share is the class's fraction of flow arrivals; a mix's shares must
+	// sum to 1 (±1e-9).
+	Share float64
+	// Sizes draws the class's flow sizes.
+	Sizes SizeDist
+	// SLAms is the class's FCT target in milliseconds; attribution reports
+	// the fraction of completed flows that met it.
+	SLAms float64
+}
+
+// ThreeTier is the default mix: a few large training transfers with a lax
+// deadline, a middle batch tier, and many small latency-sensitive RPCs
+// with a tight one.
+func ThreeTier() []Class {
+	return []Class{
+		{Name: "training", Share: 0.05, Sizes: Pareto{MeanBytes: 400e3, Alpha: 1.5, Cap: 2e6}, SLAms: 20},
+		{Name: "batch", Share: 0.35, Sizes: Pareto{MeanBytes: 60e3, Alpha: 1.2, Cap: 600e3}, SLAms: 5},
+		{Name: "latency", Share: 0.60, Sizes: Fixed(4e3), SLAms: 1},
+	}
+}
+
+// ClassMean returns the mix's mean flow size in bytes (Σ share·mean), the
+// number load calculations need in place of a single distribution's Mean.
+func ClassMean(classes []Class) float64 {
+	var m float64
+	for _, c := range classes {
+		m += c.Share * c.Sizes.Mean()
+	}
+	return m
+}
+
+func validateClasses(classes []Class) error {
+	if len(classes) == 0 {
+		return fmt.Errorf("workload: empty class mix")
+	}
+	if len(classes) > 256 {
+		return fmt.Errorf("workload: %d classes exceed the uint8 class-id space", len(classes))
+	}
+	var sum float64
+	for i, c := range classes {
+		if c.Share < 0 {
+			return fmt.Errorf("workload: class %q has negative share", c.Name)
+		}
+		if c.Sizes == nil {
+			return fmt.Errorf("workload: class %d (%q) has no size distribution", i, c.Name)
+		}
+		sum += c.Share
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		return fmt.Errorf("workload: class shares sum to %g, want 1", sum)
+	}
+	return nil
+}
+
+// ClassedConfig controls job-class flow generation.
+type ClassedConfig struct {
+	Classes []Class
+	// Flows is the expected arrival count over the window; the realized
+	// count is Poisson-distributed around it.
+	Flows int
+	// WindowNS is the arrival window. Unlike GenConfig's uniform starts,
+	// arrivals form a Poisson process: exponential inter-arrival gaps at
+	// rate Flows/WindowNS, so short-timescale burstiness is realistic and
+	// the telemetry series have texture.
+	WindowNS int64
+	// Placement optionally relocates every host (random placement).
+	Placement []int
+}
+
+// GenerateClassedFlows draws a Poisson-arrival job-class workload on
+// fabric g under rack matrix m. Per the superposition property, one merged
+// arrival process at the total rate is drawn and each arrival picks its
+// class by share, which is equivalent to independent per-class Poisson
+// processes. Returns the flows (sorted by start time, IDs in arrival
+// order) and the parallel flow→class-index attribution slice consumed by
+// telemetry and ClassAttribution.
+func GenerateClassedFlows(g *topology.Graph, m *Matrix, cfg ClassedConfig, rng *rand.Rand) ([]Flow, []uint8, error) {
+	if err := validateClasses(cfg.Classes); err != nil {
+		return nil, nil, err
+	}
+	if cfg.Flows <= 0 || cfg.WindowNS <= 0 {
+		return nil, nil, fmt.Errorf("workload: classed generation needs positive Flows and WindowNS")
+	}
+	racks := g.Racks()
+	if m.N() != len(racks) {
+		return nil, nil, fmt.Errorf("workload: matrix has %d racks, fabric has %d", m.N(), len(racks))
+	}
+	if cfg.Placement != nil && len(cfg.Placement) != g.Servers() {
+		return nil, nil, fmt.Errorf("workload: placement has %d entries, fabric has %d servers",
+			len(cfg.Placement), g.Servers())
+	}
+	s, err := NewSampler(m)
+	if err != nil {
+		return nil, nil, err
+	}
+
+	meanGapNS := float64(cfg.WindowNS) / float64(cfg.Flows)
+	flows := make([]Flow, 0, cfg.Flows+cfg.Flows/4)
+	classOf := make([]uint8, 0, cap(flows))
+	t := 0.0
+	for id := uint64(0); ; id++ {
+		t += rng.ExpFloat64() * meanGapNS
+		start := int64(t)
+		if start >= cfg.WindowNS {
+			break
+		}
+		ci := pickClass(cfg.Classes, rng)
+		si, di := s.Sample(rng)
+		src := hostIn(g, racks[si], rng)
+		dst := hostIn(g, racks[di], rng)
+		if cfg.Placement != nil {
+			src, dst = cfg.Placement[src], cfg.Placement[dst]
+		}
+		if src == dst {
+			continue // relocated onto itself; negligible probability
+		}
+		flows = append(flows, Flow{
+			ID:        id,
+			Src:       src,
+			Dst:       dst,
+			SizeBytes: cfg.Classes[ci].Sizes.Sample(rng),
+			StartNS:   start,
+		})
+		classOf = append(classOf, uint8(ci))
+	}
+	// Arrival order already sorts by start; truncation to int64 ns can tie,
+	// so pin the total order on ID like GenerateFlows. classOf rides along.
+	idx := make([]int, len(flows))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool {
+		if flows[idx[a]].StartNS != flows[idx[b]].StartNS {
+			return flows[idx[a]].StartNS < flows[idx[b]].StartNS
+		}
+		return flows[idx[a]].ID < flows[idx[b]].ID
+	})
+	outF := make([]Flow, len(flows))
+	outC := make([]uint8, len(flows))
+	for i, j := range idx {
+		outF[i] = flows[j]
+		outC[i] = classOf[j]
+	}
+	return outF, outC, nil
+}
+
+func pickClass(classes []Class, rng *rand.Rand) int {
+	u := rng.Float64()
+	acc := 0.0
+	for i, c := range classes {
+		acc += c.Share
+		if u < acc {
+			return i
+		}
+	}
+	return len(classes) - 1 // float round-off at the top of the CDF
+}
+
+// ClassFCT is one class's completion and SLA outcome.
+type ClassFCT struct {
+	Class       string  `json:"class"`
+	SLAms       float64 `json:"sla_ms"`
+	Flows       int     `json:"flows"`
+	Completed   int     `json:"completed"`
+	Incomplete  int     `json:"incomplete"`
+	MedianMS    float64 `json:"median_ms"`
+	P99MS       float64 `json:"p99_ms"`
+	SLAAttained float64 `json:"sla_attained"` // completed flows meeting SLAms, as a fraction of all class flows
+}
+
+// ClassAttribution splits a run's per-flow completion times (fctNS[i] < 0
+// marks an unfinished flow) by the classOf attribution from
+// GenerateClassedFlows and scores each class against its SLA. Incomplete
+// flows count as SLA misses.
+func ClassAttribution(classes []Class, classOf []uint8, fctNS []int64) ([]ClassFCT, error) {
+	if len(classOf) != len(fctNS) {
+		return nil, fmt.Errorf("workload: classOf covers %d of %d flows", len(classOf), len(fctNS))
+	}
+	out := make([]ClassFCT, len(classes))
+	byClass := make([][]float64, len(classes))
+	met := make([]int, len(classes))
+	for i, c := range classOf {
+		if int(c) >= len(classes) {
+			return nil, fmt.Errorf("workload: flow %d has class %d, mix has %d classes", i, c, len(classes))
+		}
+		out[c].Flows++
+		if fctNS[i] < 0 {
+			out[c].Incomplete++
+			continue
+		}
+		ms := float64(fctNS[i]) / 1e6
+		byClass[c] = append(byClass[c], ms)
+		if ms <= classes[c].SLAms {
+			met[c]++
+		}
+	}
+	for ci, c := range classes {
+		out[ci].Class = c.Name
+		out[ci].SLAms = c.SLAms
+		out[ci].Completed = len(byClass[ci])
+		if len(byClass[ci]) > 0 {
+			out[ci].MedianMS = metrics.Percentile(byClass[ci], 50)
+			out[ci].P99MS = metrics.Percentile(byClass[ci], 99)
+		}
+		if out[ci].Flows > 0 {
+			out[ci].SLAAttained = float64(met[ci]) / float64(out[ci].Flows)
+		}
+	}
+	return out, nil
+}
+
+// ClassTable renders a per-class SLA report.
+func ClassTable(rows []ClassFCT) string {
+	var t metrics.Table
+	t.AddRow("class", "flows", "completed", "median ms", "p99 ms", "SLA ms", "attained")
+	for _, r := range rows {
+		t.AddRow(r.Class,
+			fmt.Sprintf("%d", r.Flows),
+			fmt.Sprintf("%d", r.Completed),
+			fmt.Sprintf("%.3f", r.MedianMS),
+			fmt.Sprintf("%.3f", r.P99MS),
+			fmt.Sprintf("%.2f", r.SLAms),
+			fmt.Sprintf("%.1f%%", r.SLAAttained*100),
+		)
+	}
+	return t.String()
+}

@@ -1,0 +1,124 @@
+package workload
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"spineless/internal/topology"
+)
+
+func classTestFabric(t *testing.T) *topology.Graph {
+	t.Helper()
+	g := topology.New("quad", 4, 6)
+	for a := 0; a < 4; a++ {
+		for b := a + 1; b < 4; b++ {
+			if err := g.AddLink(a, b); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	for r := 0; r < 4; r++ {
+		g.SetServers(r, 3)
+	}
+	return g
+}
+
+func TestGenerateClassedFlows(t *testing.T) {
+	g := classTestFabric(t)
+	cfg := ClassedConfig{Classes: ThreeTier(), Flows: 2000, WindowNS: 10e6}
+	flows, classOf, err := GenerateClassedFlows(g, Uniform(4), cfg, rand.New(rand.NewSource(7)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(flows) != len(classOf) {
+		t.Fatalf("%d flows but %d class attributions", len(flows), len(classOf))
+	}
+	// The realized count is Poisson(2000): ±5σ keeps flakiness negligible
+	// while catching rate errors.
+	if dev := math.Abs(float64(len(flows)) - 2000); dev > 5*math.Sqrt(2000) {
+		t.Fatalf("Poisson process produced %d arrivals for expectation 2000", len(flows))
+	}
+	counts := make([]int, 3)
+	for i, f := range flows {
+		if i > 0 && flows[i-1].StartNS > f.StartNS {
+			t.Fatalf("arrivals unsorted at %d", i)
+		}
+		if f.StartNS < 0 || f.StartNS >= cfg.WindowNS {
+			t.Fatalf("arrival %d outside window: %d", i, f.StartNS)
+		}
+		counts[classOf[i]]++
+	}
+	for ci, n := range counts {
+		if n == 0 {
+			t.Fatalf("class %d never drawn in %d arrivals", ci, len(flows))
+		}
+	}
+	// Latency tier dominates arrivals per its 0.60 share.
+	if counts[2] <= counts[1] || counts[1] <= counts[0] {
+		t.Fatalf("class counts %v do not follow shares 0.05/0.35/0.60", counts)
+	}
+
+	// Same seed, same workload — bit for bit.
+	flows2, classOf2, err := GenerateClassedFlows(g, Uniform(4), cfg, rand.New(rand.NewSource(7)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(flows, flows2) || !reflect.DeepEqual(classOf, classOf2) {
+		t.Fatal("classed generation is not deterministic from the seed")
+	}
+}
+
+func TestGenerateClassedFlowsValidation(t *testing.T) {
+	g := classTestFabric(t)
+	bad := []Class{{Name: "a", Share: 0.7, Sizes: Fixed(1)}, {Name: "b", Share: 0.7, Sizes: Fixed(1)}}
+	if _, _, err := GenerateClassedFlows(g, Uniform(4), ClassedConfig{Classes: bad, Flows: 10, WindowNS: 1e6}, rand.New(rand.NewSource(1))); err == nil {
+		t.Fatal("shares summing to 1.4 accepted")
+	}
+	if _, _, err := GenerateClassedFlows(g, Uniform(4), ClassedConfig{Classes: ThreeTier(), Flows: 0, WindowNS: 1e6}, rand.New(rand.NewSource(1))); err == nil {
+		t.Fatal("zero flows accepted")
+	}
+}
+
+func TestClassAttribution(t *testing.T) {
+	classes := []Class{
+		{Name: "fast", Share: 0.5, Sizes: Fixed(1e3), SLAms: 1},
+		{Name: "slow", Share: 0.5, Sizes: Fixed(1e5), SLAms: 10},
+	}
+	classOf := []uint8{0, 0, 0, 1, 1}
+	fctNS := []int64{
+		500_000,    // fast, meets 1ms
+		2_000_000,  // fast, misses
+		-1,         // fast, incomplete → SLA miss
+		4_000_000,  // slow, meets 10ms
+		12_000_000, // slow, misses
+	}
+	rows, err := ClassAttribution(classes, classOf, fctNS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fast, slow := rows[0], rows[1]
+	if fast.Flows != 3 || fast.Completed != 2 || fast.Incomplete != 1 {
+		t.Fatalf("fast counts: %+v", fast)
+	}
+	if got, want := fast.SLAAttained, 1.0/3.0; math.Abs(got-want) > 1e-12 {
+		t.Fatalf("fast attainment %.4f, want %.4f (incomplete flows are misses)", got, want)
+	}
+	if slow.Flows != 2 || slow.Completed != 2 {
+		t.Fatalf("slow counts: %+v", slow)
+	}
+	if got, want := slow.SLAAttained, 0.5; math.Abs(got-want) > 1e-12 {
+		t.Fatalf("slow attainment %.4f, want %.4f", got, want)
+	}
+	if slow.MedianMS < 4 || slow.P99MS < slow.MedianMS {
+		t.Fatalf("slow percentiles: %+v", slow)
+	}
+
+	if _, err := ClassAttribution(classes, []uint8{0}, fctNS); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+	if _, err := ClassAttribution(classes, []uint8{5, 0, 0, 0, 0}, fctNS); err == nil {
+		t.Fatal("out-of-range class id accepted")
+	}
+}

@@ -35,6 +35,7 @@ import (
 	"spineless/internal/ospf"
 	"spineless/internal/resilience"
 	"spineless/internal/routing"
+	"spineless/internal/telemetry"
 	"spineless/internal/topology"
 	"spineless/internal/workload"
 )
@@ -82,6 +83,19 @@ type (
 	DiffConfig = audit.DiffConfig
 	// DiffReport holds the three models' throughputs and any violations.
 	DiffReport = audit.DiffReport
+)
+
+// Telemetry (DESIGN.md §14).
+type (
+	// TelemetryConfig sizes a telemetry sink: bucket width, ring
+	// retention, flow-class count.
+	TelemetryConfig = telemetry.Config
+	// TelemetryRecorder rolls Tracer events into a live fabric digital
+	// twin; thread it through FCTConfig.Telemetry or attach it directly.
+	TelemetryRecorder = telemetry.Recorder
+	// TelemetrySnapshot is a merged, time-ordered view of the recorder's
+	// retained window.
+	TelemetrySnapshot = telemetry.Snapshot
 )
 
 // Workloads (§5.2).
@@ -244,6 +258,12 @@ func DefaultNetConfig() NetConfig { return netsim.DefaultConfig() }
 // before Run; Finish(results) reports every violation (DESIGN.md §9).
 func AttachAuditor(sim *netsim.Simulator, flows []Flow) (*Auditor, error) {
 	return audit.Attach(sim, flows)
+}
+
+// NewTelemetryRecorder builds a telemetry recorder; zero-value cfg fields
+// take the package defaults (100µs buckets, 512-bucket window, 1 class).
+func NewTelemetryRecorder(cfg TelemetryConfig) *TelemetryRecorder {
+	return telemetry.NewRecorder(cfg)
 }
 
 // Differential cross-validates the packet, flow-level and fluid models on
