@@ -584,3 +584,31 @@ func BenchmarkNetsimEventsSharded1(b *testing.B) { benchNetsimSharded(b, 1) }
 func BenchmarkNetsimEventsSharded2(b *testing.B) { benchNetsimSharded(b, 2) }
 func BenchmarkNetsimEventsSharded4(b *testing.B) { benchNetsimSharded(b, 4) }
 func BenchmarkNetsimEventsSharded8(b *testing.B) { benchNetsimSharded(b, 8) }
+
+// benchBakeoff runs the full five-fabric bake-off matrix (7 cells: every
+// fabric under SU(2) plus the two native schemes) at paper scale with the
+// smoke-sized workload — the cost of regenerating the cmd/bakeoff
+// scorecard. The shard count parameterizes the netsim engine inside every
+// cell; results are byte-identical across them.
+func benchBakeoff(b *testing.B, shards int) {
+	cfg := spineless.BakeoffScaled(1)
+	cfg.Util = 0.2
+	cfg.WindowSec = 0.002
+	cfg.MaxFlows = 200
+	cfg.MaxPairs = 64
+	cfg.LiveFlows = 120
+	cfg.Shards = shards
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sc, err := spineless.RunBakeoff(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(sc.Cells) != 7 {
+			b.Fatalf("want 7 cells, got %d", len(sc.Cells))
+		}
+	}
+}
+
+func BenchmarkBakeoffShards1(b *testing.B)  { benchBakeoff(b, 1) }
+func BenchmarkBakeoffShards16(b *testing.B) { benchBakeoff(b, 16) }

@@ -42,7 +42,7 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("failures: ")
 	var (
-		topoKind  = flag.String("topo", "dring", "fabric: dring or rrg")
+		topoKind  = flag.String("topo", "dring", "fabric: dring, rrg, xpander, debruijn or rng (non-dring fabrics match the dring's equipment)")
 		m         = flag.Int("supernodes", 8, "dring supernodes")
 		n         = flag.Int("tors", 2, "dring ToRs per supernode")
 		ports     = flag.Int("ports", 24, "switch radix")
@@ -80,8 +80,18 @@ func main() {
 			log.Fatal(derr)
 		}
 		g, err = core.MatchedRRG(dr, rand.New(rand.NewSource(*seed)))
+	case "xpander", "debruijn", "rng":
+		// Bake-off fabrics on the dring's equipment budget: same switch
+		// count, radix, server total and network-degree budget (uniform
+		// dring degree is 4·tors). Resilience replay routes with SU(K) on
+		// every fabric — selfroute has no reroute story by design.
+		dr, derr := topology.DRing(topology.Uniform(*m, *n, *ports))
+		if derr != nil {
+			log.Fatal(derr)
+		}
+		g, err = core.FlatFabric(*topoKind, dr.N(), 4**n, *ports, dr.Servers(), rand.New(rand.NewSource(*seed)))
 	default:
-		log.Fatalf("unknown topology %q", *topoKind)
+		log.Fatalf("unknown topology %q (want dring, rrg, xpander, debruijn or rng)", *topoKind)
 	}
 	if err != nil {
 		log.Fatal(err)

@@ -16,6 +16,7 @@ import (
 	"os"
 
 	"path/filepath"
+	"strings"
 	"time"
 
 	"spineless/internal/core"
@@ -44,6 +45,7 @@ func main() {
 		svgOut   = flag.String("svg", "", "write fig4a.svg and fig4b.svg into this directory")
 		doAudit  = flag.Bool("audit", false, "run every cell under the runtime invariant auditor (violations abort)")
 		doTel    = flag.Bool("telemetry", false, "record per-link/per-flow telemetry and print a digest after the run (needs the serial engine; incompatible with -shards and -audit)")
+		extra    = flag.String("extra", "", "comma-separated bake-off fabrics to append as extra columns: xpander, debruijn, rng (each with its native scheme)")
 		trials   = flag.Int("trials", 1, "independently seeded arrival windows pooled per cell")
 		workers  = flag.Int("workers", 0, "parallel workers per fan-out (0 = one per CPU); results are identical at any value")
 		shards   = flag.Int("shards", 0, "intra-trial netsim shards (0 = serial engine); results are identical at any count, incompatible with -audit")
@@ -75,6 +77,22 @@ func main() {
 	combos, err := core.PaperCombos(fs)
 	if err != nil {
 		log.Fatal(err)
+	}
+	if *extra != "" {
+		for _, name := range strings.Split(*extra, ",") {
+			name = strings.TrimSpace(name)
+			g, err := core.ExtraFabric(fs, name, *seed)
+			if err != nil {
+				log.Fatal(err)
+			}
+			scheme := map[string]string{"xpander": "su2", "debruijn": "selfroute", "rng": "spvlb"}[name]
+			c, err := core.NewCombo(fmt.Sprintf("%s (%s)", name, scheme), g, scheme)
+			if err != nil {
+				log.Fatal(err)
+			}
+			combos = append(combos, c)
+			fmt.Printf("extra fabric: %v\n", g)
+		}
 	}
 	cfg := core.DefaultFCTConfig()
 	cfg.Util = *util

@@ -33,6 +33,7 @@ func main() {
 		tors     = flag.Int("tors", 6, "ToRs per supernode (§6.3 uses 6)")
 		ports    = flag.Int("ports", 60, "switch radix (§6.3 uses 60)")
 		scheme   = flag.String("scheme", "ecmp", "routing scheme for both fabrics (ecmp, su2, ...)")
+		topo     = flag.String("topo", "dring", "numerator fabric: dring (paper), xpander, debruijn or rng (same equipment budget; denominator RRG is matched to it)")
 		util     = flag.Float64("util", 0.5, "offered load per server as a fraction of half its NIC rate")
 		window   = flag.Float64("window", 0.004, "flow arrival window, seconds")
 		seed     = flag.Int64("seed", 1, "random seed")
@@ -57,10 +58,16 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	switch *topo {
+	case "dring", "xpander", "debruijn", "rng":
+	default:
+		log.Fatalf("unknown topology %q (want dring, xpander, debruijn or rng)", *topo)
+	}
 	cfg := core.DefaultScaleConfig()
 	cfg.TorsPerSupernode = *tors
 	cfg.Ports = *ports
 	cfg.Scheme = *scheme
+	cfg.Topology = *topo
 	cfg.FCT.Util = *util
 	cfg.FCT.WindowSec = *window
 	cfg.FCT.Seed = *seed
@@ -76,10 +83,10 @@ func main() {
 		log.Printf("invariant auditing enabled: any conservation/FIFO/TCP violation aborts the run")
 	}
 
-	fmt.Printf("DRing(%d ToRs/supernode, %d ports) vs equipment-matched RRG, uniform traffic, %s routing, seed=%d\n\n",
-		*tors, *ports, *scheme, *seed)
+	fmt.Printf("%s(%d ToRs/supernode, %d ports) vs equipment-matched RRG, uniform traffic, %s routing, seed=%d\n\n",
+		*topo, *tors, *ports, *scheme, *seed)
 	var t metrics.Table
-	t.AddRow("supernodes", "racks", "servers", "p99 FCT(DRing)/FCT(RRG)", "median ratio")
+	t.AddRow("supernodes", "racks", "servers", fmt.Sprintf("p99 FCT(%s)/FCT(RRG)", *topo), "median ratio")
 	var xs, p99s, medians []float64
 	start := time.Now()
 	cache, err := memo.Open(*storeDir, "fig6", log.Printf)
@@ -93,7 +100,7 @@ func main() {
 	pts := make([]core.ScalePoint, len(counts))
 	err = parallel.ForEach(cfg.Workers, len(counts), func(i int) error {
 		spec := fig6Point{
-			V: 1, Supernodes: counts[i], Tors: *tors, Ports: *ports,
+			V: 2, Topo: *topo, Supernodes: counts[i], Tors: *tors, Ports: *ports,
 			Scheme: *scheme, Util: *util, WindowSec: *window,
 			Seed: *seed, MaxFlows: *flows,
 		}
@@ -128,7 +135,7 @@ func main() {
 	}
 	log.Printf("%d points done in %v", len(pts), time.Since(start).Round(time.Millisecond))
 	fmt.Println(t.String())
-	fmt.Println("ratio > 1 means the DRing's tail FCT is worse than the expander's (§6.3).")
+	fmt.Printf("ratio > 1 means the %s's tail FCT is worse than the expander's (§6.3).\n", *topo)
 
 	if *svgOut != "" {
 		if err := os.MkdirAll(*svgOut, 0o755); err != nil {
@@ -150,10 +157,12 @@ func main() {
 	}
 }
 
-// fig6Point is the cache key for one sweep point: the DRing geometry,
-// routing scheme, workload knobs and seed; nothing result-neutral.
+// fig6Point is the cache key for one sweep point: the numerator topology,
+// its geometry, routing scheme, workload knobs and seed; nothing
+// result-neutral. V bumped to 2 when the topology joined the key.
 type fig6Point struct {
 	V          int     `json:"v"`
+	Topo       string  `json:"topo"`
 	Supernodes int     `json:"supernodes"`
 	Tors       int     `json:"tors"`
 	Ports      int     `json:"ports"`

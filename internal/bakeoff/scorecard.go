@@ -1,0 +1,179 @@
+package bakeoff
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"spineless/internal/metrics"
+)
+
+// metricDef is one scored column of the scorecard.
+type metricDef struct {
+	name         string
+	higherBetter bool
+	get          func(c *Cell) float64
+}
+
+// scoredMetrics is the fixed metric order: per-metric winners and the
+// composite rank score both follow it. Cells are ranked per metric
+// (1 = best, ties broken by the canonical cell order, never by float
+// equality) and the composite Score is the mean rank across metrics.
+var scoredMetrics = []metricDef{
+	{"udf", true, func(c *Cell) float64 { return c.UDF }},
+	{"median_ms", false, func(c *Cell) float64 { return c.MedianMS }},
+	{"p99_ms", false, func(c *Cell) float64 { return c.P99MS }},
+	{"sla_min", true, func(c *Cell) float64 { return c.SLAMin }},
+	{"tput", true, func(c *Cell) float64 { return c.TputNorm }},
+	{"blackhole_ms", false, func(c *Cell) float64 { return c.BlackholeMS }},
+}
+
+// Winner records the best cell of one metric.
+type Winner struct {
+	Metric string  `json:"metric"`
+	Topo   string  `json:"topo"`
+	Scheme string  `json:"scheme"`
+	Value  float64 `json:"value"`
+}
+
+// Scorecard is the ranked bake-off result: one cell per (topology, scheme)
+// with the per-metric winners and the spec hash that reproduces it.
+type Scorecard struct {
+	SpecHash   string   `json:"spec_hash"`
+	Switches   int      `json:"switches"`
+	Supernodes int      `json:"supernodes"`
+	Ports      int      `json:"ports"`
+	Cells      []Cell   `json:"cells"`   // ranked, best composite first
+	Winners    []Winner `json:"winners"` // one per scored metric, in metric order
+}
+
+// score assigns per-metric ranks, the composite Score (mean rank) and the
+// final Rank, reorders Cells best-first, and fills Winners. Deterministic:
+// every sort key ends in the canonical (topology, scheme) total order.
+func (s *Scorecard) score() {
+	sortCanonical(s.Cells)
+	n := len(s.Cells)
+	if n == 0 {
+		return
+	}
+	idx := make([]int, n)
+	rankSum := make([]float64, n)
+	s.Winners = s.Winners[:0]
+	for _, m := range scoredMetrics {
+		for i := range idx {
+			idx[i] = i
+		}
+		// Better value first; equal values keep canonical order (the sort
+		// is stable and Cells is canonically ordered), so ranks and
+		// winners never depend on float-equality comparisons.
+		sort.SliceStable(idx, func(a, b int) bool {
+			va, vb := m.get(&s.Cells[idx[a]]), m.get(&s.Cells[idx[b]])
+			if m.higherBetter {
+				return va > vb
+			}
+			return va < vb
+		})
+		for rank, ci := range idx {
+			rankSum[ci] += float64(rank + 1)
+		}
+		best := &s.Cells[idx[0]]
+		s.Winners = append(s.Winners, Winner{
+			Metric: m.name, Topo: best.Topo, Scheme: best.Scheme,
+			Value: m.get(best),
+		})
+	}
+	for i := range s.Cells {
+		s.Cells[i].Score = rankSum[i] / float64(len(scoredMetrics))
+	}
+	sort.SliceStable(s.Cells, func(i, j int) bool {
+		// Cells is canonically ordered, so stability is the tie-break.
+		return s.Cells[i].Score < s.Cells[j].Score
+	})
+	for i := range s.Cells {
+		s.Cells[i].Rank = i + 1
+	}
+}
+
+// CheckComplete rejects a scorecard with missing cells or non-finite
+// numbers — the smoke gate's definition of "complete".
+func (s *Scorecard) CheckComplete() error {
+	if len(s.Cells) == 0 {
+		return fmt.Errorf("bakeoff: empty scorecard")
+	}
+	for i := range s.Cells {
+		c := &s.Cells[i]
+		vals := []struct {
+			name string
+			v    float64
+		}{
+			{"udf", c.UDF}, {"median_ms", c.MedianMS}, {"p99_ms", c.P99MS},
+			{"sla_min", c.SLAMin}, {"tput_norm", c.TputNorm},
+			{"blackhole_ms", c.BlackholeMS}, {"score", c.Score},
+		}
+		for _, x := range vals {
+			if math.IsNaN(x.v) || math.IsInf(x.v, 0) {
+				return fmt.Errorf("bakeoff: cell %s/%s has non-finite %s", c.Topo, c.Scheme, x.name)
+			}
+		}
+		if c.Flows == 0 {
+			return fmt.Errorf("bakeoff: cell %s/%s ran no flows", c.Topo, c.Scheme)
+		}
+	}
+	return nil
+}
+
+// Table renders the ranked scorecard and the per-metric winners as text.
+func (s *Scorecard) Table() string {
+	var t metrics.Table
+	t.AddRow("rank", "fabric", "scheme", "switches", "servers", "udf",
+		"median ms", "p99 ms", "sla min", "tput", "blackhole ms", "score")
+	for i := range s.Cells {
+		c := &s.Cells[i]
+		t.AddRow(
+			fmt.Sprintf("%d", c.Rank), c.Topo, c.Scheme,
+			fmt.Sprintf("%d", c.Switches), fmt.Sprintf("%d", c.Servers),
+			fmt.Sprintf("%.3f", c.UDF),
+			fmt.Sprintf("%.3f", c.MedianMS), fmt.Sprintf("%.3f", c.P99MS),
+			fmt.Sprintf("%.3f", c.SLAMin), fmt.Sprintf("%.3f", c.TputNorm),
+			fmt.Sprintf("%.3f", c.BlackholeMS), fmt.Sprintf("%.2f", c.Score),
+		)
+	}
+	var b strings.Builder
+	b.WriteString(t.String())
+	b.WriteString("\nwinners:\n")
+	var w metrics.Table
+	for _, win := range s.Winners {
+		w.AddRow("  "+win.Metric, win.Topo+"/"+win.Scheme, fmt.Sprintf("%.4g", win.Value))
+	}
+	b.WriteString(w.String())
+	b.WriteString(fmt.Sprintf("\nspec %s  (lower score is better: mean per-metric rank over %d metrics)\n",
+		s.SpecHash, len(scoredMetrics)))
+	return b.String()
+}
+
+// CSV renders the scorecard as a machine-readable table, one row per cell
+// plus per-class SLA columns, stamped with the spec hash.
+func (s *Scorecard) CSV() string {
+	var b strings.Builder
+	b.WriteString("rank,fabric,scheme,switches,servers,degree,flows,udf,median_ms,p99_ms")
+	if len(s.Cells) > 0 {
+		for _, cl := range s.Cells[0].Classes {
+			fmt.Fprintf(&b, ",sla_%s", cl.Class)
+		}
+	}
+	b.WriteString(",sla_min,tput_norm,blackhole_ms,live_completed,live_incomplete,score,spec\n")
+	for i := range s.Cells {
+		c := &s.Cells[i]
+		fmt.Fprintf(&b, "%d,%s,%s,%d,%d,%d,%d,%.6g,%.6g,%.6g",
+			c.Rank, c.Topo, c.Scheme, c.Switches, c.Servers, c.Degree,
+			c.Flows, c.UDF, c.MedianMS, c.P99MS)
+		for _, cl := range c.Classes {
+			fmt.Fprintf(&b, ",%.6g", cl.SLAAttained)
+		}
+		fmt.Fprintf(&b, ",%.6g,%.6g,%.6g,%d,%d,%.6g,%s\n",
+			c.SLAMin, c.TputNorm, c.BlackholeMS,
+			c.LiveCompleted, c.LiveIncomplete, c.Score, s.SpecHash)
+	}
+	return b.String()
+}

@@ -15,8 +15,10 @@ type Combo struct {
 }
 
 // NewCombo builds a combo from a fabric and a scheme name: "ecmp",
-// "shortest-union(K)" / "suK", "kspK", "vlb", or the path-count-weighted
-// variants "wcmp" (weighted ECMP) and "wsuK".
+// "shortest-union(K)" / "suK", "kspK", "vlb", the path-count-weighted
+// variants "wcmp" (weighted ECMP) and "wsuK", or the flat-fabric natives
+// "selfroute" (De Bruijn shift-register routing; the fabric must be a De
+// Bruijn graph) and "spvlb" (shortest-path ECMP with VLB fallback).
 func NewCombo(label string, g *topology.Graph, scheme string) (Combo, error) {
 	var s routing.Scheme
 	var err error
@@ -27,6 +29,10 @@ func NewCombo(label string, g *topology.Graph, scheme string) (Combo, error) {
 		s = routing.NewWeighted(routing.NewECMP(g))
 	case scheme == "vlb":
 		s = routing.NewVLB(g)
+	case scheme == "selfroute":
+		s, err = routing.NewDeBruijn(g)
+	case scheme == "spvlb":
+		s = routing.NewSPVLB(g)
 	case len(scheme) == 3 && scheme[:2] == "su":
 		s, err = routing.NewShortestUnion(g, int(scheme[2]-'0'))
 	case len(scheme) == 4 && scheme[:3] == "wsu":

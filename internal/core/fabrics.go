@@ -100,6 +100,62 @@ func ScaledFabrics(factor int, rng *rand.Rand) (*FabricSet, error) {
 	return BuildFabrics(spec, 0, rng)
 }
 
+// FlatFabricNames lists the flat topologies FlatFabric can build beyond the
+// §5.1 trio, in the order the bake-off reports them.
+var FlatFabricNames = []string{"xpander", "debruijn", "rng"}
+
+// FlatFabric builds one of the competing flat fabrics on a given equipment
+// budget: `switches` radix-`ports` switches spending `degree` ports each on
+// the network, with `servers` total servers as the attachment target.
+//
+//   - "xpander": 2-lift expander; the lift construction rounds the switch
+//     count up to (degree+1)·2^j, and servers scale with it so per-switch
+//     density (and thus per-server load in a comparison) is preserved.
+//   - "debruijn": the closest-fitting De Bruijn graph (FitDeBruijn); its
+//     regularized degree is set by the alphabet, and every spare port hosts
+//     a server.
+//   - "rng": AWS's union-of-matchings fabric at exactly the requested
+//     degree; every spare port hosts a server.
+//
+// The actual switch and server counts therefore differ slightly from the
+// request — callers compare fabrics per server, and the bake-off scorecard
+// reports the realized equipment so the deltas stay visible.
+func FlatFabric(name string, switches, degree, ports, servers int, rng *rand.Rand) (*topology.Graph, error) {
+	switch name {
+	case "xpander":
+		g, err := topology.Xpander(switches, degree, rng)
+		if err != nil {
+			return nil, err
+		}
+		if err := topology.AttachServersEvenly(g, servers*g.N()/switches, ports); err != nil {
+			return nil, err
+		}
+		return g, nil
+	case "debruijn":
+		spec, err := topology.FitDeBruijn(switches, ports, degree)
+		if err != nil {
+			return nil, err
+		}
+		return topology.DeBruijn(spec)
+	case "rng":
+		return topology.RNG(topology.RNGSpec{Switches: switches, Degree: degree, Ports: ports}, rng)
+	default:
+		return nil, fmt.Errorf("core: unknown flat fabric %q (want xpander, debruijn or rng)", name)
+	}
+}
+
+// ExtraFabric builds one of the FlatFabricNames fabrics on the same
+// equipment budget as a FabricSet's leaf-spine: its switch count and radix,
+// its server total, and the network degree that equipment implies for a
+// flat fabric (radix minus the per-switch server share). This is how the
+// fleet and the figure drivers extend the §5.1 trio to the bake-off five.
+func ExtraFabric(fs *FabricSet, name string, seed int64) (*topology.Graph, error) {
+	spec := fs.LeafSpineSpec
+	n, ports, servers := spec.Switches(), spec.Radix(), spec.TotalServers()
+	perSwitch := (servers + n - 1) / n
+	return FlatFabric(name, n, ports-perSwitch, ports, servers, rand.New(rand.NewSource(seed)))
+}
+
 // MatchedRRG builds a random regular graph using the same equipment as an
 // existing flat fabric: identical switch count, radix, per-switch server
 // counts, and network degree distribution. Used by the Figure 6 scale sweep

@@ -27,7 +27,11 @@ type ScaleConfig struct {
 	TorsPerSupernode int
 	Ports            int
 	Scheme           string // routing scheme name for both fabrics
-	FCT              FCTConfig
+	// Topology picks the fabric measured against the equipment-matched RRG
+	// denominator: "dring" (default, the paper's Figure 6) or a bake-off
+	// fabric "xpander", "debruijn" or "rng" built on the same budget.
+	Topology string
+	FCT      FCTConfig
 	// Workers bounds sweep-point parallelism (0 = one per CPU). Points are
 	// independent — each builds its own fabrics and reseeds from FCT.Seed —
 	// so the sweep is bit-identical at any worker count.
@@ -63,11 +67,26 @@ func ScaleSweep(supernodeCounts []int, cfg ScaleConfig) ([]ScalePoint, error) {
 
 func scalePoint(m int, cfg ScaleConfig) (ScalePoint, error) {
 	spec := topology.Uniform(m, cfg.TorsPerSupernode, cfg.Ports)
-	dr, err := topology.DRing(spec)
+	num, err := topology.DRing(spec)
 	if err != nil {
 		return ScalePoint{}, err
 	}
 	rng := rand.New(rand.NewSource(cfg.FCT.Seed))
+	switch cfg.Topology {
+	case "", "dring":
+		// The paper's sweep: the DRing itself is the numerator.
+	case "xpander", "debruijn", "rng":
+		// A bake-off fabric on the same equipment budget as the DRing at
+		// this sweep point; the denominator RRG is matched to it, so the
+		// ratio stays "fabric vs its own equipment-matched expander".
+		num, err = FlatFabric(cfg.Topology, num.N(), 4*cfg.TorsPerSupernode, cfg.Ports, num.Servers(), rng)
+		if err != nil {
+			return ScalePoint{}, err
+		}
+	default:
+		return ScalePoint{}, fmt.Errorf("core: unknown scale topology %q (want dring, xpander, debruijn or rng)", cfg.Topology)
+	}
+	dr := num
 	rrg, err := MatchedRRG(dr, rng)
 	if err != nil {
 		return ScalePoint{}, err
@@ -83,7 +102,11 @@ func scalePoint(m int, cfg ScaleConfig) (ScalePoint, error) {
 	fctCfg.CapacityBps = float64(dr.Servers()) * fctCfg.Net.LinkRateBps / 2
 	fs := &FabricSet{LeafSpineSpec: topology.LeafSpineSpec{X: 1, Y: 1}} // unused with CapacityBps set
 
-	drCombo, err := NewCombo("dring", dr, cfg.Scheme)
+	numLabel := cfg.Topology
+	if numLabel == "" {
+		numLabel = "dring"
+	}
+	drCombo, err := NewCombo(numLabel, dr, cfg.Scheme)
 	if err != nil {
 		return ScalePoint{}, err
 	}

@@ -125,6 +125,45 @@ func TestSpecValidate(t *testing.T) {
 	}
 }
 
+// TestSpecValidateBakeoffFabrics pins the bake-off wiring at the fleet
+// layer: the three extra flat fabrics validate and execute for fct runs
+// (all three were "unknown fabric" before the bake-off PR), an unknown name
+// is still rejected with the full menu, and live runs still accept only the
+// fabrics with a reroute story.
+func TestSpecValidateBakeoffFabrics(t *testing.T) {
+	for _, fabric := range []string{"xpander", "debruijn", "rng"} {
+		sp := tinySpec()
+		sp.Fabric = fabric
+		sp.Scheme = "ecmp"
+		sp = sp.Normalized()
+		if err := sp.Validate(); err != nil {
+			t.Fatalf("fct fabric %q rejected: %v", fabric, err)
+		}
+		res, err := Execute(context.Background(), sp, 1, nil)
+		if err != nil {
+			t.Fatalf("fct fabric %q failed to execute: %v", fabric, err)
+		}
+		if res.FCT == nil || res.FCT.Flows == 0 {
+			t.Fatalf("fct fabric %q produced no flows", fabric)
+		}
+	}
+	sp := tinySpec()
+	sp.Fabric = "mesh"
+	err := sp.Normalized().Validate()
+	if err == nil {
+		t.Fatal("unknown fabric validated")
+	}
+	for _, want := range []string{"mesh", "xpander", "debruijn", "rng"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Fatalf("unknown-fabric error %q does not mention %q", err, want)
+		}
+	}
+	live := Spec{Kind: "live", Fabric: "debruijn", Faults: &FaultSpec{Fraction: 0.05, Flows: 50, WindowNS: 5e6}}
+	if err := live.Normalized().Validate(); err == nil {
+		t.Fatal("live run on a fabric without a reroute story validated")
+	}
+}
+
 // TestSubmitRunHitDedup is the core lifecycle test: first submission runs,
 // second is a cache hit with byte-identical result, and a concurrent
 // identical submission shares the in-flight job.

@@ -80,6 +80,13 @@ func executeFCT(ctx context.Context, sp Spec, workers int, rec *telemetry.Record
 		fabric = fs.LeafSpine
 	case "rrg":
 		fabric = fs.RRG
+	case "xpander", "debruijn", "rng":
+		// A bake-off fabric on the trio's equipment budget, seeded from the
+		// spec so the wiring is part of the cell identity.
+		fabric, err = core.ExtraFabric(fs, sp.Fabric, sp.Seed)
+		if err != nil {
+			return nil, err
+		}
 	}
 	combo, err := core.NewCombo(sp.Fabric+" ("+sp.Scheme+")", fabric, sp.Scheme)
 	if err != nil {

@@ -38,7 +38,9 @@ type Spec struct {
 	Kind string `json:"kind"`
 	// Topo shapes the fabric.
 	Topo TopoSpec `json:"topo"`
-	// Fabric picks the substrate: "leafspine", "rrg" or "dring".
+	// Fabric picks the substrate: the §5.1 trio "leafspine", "rrg" or
+	// "dring", or a bake-off flat fabric "xpander", "debruijn" or "rng"
+	// built on the same equipment budget (core.ExtraFabric).
 	Fabric string `json:"fabric"`
 	// Scheme is the routing scheme name (core.NewCombo syntax: "ecmp",
 	// "su2", "wcmp", "vlb", "ksp3", ...). Live runs use Shortest-Union(K)
@@ -219,9 +221,9 @@ func (s Spec) Validate() error {
 	switch s.Kind {
 	case "fct":
 		switch s.Fabric {
-		case "leafspine", "rrg", "dring":
+		case "leafspine", "rrg", "dring", "xpander", "debruijn", "rng":
 		default:
-			return fmt.Errorf("jobs: unknown fabric %q (want leafspine, rrg or dring)", s.Fabric)
+			return fmt.Errorf("jobs: unknown fabric %q (want leafspine, rrg, dring, xpander, debruijn or rng)", s.Fabric)
 		}
 		if !s.Topo.Paper {
 			f := s.Topo.Scale

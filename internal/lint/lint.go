@@ -194,6 +194,8 @@ var AllowPkgDeny = []string{
 	"internal/telemetry",
 	"internal/core",
 	"internal/store",
+	"internal/routing",
+	"internal/bakeoff",
 	"lint/testdata/allowpkgdeny",
 }
 
@@ -270,5 +272,10 @@ var SimulatorScope = []string{
 	"internal/store",
 	"internal/jobs",
 	"internal/serve",
+	// Routing path selection and the bake-off scorecard both feed seeded
+	// replay: a path or a ranked cell that differs between runs breaks
+	// the byte-identical contract.
+	"internal/routing",
+	"internal/bakeoff",
 	"lint/testdata/",
 }

@@ -26,6 +26,10 @@ import "fmt"
 //     outside the lock; Prewarm turns parallel phases into pure cache hits.
 //   - Adaptive: immutable composition — safe iff base, alt and the useAlt
 //     predicate are.
+//   - DeBruijn: immutable after construction; Path derives the route from
+//     node labels alone (no FIB, no cache, flowID unused).
+//   - SPVLB (via NewSPVLB): an Adaptive over ECMP and VLB with a frozen
+//     per-pair diversity bitmap; immutable composition.
 //   - TimeVarying: phase schedule is immutable; SchemeAt is a read.
 //
 // New implementations must either be immutable after construction or guard

@@ -1,0 +1,33 @@
+package routing
+
+import (
+	"spineless/internal/topology"
+)
+
+// NewSPVLB builds the RNG fabric's native scheme (arXiv:2604.15261):
+// shortest-path ECMP with a Valiant fallback for diversity-starved pairs.
+// Random-neighbor graphs have excellent average path diversity but no
+// structural guarantee per pair; the AWS design routes on shortest paths
+// where ECMP has real fan-out and bounces through an intermediate where it
+// does not, buying worst-case spread for a constant stretch on the few
+// poor pairs.
+//
+// The diversity predicate — "does ECMP offer at least two first-hop
+// choices?" — is evaluated per rack pair at construction time and frozen
+// into a bitmap, so the result is an immutable Adaptive composition of two
+// immutable schemes and inherits the Scheme concurrency contract for free.
+func NewSPVLB(g *topology.Graph) *Adaptive {
+	ecmp := NewECMP(g)
+	n := g.N()
+	starved := make([]bool, n*n)
+	for src := 0; src < n; src++ {
+		for dst := 0; dst < n; dst++ {
+			if src != dst {
+				starved[src*n+dst] = len(ecmp.NextHopRouters(src, dst)) < 2
+			}
+		}
+	}
+	return NewAdaptive("spvlb", ecmp, NewVLB(g), func(src, dst int) bool {
+		return starved[src*n+dst]
+	})
+}

@@ -1,0 +1,242 @@
+package topology
+
+import (
+	"fmt"
+	"sort"
+)
+
+// DeBruijnSpec describes an undirected De Bruijn fabric (arXiv:1610.03245):
+// the directed De Bruijn graph B(k, n) on N = k^n switches — node v has
+// shift edges v → (v·k + y) mod N for every symbol y in [0, k) — is
+// undirectified by merging each directed edge with its reverse and dropping
+// self-loops. Nodes whose in- and out-neighborhoods overlap (fixed points
+// and short cycles of the shift map) come out below the 2k target degree,
+// so the builder tops them up with extra links ("degree regularization")
+// until every switch has the same network degree. Servers fill each
+// switch's remaining ports, exactly like DRing: the network is flat by
+// construction and — the property the routing layer exploits — a packet can
+// be self-routed by shifting the destination label in, digit by digit,
+// without any FIB.
+type DeBruijnSpec struct {
+	Symbols int // alphabet size k ≥ 2
+	Digits  int // label length n ≥ 2; switch count is k^n
+	Ports   int // switch radix
+}
+
+// Switches returns the switch count k^n.
+func (s DeBruijnSpec) Switches() int {
+	t := 1
+	for i := 0; i < s.Digits; i++ {
+		t *= s.Symbols
+	}
+	return t
+}
+
+// NetworkDegree returns the regularized per-switch network degree:
+// min(2k, N-1) — every node has k out- and k in-neighbors, capped by the
+// simple-graph limit on tiny fabrics.
+func (s DeBruijnSpec) NetworkDegree() int {
+	d := 2 * s.Symbols
+	if n := s.Switches() - 1; n < d {
+		d = n
+	}
+	return d
+}
+
+// Validate checks that the construction is feasible: a real alphabet, at
+// least two digits (one digit is just a clique with no shift structure),
+// a switch count that fits in an int without overflow, and enough ports at
+// every switch for the regularized network degree plus at least one server.
+func (s DeBruijnSpec) Validate() error {
+	if s.Symbols < 2 {
+		return fmt.Errorf("debruijn: need alphabet of at least 2 symbols, have %d: %w", s.Symbols, ErrInfeasible)
+	}
+	if s.Digits < 2 {
+		return fmt.Errorf("debruijn: need at least 2 digits, have %d: %w", s.Digits, ErrInfeasible)
+	}
+	n := 1
+	for i := 0; i < s.Digits; i++ {
+		if n > (1<<26)/s.Symbols {
+			return fmt.Errorf("debruijn: %d^%d switches overflows the builder's limit: %w", s.Symbols, s.Digits, ErrInfeasible)
+		}
+		n *= s.Symbols
+	}
+	if d := s.NetworkDegree(); d >= s.Ports {
+		return fmt.Errorf("debruijn: degree %d needs radix above %d, have %d: %w", d, d, s.Ports, ErrInfeasible)
+	}
+	return nil
+}
+
+// DeBruijn builds the fabric described by spec. Switch v's label is its
+// base-k representation over Digits digits. The construction is fully
+// deterministic — no randomness anywhere — so two builds of the same spec
+// are identical, not merely isomorphic.
+func DeBruijn(spec DeBruijnSpec) (*Graph, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	k, n := spec.Symbols, spec.Switches()
+	g := New(fmt.Sprintf("debruijn(k=%d,n=%d)", k, spec.Digits), n, spec.Ports)
+
+	// Undirectified shift edges: {v, (v·k + y) mod N}, self-loops dropped,
+	// each undirected pair added once.
+	for v := 0; v < n; v++ {
+		for y := 0; y < k; y++ {
+			w := (v*k + y) % n
+			if w == v || g.HasLink(v, w) {
+				continue
+			}
+			if err := g.AddLink(v, w); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	// Degree regularization: fixed points of the shift map (all-equal
+	// labels) lose their self-loop on both sides (deficit 2), and nodes on
+	// 2-cycles (alternating labels) merged a forward edge with its reverse
+	// (deficit 1). Pair the deficit "slots" greedily in node order; the
+	// total deficit is always even because the target 2kN and the handshake
+	// sum are both even.
+	target := spec.NetworkDegree()
+	var slots []int // node ids, one entry per missing link endpoint
+	for v := 0; v < n; v++ {
+		for d := g.NetworkDegree(v); d < target; d++ {
+			slots = append(slots, v)
+		}
+	}
+	sort.Ints(slots)
+	budget := 1 << 22
+	if !regularize(g, slots, &budget) {
+		return nil, fmt.Errorf("debruijn: cannot regularize %d deficit slots to degree %d: %w", len(slots), target, ErrInfeasible)
+	}
+
+	for v := 0; v < g.N(); v++ {
+		g.SetServers(v, spec.Ports-g.NetworkDegree(v))
+	}
+	return g, nil
+}
+
+// regularize pairs up the deficit slots (one entry per missing link
+// endpoint, sorted by node) into new links that avoid existing edges, by
+// deterministic backtracking. The first candidate tried for slot 0 is the
+// half-offset slot: a deficit-2 fixed point contributes two adjacent slots,
+// so the plain scan-from-1 greedy would eventually offer the last fixed
+// point to itself. Dense small fabrics (degree close to N-1) can still
+// force the greedy down a dead end — those are exactly the cases where
+// only specific pairings stay simple — hence the backtracking, bounded so
+// an adversarial spec fails as infeasible rather than spinning.
+func regularize(g *Graph, slots []int, budget *int) bool {
+	if len(slots) == 0 {
+		return true
+	}
+	if *budget <= 0 {
+		return false
+	}
+	*budget--
+	v, m := slots[0], len(slots)
+	tried := make(map[int]bool, m)
+	for off := 0; off < m; off++ {
+		j := (m/2 + off) % m
+		if j == 0 {
+			continue
+		}
+		w := slots[j]
+		if w == v || tried[w] || g.HasLink(v, w) {
+			continue
+		}
+		tried[w] = true
+		if g.AddLink(v, w) != nil {
+			continue
+		}
+		rest := make([]int, 0, m-2)
+		rest = append(append(rest, slots[1:j]...), slots[j+1:]...)
+		if regularize(g, rest, budget) {
+			return true
+		}
+		g.RemoveLink(v, w)
+	}
+	return false
+}
+
+// FitDeBruijn picks the (Symbols, Digits) pair whose switch count k^n is
+// closest to switches, subject to the regularized degree min(2k, k^n-1)
+// fitting under ports with at least one server port left. Ties on switch
+// count prefer the degree closest to wantDegree (the equipment the other
+// fabrics in a comparison spend on network links), then the smaller
+// alphabet. Deterministic; returns an error only when no feasible pair
+// exists at all.
+func FitDeBruijn(switches, ports, wantDegree int) (DeBruijnSpec, error) {
+	if switches < 4 {
+		return DeBruijnSpec{}, fmt.Errorf("debruijn: cannot fit a 2-digit fabric to %d switches: %w", switches, ErrInfeasible)
+	}
+	best := DeBruijnSpec{}
+	bestSize, bestDeg := -1, -1
+	abs := func(x int) int {
+		if x < 0 {
+			return -x
+		}
+		return x
+	}
+	for k := 2; k*k <= 4*switches; k++ {
+		for digits, size := 2, k*k; size <= 2*switches; digits, size = digits+1, size*k {
+			s := DeBruijnSpec{Symbols: k, Digits: digits, Ports: ports}
+			if s.Validate() != nil {
+				continue
+			}
+			d := s.NetworkDegree()
+			switch {
+			case bestSize < 0,
+				abs(size-switches) < abs(bestSize-switches),
+				abs(size-switches) == abs(bestSize-switches) && abs(d-wantDegree) < abs(bestDeg-wantDegree):
+				best, bestSize, bestDeg = s, size, d
+			}
+		}
+	}
+	if bestSize < 0 {
+		return DeBruijnSpec{}, fmt.Errorf("debruijn: no (symbols, digits) pair fits %d switches at radix %d: %w", switches, ports, ErrInfeasible)
+	}
+	return best, nil
+}
+
+// InferDeBruijn recovers the (Symbols, Digits) spec of a graph built by
+// DeBruijn, by checking candidate factorizations k^digits = N against the
+// shift edges actually present. Largest digit count wins (the smallest
+// alphabet), which is the parameterization DeBruijn itself prefers. The
+// second return is false when the graph is not a De Bruijn fabric.
+func InferDeBruijn(g *Graph) (DeBruijnSpec, bool) {
+	n := g.N()
+	pow := func(k, digits int) int {
+		size := 1
+		for i := 0; i < digits; i++ {
+			size *= k
+			if size > n {
+				return size
+			}
+		}
+		return size
+	}
+	for digits := 26; digits >= 2; digits-- {
+		k := 2
+		for pow(k, digits) < n {
+			k++
+		}
+		if pow(k, digits) != n {
+			continue
+		}
+		ok := true
+		for v := 0; v < n && ok; v++ {
+			for y := 0; y < k; y++ {
+				w := (v*k + y) % n
+				if w != v && !g.HasLink(v, w) {
+					ok = false
+					break
+				}
+			}
+		}
+		if ok {
+			return DeBruijnSpec{Symbols: k, Digits: digits, Ports: g.Ports}, true
+		}
+	}
+	return DeBruijnSpec{}, false
+}

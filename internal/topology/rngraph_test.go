@@ -1,0 +1,73 @@
+package topology
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+)
+
+// TestRNGDeterministicFromSeed pins the determinism contract for the
+// matching-union builder, mirroring TestRRGDeterministicFromSeed: two
+// constructions from the same seed must produce byte-identical wiring.
+func TestRNGDeterministicFromSeed(t *testing.T) {
+	spec := RNGSpec{Switches: 40, Degree: 7, Ports: 24}
+	build := func() *Graph {
+		g, err := RNG(spec, rand.New(rand.NewSource(42)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return g
+	}
+	if a, b := adjacencySerialization(build()), adjacencySerialization(build()); a != b {
+		t.Fatalf("same-seed RNG constructions differ:\n%s\nvs\n%s", a, b)
+	}
+}
+
+// TestRNGStructure pins the structural invariants: the union of Degree
+// perfect matchings is exactly Degree-regular by construction (no repair
+// slack), simple, connected, and every spare port hosts a server.
+func TestRNGStructure(t *testing.T) {
+	for _, spec := range []RNGSpec{
+		{Switches: 16, Degree: 4, Ports: 20},
+		{Switches: 80, Degree: 26, Ports: 64}, // the ×1 bake-off geometry
+		{Switches: 30, Degree: 9, Ports: 12},
+	} {
+		g, err := RNG(spec, rand.New(rand.NewSource(7)))
+		if err != nil {
+			t.Fatalf("RNG%+v: %v", spec, err)
+		}
+		if err := g.Validate(); err != nil {
+			t.Fatalf("RNG%+v invalid: %v", spec, err)
+		}
+		if !g.Connected() {
+			t.Fatalf("RNG%+v disconnected", spec)
+		}
+		for v := 0; v < g.N(); v++ {
+			if d := g.NetworkDegree(v); d != spec.Degree {
+				t.Fatalf("RNG%+v: switch %d has degree %d, want %d", spec, v, d, spec.Degree)
+			}
+			if s := g.ServerCount(v); s != spec.Ports-spec.Degree {
+				t.Fatalf("RNG%+v: switch %d hosts %d servers, want %d", spec, v, s, spec.Ports-spec.Degree)
+			}
+			for _, w := range g.Neighbors(v) {
+				if g.LinkMultiplicity(v, w) != 1 {
+					t.Fatalf("RNG%+v: parallel link %d-%d", spec, v, w)
+				}
+			}
+		}
+	}
+}
+
+// TestRNGRejects pins the clear-error contract for infeasible specs.
+func TestRNGRejects(t *testing.T) {
+	for _, spec := range []RNGSpec{
+		{Switches: 15, Degree: 4, Ports: 20}, // odd: no perfect matching
+		{Switches: 2, Degree: 1, Ports: 4},   // too small
+		{Switches: 16, Degree: 16, Ports: 20},
+		{Switches: 16, Degree: 8, Ports: 8}, // no server ports left
+	} {
+		if _, err := RNG(spec, rand.New(rand.NewSource(1))); !errors.Is(err, ErrInfeasible) {
+			t.Fatalf("RNG%+v = %v, want ErrInfeasible", spec, err)
+		}
+	}
+}

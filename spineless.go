@@ -26,6 +26,7 @@ import (
 	"time"
 
 	"spineless/internal/audit"
+	"spineless/internal/bakeoff"
 	"spineless/internal/bgp"
 	"spineless/internal/core"
 	"spineless/internal/dynamic"
@@ -420,3 +421,39 @@ func RunBurst(combo Combo, spec workload.BurstSpec, net NetConfig, seed int64) (
 
 // DefaultBurst is a 64 MB burst fanned out to 8 racks.
 func DefaultBurst() workload.BurstSpec { return workload.DefaultBurst() }
+
+// DeBruijnSpec sizes a De Bruijn fabric: Symbols^Digits switches with
+// shift-register wiring (the "selfroute" scheme needs no FIB on it).
+type DeBruijnSpec = topology.DeBruijnSpec
+
+// NewDeBruijnFabric builds the undirected, degree-regularized De Bruijn
+// fabric; construction is fully deterministic.
+func NewDeBruijnFabric(spec DeBruijnSpec) (*Graph, error) { return topology.DeBruijn(spec) }
+
+// FitDeBruijn picks the De Bruijn spec closest to an equipment budget.
+func FitDeBruijn(switches, ports, wantDegree int) (DeBruijnSpec, error) {
+	return topology.FitDeBruijn(switches, ports, wantDegree)
+}
+
+// RNGSpec sizes an AWS-style random neighbor graph (union of uniform
+// perfect matchings; "spvlb" is its native routing scheme).
+type RNGSpec = topology.RNGSpec
+
+// NewRNGFabric builds the random neighbor graph from the seeded rng.
+func NewRNGFabric(spec RNGSpec, rng *rand.Rand) (*Graph, error) { return topology.RNG(spec, rng) }
+
+// BakeoffConfig parameterizes the flat-topology bake-off: every candidate
+// fabric on one equipment budget, measured and ranked (cmd/bakeoff).
+type BakeoffConfig = bakeoff.Config
+
+// BakeoffScorecard is the ranked bake-off result with per-metric winners
+// and the spec hash that reproduces it.
+type BakeoffScorecard = bakeoff.Scorecard
+
+// BakeoffScaled returns the bake-off configuration at x times the paper's
+// §6.3 scale.
+func BakeoffScaled(x int) BakeoffConfig { return bakeoff.Scaled(x) }
+
+// RunBakeoff executes the bake-off matrix and returns the ranked
+// scorecard; byte-identical at any worker count and any shard count >= 1.
+func RunBakeoff(cfg BakeoffConfig) (*BakeoffScorecard, error) { return bakeoff.Run(cfg) }
